@@ -1,0 +1,6 @@
+"""Benchmark package: one module per reproduced experiment (E1-E17).
+
+Being a package (rather than a loose directory) makes
+``from benchmarks.conftest import run_once`` resolve under both
+``pytest benchmarks/`` and ``python -m pytest benchmarks/``.
+"""

@@ -1,0 +1,158 @@
+"""E13 -- Pastry vs the related-work baselines (section 3).
+
+The paper positions Pastry against Chord (numeric-difference routing,
+no locality), CAN (d-dimensional torus: constant state, polynomial
+hops), Gnutella-style flooding (no guarantees, exponential messages),
+and the Napster central index (constant cost, single point of failure).
+
+Reported per scheme at equal N: mean lookup hops/messages, per-node
+state, delivery guarantee, and what happens when the critical component
+fails.
+"""
+
+import math
+import random
+
+from repro.analysis.stats import mean
+from repro.baselines.can_routing import CanNetwork
+from repro.baselines.central_index import CentralIndexNetwork, IndexUnavailableError
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.kademlia import KademliaNetwork
+from repro.baselines.flooding import FloodingNetwork
+from repro.pastry.network import PastryNetwork
+from repro.sim.rng import RngRegistry
+from benchmarks.conftest import run_once
+
+N = 1000
+LOOKUPS = 600
+
+
+def _pastry_row():
+    network = PastryNetwork(rngs=RngRegistry(1313))
+    network.build(N, method="oracle")
+    rng = random.Random(1)
+    hops = []
+    for _ in range(LOOKUPS):
+        key = network.space.random_id(rng)
+        origin = rng.choice(network.live_ids())
+        result = network.route(key, origin)
+        assert result.delivered and result.destination == network.global_root(key)
+        hops.append(result.hops)
+    state = mean([
+        network.nodes[i].state.total_entries() + len(network.nodes[i].state.neighborhood)
+        for i in network.live_ids()
+    ])
+    return ["Pastry", round(mean(hops), 2), round(state, 1), "guaranteed", "log N"]
+
+
+def _chord_row():
+    ring = ChordNetwork(bits=64)
+    ring.build(N, random.Random(2))
+    rng = random.Random(3)
+    ids = list(ring.nodes)
+    hops = []
+    for _ in range(LOOKUPS):
+        key = rng.getrandbits(64)
+        result = ring.route(key, rng.choice(ids))
+        assert result.delivered and result.destination == ring.owner_of(key)
+        hops.append(result.hops)
+    return ["Chord", round(mean(hops), 2), round(ring.average_state_size(), 1),
+            "guaranteed", "log N"]
+
+
+def _can_row():
+    can = CanNetwork(dimensions=2)
+    can.build(N, random.Random(4))
+    rng = random.Random(5)
+    ids = list(can.nodes)
+    hops = []
+    for _ in range(LOOKUPS):
+        target = (rng.random(), rng.random())
+        result = can.route(target, rng.choice(ids))
+        assert result.delivered and result.destination == can.owner_of(target)
+        hops.append(result.hops)
+    return ["CAN (d=2)", round(mean(hops), 2), round(can.average_state_size(), 1),
+            "guaranteed", "d*N^(1/d)"]
+
+
+def _flooding_row():
+    net = FloodingNetwork(degree=4)
+    net.build(N, random.Random(6))
+    rng = random.Random(7)
+    ids = list(net.nodes)
+    # Place LOOKUPS files on random nodes, then query each from a random
+    # origin with a TTL that reaches most of the graph.
+    messages = []
+    found = 0
+    for i in range(LOOKUPS):
+        holder = rng.choice(ids)
+        net.place_file(i, holder)
+        result = net.query(i, rng.choice(ids), ttl=6)
+        messages.append(result.messages)
+        found += int(result.found)
+    return ["Gnutella flooding", f"{round(mean(messages), 0):.0f} msgs",
+            4.0, f"{100.0 * found / LOOKUPS:.0f}% at TTL 6", "TTL-bounded"]
+
+
+def _kademlia_row():
+    kad = KademliaNetwork(bits=64, bucket_size=20)
+    kad.build(N, random.Random(9))
+    rng = random.Random(10)
+    ids = list(kad.nodes)
+    iterations = []
+    for _ in range(LOOKUPS):
+        target = rng.getrandbits(64)
+        result = kad.lookup(target, rng.choice(ids))
+        assert result.found == kad.owner_of(target)
+        iterations.append(result.iterations)
+    return ["Kademlia", round(mean(iterations), 2),
+            round(kad.average_state_size(), 1), "guaranteed", "log N"]
+
+
+def _central_row():
+    net = CentralIndexNetwork()
+    net.build(N)
+    rng = random.Random(8)
+    for i in range(LOOKUPS):
+        net.publish(i, rng.randrange(N))
+    survived = 0
+    for i in range(LOOKUPS):
+        if net.lookup(i, rng.randrange(N), rng).found:
+            survived += 1
+    net.kill_server()
+    failures = 0
+    for i in range(LOOKUPS):
+        try:
+            net.lookup(i, rng.randrange(N), rng)
+        except IndexUnavailableError:
+            failures += 1
+    return ["Napster central index", 1.0, round(net.average_state_size(), 1),
+            f"100%, then 0% (server died: {failures}/{LOOKUPS} fail)", "O(1)"]
+
+
+def run_experiment():
+    return [_pastry_row(), _chord_row(), _kademlia_row(), _can_row(),
+            _flooding_row(), _central_row()]
+
+
+def test_e13_baselines(benchmark, report):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        f"E13: location schemes at N={N} ({LOOKUPS} lookups each)",
+        ["scheme", "mean hops / cost", "mean state", "delivery", "hop growth"],
+        rows,
+        notes=[
+            "Pastry/Chord/CAN: every lookup verified against ground truth;",
+            "flooding pays hundreds of messages per lookup for probabilistic",
+            "coverage; the central index dies with its server.",
+        ],
+    )
+    pastry_hops = rows[0][1]
+    chord_hops = rows[1][1]
+    can_hops = rows[3][1]
+    bound = math.ceil(math.log(N, 16))
+    assert pastry_hops < bound
+    # Chord's base-2 routing takes more hops than Pastry's base-16.
+    assert chord_hops > pastry_hops
+    # CAN's polynomial growth exceeds both at this N.
+    assert can_hops > chord_hops

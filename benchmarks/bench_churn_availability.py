@@ -1,0 +1,80 @@
+"""E15 -- Availability vs replication factor under churn (claims in
+sections 1 and 2.1).
+
+"A file remains available as long as one of the k nodes that store the
+file is alive", and "the choice of a replication factor k must take into
+account the expected rate of transient storage node failures to ensure
+sufficient availability.  In the event of storage node failures ... the
+system automatically restores k copies of a file as part of a failure
+recovery procedure."
+
+For k in {1, 2, 3, 5}, a network endures sustained Poisson churn with an
+ongoing lookup workload and periodic failure recovery; one extra row
+disables recovery (the ablation).  Availability must rise with k, and
+k>=3 with recovery must keep every file alive.
+"""
+
+from repro.core.churn_sim import ChurnSimulation
+from repro.core.files import SyntheticData
+from repro.core.network import PastNetwork
+from repro.sim.rng import RngRegistry
+from benchmarks.conftest import run_once
+
+NODES = 50
+FILES = 25
+DURATION = 500.0
+CHURN_RATE = 0.06  # arrivals = departures per time unit
+
+
+def _run_config(seed, k, maintenance_interval):
+    network = PastNetwork(rngs=RngRegistry(seed))
+    network.build(NODES, method="join", capacity_fn=lambda r: 1 << 22)
+    client = network.create_client(usage_quota=1 << 40)
+    handles = [
+        client.insert(f"f{i}", SyntheticData(i, 1500), replication_factor=k)
+        for i in range(FILES)
+    ]
+    simulation = ChurnSimulation(
+        network, handles,
+        arrival_rate=CHURN_RATE, departure_rate=CHURN_RATE,
+        maintenance_interval=maintenance_interval, lookup_interval=1.0,
+    )
+    return simulation.run(DURATION)
+
+
+def run_experiment():
+    rows = []
+    for k in (1, 2, 3, 5):
+        report = _run_config(1500 + k, k, maintenance_interval=40.0)
+        rows.append(
+            [f"k={k}, recovery on", f"{100.0 * report.availability:.2f}%",
+             report.files_lost, report.departures, report.replicas_restored]
+        )
+    ablation = _run_config(1600, 3, maintenance_interval=None)
+    rows.append(
+        ["k=3, recovery OFF", f"{100.0 * ablation.availability:.2f}%",
+         ablation.files_lost, ablation.departures, 0]
+    )
+    return rows
+
+
+def test_e15_churn_availability(benchmark, report):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        f"E15: {DURATION:.0f} time units of churn (rate {CHURN_RATE}/unit each way), "
+        f"N={NODES}, {FILES} files",
+        ["configuration", "lookup availability", "files lost",
+         "departures", "replicas restored"],
+        rows,
+        notes=[
+            "availability = successful / attempted lookups during the run;",
+            "the recovery-off row is the failure-recovery ablation.",
+        ],
+    )
+    by_config = {row[0]: row for row in rows}
+    assert by_config["k=3, recovery on"][2] == 0, "k=3 with recovery lost files"
+    assert by_config["k=5, recovery on"][2] == 0
+    k1 = float(by_config["k=1, recovery on"][1].rstrip("%"))
+    k3 = float(by_config["k=3, recovery on"][1].rstrip("%"))
+    assert k3 >= k1, "availability did not improve with k"
+    assert k3 > 99.0

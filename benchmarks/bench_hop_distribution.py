@@ -1,0 +1,50 @@
+"""E2 -- Distribution of per-lookup hop counts (claim C1).
+
+The companion paper shows the hop-count *distribution* at a fixed N: the
+probability mass sits at and just below ceil(log_2^b N), with a short
+tail.  This regenerates that histogram as a table row per hop count.
+"""
+
+import random
+
+from repro.analysis.experiments import build_pastry, expected_hop_bound, sample_lookups
+from repro.analysis.stats import mean
+from benchmarks.conftest import run_once
+
+N = 1024
+LOOKUPS = 4000
+
+
+def run_experiment():
+    network = build_pastry(N, seed=202, method="oracle")
+    rng = random.Random(17)
+    counts = {}
+    hops_seen = []
+    for key, origin in sample_lookups(network, LOOKUPS, rng):
+        result = network.route(key, origin)
+        assert result.delivered
+        counts[result.hops] = counts.get(result.hops, 0) + 1
+        hops_seen.append(result.hops)
+    rows = [
+        [h, counts[h], round(100.0 * counts[h] / LOOKUPS, 2)]
+        for h in sorted(counts)
+    ]
+    return rows, mean(hops_seen)
+
+
+def test_e2_hop_distribution(benchmark, report):
+    rows, avg = run_once(benchmark, run_experiment)
+    bound = expected_hop_bound(N, 4)
+    report(
+        f"E2: hop-count distribution at N={N} ({LOOKUPS} lookups)",
+        ["hops", "lookups", "% of lookups"],
+        rows,
+        notes=[
+            f"mean = {avg:.3f}; paper bound ceil(log16 {N}) = {bound}",
+            "mass concentrates at/below the bound with a short tail.",
+        ],
+    )
+    assert avg < bound
+    # At least 90% of lookups complete within the bound.
+    within = sum(r[1] for r in rows if r[0] <= bound)
+    assert within / LOOKUPS > 0.9

@@ -1,0 +1,68 @@
+"""E4 -- Cost of node arrival and failure repair (claim C3).
+
+"After a node failure or the arrival of a new node, the invariants in
+all affected routing tables can be restored by exchanging
+O(log_2^b N) messages."  This measures the messages one join generates
+and the repair messages one silent failure triggers, across N: both
+series must grow logarithmically (each doubling of N adds roughly a
+constant), not linearly.
+"""
+
+import random
+
+from repro.analysis.experiments import build_pastry, expected_hop_bound
+from repro.analysis.stats import mean
+from repro.pastry.failure import notify_leafset_of_failure
+from repro.pastry.join import join_network
+from benchmarks.conftest import run_once
+
+SIZES = [64, 128, 256, 512, 1024]
+JOINS_PER_SIZE = 10
+FAILURES_PER_SIZE = 10
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        network = build_pastry(n, seed=400 + n, method="join")
+        rng = random.Random(n)
+
+        join_costs = []
+        for _ in range(JOINS_PER_SIZE):
+            newcomer = network.add_node()
+            contact = network._nearest_live_contact(newcomer)
+            join_costs.append(join_network(network, newcomer, contact))
+
+        repair_costs = []
+        for _ in range(FAILURES_PER_SIZE):
+            victim = rng.choice(network.live_ids())
+            network.mark_failed(victim)
+            before = network.stats.counter("messages.repair").value
+            notify_leafset_of_failure(network, victim)
+            repair_costs.append(
+                network.stats.counter("messages.repair").value - before
+            )
+
+        rows.append(
+            [n, round(mean(join_costs), 1), max(join_costs),
+             round(mean(repair_costs), 1), expected_hop_bound(n, 4)]
+        )
+    return rows
+
+
+def test_e4_join_and_repair_cost(benchmark, report):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        "E4: messages per node arrival and per failure repair vs N",
+        ["N", "mean join msgs", "max join msgs", "mean repair msgs", "ceil(log16 N)"],
+        rows,
+        notes=[
+            "join = route to Z + state transfers + arrival notifications;",
+            "repair = leaf-set repairs across all watchers of the failed node.",
+            "Logarithmic growth: 16x more nodes adds only a few messages.",
+        ],
+    )
+    # Logarithmic, not linear: scaling N by 16 must far less than 16x cost.
+    first, last = rows[0], rows[-1]
+    assert last[1] < first[1] * 4, "join cost grew super-logarithmically"
+    assert last[3] < max(first[3] * 4, first[3] + 64), "repair cost grew super-logarithmically"

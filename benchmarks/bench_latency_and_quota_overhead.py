@@ -1,0 +1,124 @@
+"""E17 -- Lookup latency under the proximity metric, and the smartcard
+vs on-line quota-service overhead (sections 2.1 and 2.2).
+
+Two measurements the hop-count experiments cannot show:
+
+* **Latency.**  Locality-aware tables are supposed to buy *delay*, not
+  hop counts; and randomized routing's bias towards the best candidate
+  is there "to ensure low average route delay."  Reported: end-to-end
+  route latency for locality-aware vs proximity-blind tables, and for
+  deterministic vs randomized (two bias levels) routing.
+* **Quota mechanism overhead.**  "The smartcards maintain storage quotas
+  securely and efficiently.  Achieving the same scalability and
+  efficiency with an on-line quota service is difficult."  Reported:
+  on-line quota-service messages per insert+reclaim cycle vs zero for
+  smartcards.
+"""
+
+import random
+
+from repro.analysis.stats import mean, percentile
+from repro.core.files import RealData
+from repro.core.network import PastNetwork
+from repro.core.quota_service import OnlineQuotaService, create_online_client
+from repro.pastry.network import PastryNetwork
+from repro.pastry.routing import RandomizedRouting
+from repro.pastry.timed_routing import timed_route
+from repro.sim.rng import RngRegistry
+from benchmarks.conftest import run_once
+
+N = 400
+LOOKUPS = 800
+
+
+def run_latency():
+    rows = []
+    for quality, label in (("good", "locality-aware tables"),
+                           ("random", "proximity-blind tables")):
+        network = PastryNetwork(rngs=RngRegistry(1717), table_quality=quality)
+        network.build(N, method="oracle")
+        rng = random.Random(3)
+        configs = [("deterministic", None, None)]
+        if quality == "good":
+            configs += [
+                ("randomized bias 0.25", RandomizedRouting(0.25), rng),
+                ("randomized bias 0.60", RandomizedRouting(0.60), rng),
+            ]
+        for policy_label, policy, policy_rng in configs:
+            latencies = []
+            hops = []
+            for _ in range(LOOKUPS):
+                key = network.space.random_id(rng)
+                origin = rng.choice(network.live_ids())
+                result = timed_route(network, key, origin,
+                                     policy=policy, rng=policy_rng)
+                assert result.delivered
+                latencies.append(result.latency)
+                hops.append(result.hops)
+            rows.append(
+                [f"{label}, {policy_label}", round(mean(hops), 2),
+                 round(mean(latencies), 2), round(percentile(latencies, 95), 1)]
+            )
+    return rows
+
+
+def run_quota_overhead():
+    network = PastNetwork(rngs=RngRegistry(1718))
+    network.build(40, method="join", capacity_fn=lambda r: 1 << 22)
+    counter = network.pastry.stats.counter("messages.quota-service")
+    rows = []
+
+    cycles = 20
+    card_client = network.create_client(usage_quota=1 << 30)
+    before = counter.value
+    for i in range(cycles):
+        handle = card_client.insert(f"card-{i}", RealData(b"x" * 64), 3)
+        card_client.reclaim(handle)
+    rows.append(["smartcard", cycles, counter.value - before,
+                 round((counter.value - before) / cycles, 1)])
+
+    service = OnlineQuotaService(network)
+    online_client = create_online_client(service, usage_quota=1 << 30)
+    before = counter.value
+    for i in range(cycles):
+        handle = online_client.insert(f"online-{i}", RealData(b"x" * 64), 3)
+        online_client.reclaim(handle)
+    rows.append(["on-line quota service", cycles, counter.value - before,
+                 round((counter.value - before) / cycles, 1)])
+    return rows
+
+
+def test_e17a_lookup_latency(benchmark, report):
+    rows = run_once(benchmark, run_latency)
+    report(
+        f"E17a: end-to-end route latency (proximity-metric delay model), N={N}",
+        ["configuration", "mean hops", "mean latency", "p95 latency"],
+        rows,
+        notes=[
+            "locality-aware vs blind tables have ~equal hop counts but",
+            "different latency; stronger randomization costs delay, which",
+            "is why the bias is 'heavily towards the best choice'.",
+        ],
+    )
+    by_config = {row[0]: row for row in rows}
+    aware = by_config["locality-aware tables, deterministic"]
+    blind = by_config["proximity-blind tables, deterministic"]
+    assert aware[2] < blind[2] * 0.7, "locality-aware tables should cut latency"
+    low_bias = by_config["locality-aware tables, randomized bias 0.25"]
+    high_bias = by_config["locality-aware tables, randomized bias 0.60"]
+    assert aware[2] <= low_bias[2] <= high_bias[2] * 1.05, (
+        "latency should grow with randomization"
+    )
+
+
+def test_e17b_quota_mechanism_overhead(benchmark, report):
+    rows = run_once(benchmark, run_quota_overhead)
+    report(
+        "E17b: on-line messages per insert+reclaim cycle, by quota mechanism",
+        ["mechanism", "cycles", "quota messages", "messages/cycle"],
+        rows,
+        notes="smartcards do all quota work locally; the on-line service "
+              "pays round trips per operation (section 2.1's argument).",
+    )
+    assert rows[0][2] == 0
+    assert rows[1][2] > 0

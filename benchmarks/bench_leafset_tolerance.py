@@ -1,0 +1,83 @@
+"""E7 -- Leaf-set failure tolerance (claim C6).
+
+"With concurrent node failures, eventual delivery is guaranteed unless
+floor(l/2) nodes with adjacent nodeIds fail simultaneously (l is a
+configuration parameter with typical value 32)."
+
+j adjacent nodes are killed *silently* (no repair protocol runs); the
+benchmark measures how many lookups aimed into the failed region still
+reach the correct live root.  Below the floor(l/2) = 16 threshold
+correctness must hold; at and above it, misdelivery becomes possible --
+the cliff the formula predicts.
+"""
+
+import random
+
+from repro.analysis.charts import bar_chart
+
+from repro.pastry.network import PastryNetwork
+from repro.sim.rng import RngRegistry
+from benchmarks.conftest import run_once
+
+N = 400
+LEAF = 32
+LOOKUPS = 400
+ADJACENT_FAILURES = [0, 4, 8, 12, 15, 16, 24]
+
+
+def run_experiment():
+    rows = []
+    for j in ADJACENT_FAILURES:
+        network = PastryNetwork(rngs=RngRegistry(777), leaf_capacity=LEAF)
+        network.build(N, method="oracle")
+        rng = random.Random(j)
+        ids = network.live_ids()
+        start = len(ids) // 3
+        victims = [ids[(start + i) % len(ids)] for i in range(j)]
+        for victim in victims:
+            network.mark_failed(victim)
+        # Aim lookups at the failed region: keys spread across the id
+        # span the victims used to cover (plus one live node each side).
+        correct = delivered = 0
+        span_low = ids[(start - 1) % len(ids)]
+        span = (max(j, 1) + 2) * (network.space.size // N)
+        for _ in range(LOOKUPS):
+            offset = rng.randrange(span)
+            key = (span_low + offset) % network.space.size
+            origin = rng.choice(network.live_ids())
+            result = network.route(key, origin)
+            if result.delivered:
+                delivered += 1
+                if result.destination == network.global_root(key):
+                    correct += 1
+        rows.append(
+            [j, round(100.0 * delivered / LOOKUPS, 1),
+             round(100.0 * correct / LOOKUPS, 1),
+             "guaranteed" if j < LEAF // 2 else "not guaranteed"]
+        )
+    return rows
+
+
+def test_e7_leafset_tolerance(benchmark, report, figure):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        f"E7: j adjacent silent failures, no repair (N={N}, l={LEAF}, "
+        f"lookups aimed at the failed region)",
+        ["adjacent failures j", "delivered %", "correct root %", "paper guarantee"],
+        rows,
+        notes=[
+            f"paper: delivery guaranteed unless floor(l/2) = {LEAF // 2} adjacent "
+            "nodes fail simultaneously;",
+            "repair (benchmark E4) restores full correctness afterwards.",
+        ],
+    )
+    figure(bar_chart(
+        [(f"j={row[0]:>2}", row[2]) for row in rows],
+        title=f"Figure E7: correct-root delivery vs adjacent failures "
+              f"(cliff at floor(l/2) = {LEAF // 2})",
+        unit="%",
+    ))
+    for row in rows:
+        j, delivered, correct, guarantee = row
+        if j < LEAF // 2:
+            assert correct == 100.0, f"correctness violated below the threshold (j={j})"

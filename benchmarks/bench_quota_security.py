@@ -1,0 +1,161 @@
+"""E14 -- The quota system and certificate defences (claim C12).
+
+Section 2.1 enumerates what the smartcard/certificate machinery must
+prevent.  This benchmark runs each attack against a live network with
+*real RSA signatures* and reports attempted/blocked counts:
+
+* over-quota insertion (card refuses to issue the certificate);
+* insertion with an uncertified or foreign-broker card;
+* content corruption en route (hash mismatch at the storing node);
+* chosen-fileId insertion (inauthentic fileId);
+* reclaim by a non-owner;
+* reclaim-receipt replay (double quota credit);
+* under-provisioned storage (cheat exposed by random audits).
+"""
+
+import random
+
+from repro.core.audit import Auditor
+from repro.core.broker import Broker
+from repro.core.certificates import FileCertificate
+from repro.core.client import PastClient
+from repro.core.errors import (
+    CertificateError,
+    InsertRejectedError,
+    QuotaExceededError,
+    ReclaimDeniedError,
+    LookupFailedError,
+)
+from repro.core.files import RealData
+from repro.core.messages import InsertRequest
+from repro.core.network import PastNetwork
+from repro.core.smartcard import make_uncertified_card
+from repro.sim.rng import RngRegistry
+from benchmarks.conftest import run_once
+
+N = 16
+ATTEMPTS = 10
+
+
+def run_experiment():
+    network = PastNetwork(rngs=RngRegistry(1414), key_backend="rsa")
+    network.build(N, method="join", capacity_fn=lambda r: 1_000_000)
+    rows = []
+
+    # -- over-quota insertions ---------------------------------------- #
+    client = network.create_client(usage_quota=500)
+    blocked = 0
+    for i in range(ATTEMPTS):
+        try:
+            client.insert(f"big-{i}", RealData(b"x" * 400), replication_factor=3)
+        except QuotaExceededError:
+            blocked += 1
+    # Every attempt charges 400 * 3 = 1200 against a 500-byte quota, so
+    # the card must refuse all of them.
+    rows.append(["over-quota insert", ATTEMPTS, blocked])
+
+    # -- uncertified / foreign cards ---------------------------------- #
+    rng = random.Random(3)
+    blocked = 0
+    for i in range(ATTEMPTS):
+        if i % 2 == 0:
+            card = make_uncertified_card(rng, usage_quota=1 << 40, backend="rsa")
+        else:
+            foreign = Broker(rng, key_backend="rsa")
+            card = foreign.issue_card(usage_quota=1 << 40, enforce_balance=False)
+        rogue = PastClient(network, card, network.pastry.live_ids()[0])
+        try:
+            rogue.insert(f"rogue-{i}", RealData(b"spam"), replication_factor=3)
+        except InsertRejectedError:
+            blocked += 1
+    rows.append(["uncertified/foreign card insert", ATTEMPTS, blocked])
+
+    # -- content corrupted en route ----------------------------------- #
+    owner = network.create_client(usage_quota=1 << 30)
+    blocked = 0
+    for i in range(ATTEMPTS):
+        certificate = owner.card.issue_file_certificate(
+            f"doc-{i}", RealData(b"original"), 3, salt=i, insertion_date=0
+        )
+        request = InsertRequest(
+            certificate=certificate,
+            data=RealData(b"tampered"),
+            owner_card_certificate=owner.card.certificate,
+        )
+        node = network.live_past_nodes()[i % N]
+        receipt, _ = node.handle_store(request, replica_set=set())
+        if receipt is None:
+            blocked += 1
+        owner.card.refund_failed_insert(certificate)
+    rows.append(["corrupted content en route", ATTEMPTS, blocked])
+
+    # -- chosen fileId (DoS on a node neighbourhood) ------------------- #
+    blocked = 0
+    for i in range(ATTEMPTS):
+        data = RealData(b"target")
+        forged = FileCertificate.issue(
+            owner.card._keypair,
+            name=f"dos-{i}",
+            file_id=i + 1,  # chosen, not hashed from (name, owner, salt)
+            content_hash=data.content_hash(),
+            size=data.size,
+            replication_factor=3,
+            salt=0,
+            insertion_date=0,
+        )
+        request = InsertRequest(forged, data, owner.card.certificate)
+        node = network.live_past_nodes()[i % N]
+        receipt, _ = node.handle_store(request, replica_set=set())
+        if receipt is None:
+            blocked += 1
+    rows.append(["chosen-fileId insert", ATTEMPTS, blocked])
+
+    # -- reclaim by non-owner ------------------------------------------ #
+    attacker = network.create_client(usage_quota=1 << 30)
+    blocked = 0
+    handles = [
+        owner.insert(f"mine-{i}", RealData(b"y" * 50), replication_factor=3)
+        for i in range(ATTEMPTS)
+    ]
+    for handle in handles:
+        try:
+            attacker.reclaim(handle)
+        except (ReclaimDeniedError, LookupFailedError):
+            blocked += 1
+    rows.append(["non-owner reclaim", ATTEMPTS, blocked])
+
+    # -- reclaim receipt replay ----------------------------------------- #
+    blocked = 0
+    for handle in handles[:ATTEMPTS]:
+        reclaim_cert = owner.card.issue_reclaim_certificate(handle.file_id)
+        holder = network.past_node(handle.receipts[0].node_id)
+        request_receipt = holder.card.issue_reclaim_receipt(reclaim_cert, 50)
+        owner.card.credit_reclaim_receipt(request_receipt, reclaim_cert)
+        try:
+            owner.card.credit_reclaim_receipt(request_receipt, reclaim_cert)
+        except CertificateError:
+            blocked += 1
+    rows.append(["reclaim-receipt replay", ATTEMPTS, blocked])
+
+    # -- storage cheat vs audits ---------------------------------------- #
+    cheat = max(network.live_past_nodes(), key=lambda n: n.store.replica_count())
+    cheat.cheats_storage = True
+    for file_id in cheat.store.file_ids():
+        cheat.store.discard_content(file_id)
+    audit = Auditor(network).audit_round(node_fraction=1.0, samples=4)
+    exposed = int(cheat.node_id in audit.exposed_nodes)
+    rows.append(["storage cheat (audited)", 1, exposed])
+
+    return rows
+
+
+def test_e14_quota_security(benchmark, report):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        f"E14: attacks vs defences, real RSA signatures (N={N})",
+        ["attack", "attempted", "blocked/exposed"],
+        rows,
+        notes="every attack class of section 2.1 must be fully blocked.",
+    )
+    for attack, attempted, blocked in rows:
+        assert blocked == attempted, f"attack not fully blocked: {attack}"

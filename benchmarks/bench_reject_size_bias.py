@@ -1,0 +1,80 @@
+"""E10 -- Rejected insertions are biased towards large files (claim C9).
+
+"...while the rate of rejected file insertions remains below 5% and
+failed insertions are heavily biased towards large files."
+
+Reuses the insert-to-exhaustion driver and compares the size
+distributions of accepted vs rejected files: percentiles, means, and the
+rejection probability per size decile.
+"""
+
+import random
+
+from repro.analysis.experiments import fill_network, make_storage_network
+from repro.analysis.stats import mean, percentile
+from repro.core.storage_manager import StoragePolicy
+from repro.workloads.capacities import bounded_normal_capacities
+from repro.workloads.filesizes import TraceLikeSizes
+from benchmarks.conftest import run_once
+
+N = 80
+MEAN_CAPACITY = 8_000_000
+
+
+def run_experiment():
+    network = make_storage_network(
+        N, seed=1010, policy=StoragePolicy(),
+        capacity_fn=bounded_normal_capacities(MEAN_CAPACITY),
+        cache_policy="none",
+    )
+    sizes = TraceLikeSizes(median=8192, sigma=1.1, tail_fraction=0.05,
+                           tail_minimum=262_144, cap=1 << 21)
+    fill = fill_network(network, sizes, random.Random(41), replication_factor=3)
+
+    summary_rows = []
+    for label, samples in (("accepted", fill.accepted_sizes),
+                           ("rejected", fill.rejected_sizes)):
+        summary_rows.append(
+            [label, len(samples), round(mean(samples) / 1024, 1),
+             round(percentile(samples, 50) / 1024, 1),
+             round(percentile(samples, 95) / 1024, 1)]
+        )
+
+    # Rejection probability per size bucket (powers of 4 KiB).
+    buckets = [(0, 4), (4, 16), (16, 64), (64, 256), (256, 1024), (1024, 1 << 30)]
+    bucket_rows = []
+    for low_kib, high_kib in buckets:
+        low, high = low_kib * 1024, high_kib * 1024
+        accepted = sum(1 for s in fill.accepted_sizes if low <= s < high)
+        rejected = sum(1 for s in fill.rejected_sizes if low <= s < high)
+        total = accepted + rejected
+        if total == 0:
+            continue
+        bucket_rows.append(
+            [f"{low_kib}-{high_kib} KiB", total,
+             round(100.0 * rejected / total, 2)]
+        )
+    return summary_rows, bucket_rows
+
+
+def test_e10_reject_size_bias(benchmark, report):
+    summary_rows, bucket_rows = run_once(benchmark, run_experiment)
+    report(
+        "E10a: size distribution of accepted vs rejected insertions (KiB)",
+        ["outcome", "count", "mean", "median", "p95"],
+        summary_rows,
+    )
+    report(
+        "E10b: rejection probability by file size",
+        ["size bucket", "attempts", "rejected %"],
+        bucket_rows,
+        notes="paper: failed insertions are heavily biased towards large files.",
+    )
+    accepted_mean = summary_rows[0][2]
+    rejected_mean = summary_rows[1][2]
+    assert rejected_mean > accepted_mean * 3, (
+        "rejected files are not substantially larger than accepted ones"
+    )
+    # Monotone-ish bias: the largest bucket rejects far more often than
+    # the smallest.
+    assert bucket_rows[-1][2] > bucket_rows[0][2] * 5

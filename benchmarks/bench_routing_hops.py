@@ -1,0 +1,60 @@
+"""E1 -- Routing hops vs network size (claim C1).
+
+Regenerates the Pastry companion paper's headline figure: average number
+of overlay hops as a function of N, against the bound ceil(log_2^b N).
+The paper states routes take "less than ceil(log_16 N) steps on average";
+the reproduced series must stay below the bound at every N.
+"""
+
+import math
+import random
+
+from repro.analysis.charts import line_chart
+
+from repro.analysis.experiments import build_pastry, expected_hop_bound, sample_lookups
+from repro.analysis.stats import mean, percentile
+from benchmarks.conftest import run_once
+
+SIZES = [64, 128, 256, 512, 1024, 2048, 4096]
+LOOKUPS_PER_SIZE = 1000
+B = 4
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        network = build_pastry(n, seed=100 + n, b=B, method="oracle")
+        rng = random.Random(n)
+        hops = []
+        for key, origin in sample_lookups(network, LOOKUPS_PER_SIZE, rng):
+            result = network.route(key, origin)
+            assert result.delivered
+            assert result.destination == network.global_root(key)
+            hops.append(result.hops)
+        bound = expected_hop_bound(n, B)
+        rows.append(
+            [n, round(mean(hops), 3), round(percentile(hops, 95), 1),
+             max(hops), bound, "yes" if mean(hops) < bound else "NO"]
+        )
+    return rows
+
+
+def test_e1_routing_hops_vs_n(benchmark, report, figure):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        "E1: average routing hops vs N (b=4, l=32; paper bound ceil(log16 N))",
+        ["N", "mean hops", "p95", "max", "bound", "under bound"],
+        rows,
+        notes=f"{LOOKUPS_PER_SIZE} uniform lookups per size; every lookup "
+              "verified against the ground-truth root.",
+    )
+    figure(line_chart(
+        [
+            ("mean hops", [(math.log2(r[0]), r[1]) for r in rows]),
+            ("bound ceil(log16 N)", [(math.log2(r[0]), float(r[4])) for r in rows]),
+        ],
+        title="Figure E1: routing hops vs network size (x = log2 N)",
+        x_label="log2 N", y_label="hops",
+    ))
+    for row in rows:
+        assert row[5] == "yes", f"mean hops exceeded the paper bound at N={row[0]}"

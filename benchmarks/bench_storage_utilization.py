@@ -1,0 +1,130 @@
+"""E9 -- Global storage utilization vs insert rejections (claim C8).
+
+"Experimental results show that PAST can achieve global storage
+utilization in excess of 95%, while the rate of rejected file insertions
+remains below 5%."
+
+Files are inserted to exhaustion under a heavy-tailed size distribution
+and heterogeneous node capacities.  For the full scheme and three
+ablations (no replica diversion, no file diversion, neither) the table
+reports the cumulative reject ratio when utilization first crossed 80 /
+90 / 95%, and the utilization finally reached.  The full scheme must
+cross 95% with under 5% rejects; the no-diversion baseline must stall
+far below that.
+"""
+
+import random
+
+from repro.analysis.charts import line_chart
+
+from repro.analysis.experiments import fill_network, make_storage_network
+from repro.core.storage_manager import StoragePolicy
+from repro.workloads.capacities import bounded_normal_capacities
+from repro.workloads.filesizes import TraceLikeSizes
+from benchmarks.conftest import run_once
+
+N = 80
+MEAN_CAPACITY = 8_000_000
+
+CONFIGS = [
+    ("full scheme", StoragePolicy()),
+    ("no replica diversion", StoragePolicy(enable_replica_diversion=False)),
+    ("no file diversion", StoragePolicy(enable_file_diversion=False)),
+    ("no diversion at all", StoragePolicy(enable_replica_diversion=False,
+                                          enable_file_diversion=False)),
+]
+
+
+def _fmt_ratio(value):
+    return "-" if value is None else f"{100.0 * value:.1f}%"
+
+
+def run_experiment():
+    rows = []
+    reports = {}
+    for label, policy in CONFIGS:
+        network = make_storage_network(
+            N, seed=909, policy=policy,
+            capacity_fn=bounded_normal_capacities(MEAN_CAPACITY),
+            cache_policy="none",
+        )
+        sizes = TraceLikeSizes(median=8192, sigma=1.1, tail_fraction=0.05,
+                               tail_minimum=262_144, cap=1 << 21)
+        report = fill_network(network, sizes, random.Random(31), replication_factor=3)
+        final_util = network.utilization()["global_utilization"]
+        rows.append(
+            [label,
+             _fmt_ratio(report.reject_ratio_at_utilization(0.80)),
+             _fmt_ratio(report.reject_ratio_at_utilization(0.90)),
+             _fmt_ratio(report.reject_ratio_at_utilization(0.95)),
+             f"{100.0 * final_util:.1f}%",
+             report.inserted, report.rejected]
+        )
+        reports[label] = (report, final_util)
+    return rows, reports
+
+
+def test_e9_storage_utilization(benchmark, report, figure):
+    rows, reports = run_once(benchmark, run_experiment)
+    report(
+        f"E9: insert-to-exhaustion, N={N}, heavy-tailed sizes, "
+        "heterogeneous capacities, k=3",
+        ["scheme", "rejects @80% util", "@90%", "@95%", "final util",
+         "accepted", "rejected"],
+        rows,
+        notes=[
+            "paper: >95% utilization with <5% of insertions rejected;",
+            "'-' means that utilization level was never reached.",
+        ],
+    )
+    series = []
+    for label in ("full scheme", "no diversion at all"):
+        fill, _ = reports[label]
+        series.append((
+            label,
+            [(100.0 * u, 100.0 * r) for u, r in fill.utilization_curve],
+        ))
+    figure(line_chart(
+        series,
+        title="Figure E9: cumulative reject ratio vs global utilization",
+        x_label="utilization %", y_label="rejects %",
+    ))
+    full_report, full_util = reports["full scheme"]
+    assert full_util > 0.95, "full scheme failed to exceed 95% utilization"
+    at_95 = full_report.reject_ratio_at_utilization(0.95)
+    assert at_95 is not None and at_95 < 0.05, (
+        f"reject ratio at 95% utilization was {at_95}, paper reports <5%"
+    )
+    none_report, none_util = reports["no diversion at all"]
+    assert none_util < full_util - 0.1, "ablation: diversion should matter"
+
+
+def test_e9b_file_diversion_retry_sweep(benchmark, report):
+    """Ablation: how many file-diversion retries are worth having."""
+
+    def sweep():
+        rows = []
+        for retries in (0, 1, 2, 3):
+            policy = StoragePolicy(max_file_diversions=retries)
+            network = make_storage_network(
+                N, seed=910, policy=policy,
+                capacity_fn=bounded_normal_capacities(MEAN_CAPACITY),
+                cache_policy="none",
+            )
+            sizes = TraceLikeSizes(median=8192, sigma=1.1, tail_fraction=0.05,
+                                   tail_minimum=262_144, cap=1 << 21)
+            fill = fill_network(network, sizes, random.Random(32), replication_factor=3)
+            rows.append(
+                [retries, f"{100.0 * network.utilization()['global_utilization']:.1f}%",
+                 _fmt_ratio(fill.reject_ratio_at_utilization(0.90)),
+                 fill.inserted, fill.rejected]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "E9b (ablation): file-diversion retry budget",
+        ["max retries", "final util", "rejects @90% util", "accepted", "rejected"],
+        rows,
+        notes="the SOSP'01 configuration uses up to 3 re-salted attempts.",
+    )

@@ -1,0 +1,55 @@
+"""E3 -- Per-node state size vs the paper's formula (claim C2).
+
+"The tables required in each PAST node have only
+(2^b - 1) * ceil(log_2^b N) + 2l entries."  The 2l term covers the leaf
+set (l entries) plus the neighborhood set (|M| = l in the typical
+configuration).  This measures actual per-node state across N and
+compares with the formula, and reports populated routing-table rows
+against ceil(log_2^b N).
+"""
+
+import math
+
+from repro.analysis.experiments import build_pastry
+from repro.analysis.stats import mean
+from benchmarks.conftest import run_once
+
+SIZES = [64, 256, 1024, 4096]
+B = 4
+LEAF = 32
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        network = build_pastry(n, seed=300 + n, b=B, leaf_capacity=LEAF, method="oracle")
+        entries = []
+        populated_rows = []
+        for node_id in network.live_ids():
+            state = network.nodes[node_id].state
+            entries.append(state.total_entries() + len(state.neighborhood))
+            populated_rows.append(state.routing_table.populated_rows())
+        log_term = math.ceil(math.log(n, 2 ** B))
+        bound = (2 ** B - 1) * log_term + 2 * LEAF
+        rows.append(
+            [n, round(mean(entries), 1), max(entries), bound,
+             round(mean(populated_rows), 2), log_term]
+        )
+    return rows
+
+
+def test_e3_state_size(benchmark, report):
+    rows = run_once(benchmark, run_experiment)
+    report(
+        "E3: per-node state (routing table + leaf set + neighborhood) vs formula",
+        ["N", "mean entries", "max entries", "formula bound", "mean RT rows", "ceil(log16 N)"],
+        rows,
+        notes="formula: (2^b - 1) * ceil(log_2^b N) + 2l with b=4, l=32.",
+    )
+    for row in rows:
+        n, mean_entries, max_entries, bound, mean_rows, log_term = row
+        # The formula bounds the state actually held (small allowance for
+        # rows populated one past the log term in lucky prefixes).
+        assert max_entries <= bound + (2 ** B - 1), (n, max_entries, bound)
+        # Populated rows track the logarithm.
+        assert mean_rows <= log_term + 1

@@ -1,0 +1,47 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once under
+``benchmark.pedantic`` (these are simulation experiments, not
+micro-benchmarks -- a single deterministic round is the measurement) and
+prints its tables through the ``report`` fixture so they appear in
+``pytest benchmarks/ --benchmark-only`` output (and bench_output.txt)
+despite pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print one experiment table, bypassing pytest's capture."""
+
+    def _print(title, headers, rows, notes=None):
+        with capsys.disabled():
+            print()
+            print(format_table(headers, rows, title=title))
+            if notes:
+                for note in notes if isinstance(notes, (list, tuple)) else [notes]:
+                    print(f"  {note}")
+
+    return _print
+
+
+@pytest.fixture()
+def figure(capsys):
+    """Print one ASCII figure, bypassing pytest's capture."""
+
+    def _print(text):
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Federated PAST systems and a broker-less community.
+
+Section 2.1's closing notes: "multiple PAST systems can co-exist in the
+Internet ... run by many competing brokers, where a client can access
+files in the entire system", and "it is possible to operate isolated
+PAST systems that serve a mutually trusting community without a broker
+or smartcards."
+
+This example runs two broker-independent PAST systems side by side,
+publishes in one and reads from a client homed in the other, then spins
+up a broker-less community network and shows that signatures and quotas
+still hold without any third party.
+
+Run:  python examples/federated_systems.py
+"""
+
+import random
+
+from repro import RealData
+from repro.core.client import PastClient
+from repro.core.errors import QuotaExceededError
+from repro.core.federation import Federation, trusted_community_network
+from repro.core.smartcard import make_uncertified_card
+
+
+def main() -> None:
+    # --- two systems, two competing brokers ---------------------------- #
+    federation = Federation()
+    federation.build_system("atlantic", 40, capacity_fn=lambda r: 2_000_000)
+    federation.build_system("pacific", 40, capacity_fn=lambda r: 2_000_000)
+    atlantic = federation.system("atlantic")
+    pacific = federation.system("pacific")
+    print("two PAST systems, independent brokers:")
+    print(f"  atlantic: {atlantic.pastry.live_count()} nodes, "
+          f"broker {atlantic.broker.public_key!r}")
+    print(f"  pacific:  {pacific.pastry.live_count()} nodes, "
+          f"broker {pacific.broker.public_key!r}")
+
+    publisher = federation.create_client("pacific", usage_quota=1_000_000)
+    handle = publisher.insert("whitepaper.pdf", RealData(b"federated storage!"), 3)
+    print(f"\npublished in 'pacific' (quota remaining "
+          f"{publisher.quota_remaining:,})")
+
+    reader = federation.create_client("atlantic", usage_quota=0)
+    data = reader.lookup(handle.file_id)
+    print(f"client homed in 'atlantic' reads it anyway: {data.to_bytes()!r}")
+
+    # --- a mutually trusting community, no broker at all ---------------- #
+    print("\nbroker-less community network (e.g. one org over a VPN):")
+    community = trusted_community_network(20, seed=5,
+                                          capacity_fn=lambda r: 500_000)
+    member_card = make_uncertified_card(random.Random(9), usage_quota=10_000,
+                                        backend="insecure_fast")
+    member = PastClient(community, member_card,
+                        community.pastry.live_ids()[0])
+    minutes = member.insert("meeting-minutes.md", RealData(b"- ship it"), 3)
+    print(f"  member with a self-made key stored a file "
+          f"({len(minutes.receipts)} receipts)")
+
+    # Quotas are still each member's own card...
+    try:
+        member.insert("huge.iso", RealData(b"x" * 9_999), 3)
+    except QuotaExceededError:
+        print("  ...and the member's own quota still refuses oversized inserts")
+
+    colleague = community.create_client(usage_quota=0)
+    print(f"  colleague reads: {colleague.lookup(minutes.file_id).to_bytes()!r}")
+
+
+if __name__ == "__main__":
+    main()

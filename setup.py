@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no network access and no ``wheel`` package, so the
+PEP 517 editable-install path (which builds a wheel) is unavailable.
+This shim lets ``pip install -e . --no-use-pep517`` fall back to the
+legacy ``setup.py develop`` route.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro: a reproduction of PAST (Druschel & Rowstron, HotOS 2001).
+
+A complete, simulated implementation of the PAST peer-to-peer storage
+utility and the Pastry routing substrate it is built on, plus the
+baselines, workloads and analysis tooling used to regenerate the paper's
+quantitative claims.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the per-claim results.
+
+Quickstart::
+
+    from repro import PastNetwork, RealData
+
+    network = PastNetwork()
+    network.build(64, method="join")
+    alice = network.create_client(usage_quota=1 << 20)
+    handle = alice.insert("hello.txt", RealData(b"hello, PAST"), replication_factor=3)
+    bob = network.create_client(usage_quota=0)
+    assert bob.lookup(handle.file_id).to_bytes() == b"hello, PAST"
+"""
+
+from repro.core.broker import Broker
+from repro.core.client import FileHandle, LookupResult, PastClient
+from repro.core.errors import (
+    CertificateError,
+    DuplicateFileError,
+    InsertRejectedError,
+    LookupFailedError,
+    PastError,
+    QuotaExceededError,
+    ReclaimDeniedError,
+)
+from repro.core.files import FileData, RealData, SyntheticData
+from repro.core.network import PastNetwork
+from repro.core.node import PastNode
+from repro.core.smartcard import SmartCard
+from repro.core.storage_manager import StoragePolicy
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.sim.rng import RngRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Broker",
+    "PastClient",
+    "FileHandle",
+    "LookupResult",
+    "PastError",
+    "QuotaExceededError",
+    "InsertRejectedError",
+    "LookupFailedError",
+    "DuplicateFileError",
+    "ReclaimDeniedError",
+    "CertificateError",
+    "FileData",
+    "RealData",
+    "SyntheticData",
+    "PastNetwork",
+    "PastNode",
+    "SmartCard",
+    "StoragePolicy",
+    "PastryNetwork",
+    "IdSpace",
+    "RngRegistry",
+    "__version__",
+]

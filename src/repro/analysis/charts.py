@@ -1,0 +1,98 @@
+"""ASCII charts: figure-shaped output for a terminal-only harness.
+
+The companion papers present several results as *figures* (hops vs N,
+utilization vs reject ratio, the failure cliff).  The benchmarks
+regenerate the numbers; these renderers regenerate the *shape* --
+an XY line chart and a horizontal bar chart in plain text, so
+``bench_output.txt`` shows the curves, not just the rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(int(position * (cells - 1) + 0.5), cells - 1)
+
+
+def line_chart(
+    series: Sequence[Tuple[str, Sequence[Point]]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Plot one or more (label, [(x, y), ...]) series as an ASCII chart.
+
+    Each series gets its own marker character; the legend maps them.
+    """
+    if not series or all(not points for _, points in series):
+        raise ValueError("nothing to plot")
+    markers = "*o+x#@%&"
+    all_points = [p for _, points in series for p in points]
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:
+        y_low -= 1.0
+        y_high += 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, points) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_high:.2f}"), len(f"{y_low:.2f}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.2f}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:.2f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (label_width + 2) + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, (label, _) in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per (label, value) row."""
+    if not rows:
+        raise ValueError("nothing to plot")
+    peak = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        filled = _scale(value, 0.0, peak, width) + 1 if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)} {value:g}{unit}")
+    return "\n".join(lines)

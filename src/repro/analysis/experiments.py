@@ -1,0 +1,147 @@
+"""Shared experiment scaffolding.
+
+Each benchmark builds a network, drives a workload, and reports a table.
+The helpers here factor the repeated parts: building overlays of a given
+size deterministically, sampling lookups, and the insert-to-exhaustion
+driver that both storage experiments (E9, E10) run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.errors import InsertRejectedError
+from repro.core.files import SyntheticData
+from repro.core.network import PastNetwork
+from repro.core.storage_manager import StoragePolicy
+from repro.pastry.network import PastryNetwork
+from repro.sim.rng import RngRegistry
+from repro.workloads.filesizes import FileSizeDistribution
+
+
+def build_pastry(
+    n: int,
+    seed: int = 0,
+    b: int = 4,
+    leaf_capacity: int = 32,
+    method: str = "oracle",
+    table_quality: str = "good",
+) -> PastryNetwork:
+    """A deterministic Pastry overlay of *n* nodes."""
+    from repro.pastry.nodeid import IdSpace
+
+    network = PastryNetwork(
+        space=IdSpace(128, b),
+        rngs=RngRegistry(seed),
+        leaf_capacity=leaf_capacity,
+        table_quality=table_quality,
+    )
+    network.build(n, method=method)
+    return network
+
+
+def sample_lookups(
+    network: PastryNetwork, count: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """(key, origin) pairs: uniform random keys from uniform random
+    origins -- the standard routing-experiment workload."""
+    origins = network.live_ids()
+    return [
+        (network.space.random_id(rng), rng.choice(origins)) for _ in range(count)
+    ]
+
+
+def expected_hop_bound(n: int, b: int) -> float:
+    """The paper's bound: ceil(log_2^b N)."""
+    return math.ceil(math.log(max(n, 2), 2 ** b))
+
+
+@dataclass
+class FillReport:
+    """Result of inserting files until the network is saturated."""
+
+    inserted: int = 0
+    rejected: int = 0
+    utilization_curve: List[Tuple[float, float]] = field(default_factory=list)
+    # (global utilization, cumulative reject ratio) samples
+    rejected_sizes: List[int] = field(default_factory=list)
+    accepted_sizes: List[int] = field(default_factory=list)
+    diversion_attempts: List[int] = field(default_factory=list)
+
+    @property
+    def reject_ratio(self) -> float:
+        total = self.inserted + self.rejected
+        return self.rejected / total if total else 0.0
+
+    def reject_ratio_at_utilization(self, target: float) -> Optional[float]:
+        """Cumulative reject ratio when utilization first crossed *target*
+        (how the companion paper reports '>95% utilization, <5% rejects')."""
+        for utilization, ratio in self.utilization_curve:
+            if utilization >= target:
+                return ratio
+        return None
+
+
+def fill_network(
+    network: PastNetwork,
+    sizes: FileSizeDistribution,
+    rng: random.Random,
+    replication_factor: int = 3,
+    stop_reject_ratio: float = 0.5,
+    min_attempts: int = 200,
+    sample_every: int = 25,
+    max_attempts: int = 200_000,
+) -> FillReport:
+    """Insert files until the recent reject ratio exceeds
+    *stop_reject_ratio* -- the insert-to-exhaustion driver of E9/E10."""
+    client = network.create_client(usage_quota=1 << 62)
+    report = FillReport()
+    recent: List[bool] = []
+    serial = 0
+    while serial < max_attempts:
+        serial += 1
+        size = sizes.sample(rng)
+        data = SyntheticData(seed=serial, size=size)
+        try:
+            handle = client.insert(f"fill-{serial}", data, replication_factor)
+            report.inserted += 1
+            report.accepted_sizes.append(size)
+            report.diversion_attempts.append(handle.attempts)
+            recent.append(True)
+        except InsertRejectedError:
+            report.rejected += 1
+            report.rejected_sizes.append(size)
+            recent.append(False)
+        if len(recent) > 100:
+            recent.pop(0)
+        if serial % sample_every == 0:
+            utilization = network.utilization()["global_utilization"]
+            report.utilization_curve.append((utilization, report.reject_ratio))
+        if (
+            serial >= min_attempts
+            and len(recent) == 100
+            and recent.count(False) / 100 >= stop_reject_ratio
+        ):
+            break
+    return report
+
+
+def make_storage_network(
+    n: int,
+    seed: int,
+    policy: StoragePolicy,
+    capacity_fn: Callable[[random.Random], int],
+    cache_policy: str = "none",
+    method: str = "join",
+) -> PastNetwork:
+    """A deterministic PAST deployment for the storage experiments."""
+    network = PastNetwork(
+        rngs=RngRegistry(seed),
+        storage_policy=policy,
+        cache_policy=cache_policy,
+    )
+    network.build(n, capacity_fn=capacity_fn, method=method)
+    return network

@@ -1,0 +1,25 @@
+"""Baseline peer-to-peer location schemes (section 3, Related work).
+
+Implemented for the comparison benchmark (E13):
+
+* :mod:`repro.baselines.chord` -- Chord: numeric-difference routing with
+  finger tables; O(log N) hops, no locality awareness.
+* :mod:`repro.baselines.can_routing` -- CAN: greedy routing in a
+  d-dimensional torus of zones; O(d N^(1/d)) hops, constant state.
+* :mod:`repro.baselines.flooding` -- Gnutella-style TTL-bounded flooding:
+  no guarantees, message cost explodes with coverage.
+* :mod:`repro.baselines.central_index` -- Napster-style central index:
+  constant-hop lookups, single point of failure.
+"""
+
+from repro.baselines.can_routing import CanNetwork
+from repro.baselines.central_index import CentralIndexNetwork
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.flooding import FloodingNetwork
+
+__all__ = [
+    "ChordNetwork",
+    "CanNetwork",
+    "FloodingNetwork",
+    "CentralIndexNetwork",
+]

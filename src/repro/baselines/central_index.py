@@ -1,0 +1,75 @@
+"""Napster-style central index -- the centralised baseline.
+
+A single index server maps every file to its holders; a lookup is one
+query to the server plus a direct fetch.  Constant cost -- and a single
+point of failure, which is why the paper calls Napster "not a pure
+peer-to-peer system".  The benchmark kills the server to show the
+availability cliff that PAST's decentralisation avoids.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+class IndexUnavailableError(RuntimeError):
+    """The central index is down; every lookup in the system fails."""
+
+
+@dataclass
+class CentralLookupResult:
+    found: bool
+    messages: int
+    holder: Optional[int]
+
+
+class CentralIndexNetwork:
+    """Peers plus one index server."""
+
+    def __init__(self) -> None:
+        self.peers: Set[int] = set()
+        self._index: Dict[int, List[int]] = {}
+        self.server_alive = True
+
+    def build(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("need at least one peer")
+        self.peers = set(range(n))
+
+    def publish(self, file_id: int, node_id: int) -> None:
+        """A peer registers a file with the index (one message)."""
+        if node_id not in self.peers:
+            raise ValueError("unknown peer")
+        if not self.server_alive:
+            raise IndexUnavailableError("cannot publish: index server down")
+        self._index.setdefault(file_id, []).append(node_id)
+
+    def kill_server(self) -> None:
+        self.server_alive = False
+
+    def restore_server(self) -> None:
+        self.server_alive = True
+
+    def lookup(self, file_id: int, origin: int, rng: random.Random) -> CentralLookupResult:
+        """Query the index (2 messages), then fetch from a holder (2
+        messages).  Raises when the server is down -- the whole system's
+        lookups fail together."""
+        if origin not in self.peers:
+            raise ValueError("unknown peer")
+        if not self.server_alive:
+            raise IndexUnavailableError("index server down")
+        holders = [h for h in self._index.get(file_id, []) if h in self.peers]
+        if not holders:
+            return CentralLookupResult(found=False, messages=2, holder=None)
+        holder = rng.choice(holders)
+        return CentralLookupResult(found=True, messages=4, holder=holder)
+
+    def average_state_size(self) -> float:
+        """Peers hold one reference (the server); the server holds the
+        whole index.  This asymmetry is the scalability argument."""
+        if not self.peers:
+            return 0.0
+        index_entries = sum(len(h) for h in self._index.values())
+        return (len(self.peers) * 1 + index_entries) / (len(self.peers) + 1)

@@ -1,0 +1,159 @@
+"""Chord (Stoica et al., SIGCOMM 2001) -- the numeric-difference baseline.
+
+Each node keeps a finger table: finger[i] is the first node whose id
+succeeds ``n + 2^i`` on the ring, plus a successor list.  Lookups walk
+greedily via the closest *preceding* finger until the key falls between a
+node and its successor.  Hop count is O(log2 N) -- about ``0.5 log2 N``
+expected -- versus Pastry's ``log_2^b N``; Chord makes no attempt at
+network locality, which is the contrast benchmark E13 draws.
+
+The overlay is built directly from global membership (the equivalent of
+Pastry's oracle bootstrap) since the comparison concerns routing state
+and hop counts, not arrival protocols.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ChordRouteResult:
+    key: int
+    path: List[int]
+    delivered: bool
+
+    @property
+    def hops(self) -> int:
+        return max(len(self.path) - 1, 0)
+
+    @property
+    def destination(self) -> Optional[int]:
+        return self.path[-1] if self.delivered else None
+
+
+@dataclass
+class ChordNode:
+    node_id: int
+    fingers: List[int] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessor: int = 0
+
+    def state_size(self) -> int:
+        """Distinct node references held (comparable to Pastry's C2)."""
+        return len(set(self.fingers) | set(self.successors) | {self.predecessor})
+
+
+class ChordNetwork:
+    """A Chord ring over an m-bit identifier space."""
+
+    def __init__(self, bits: int = 128, successor_count: int = 16) -> None:
+        if bits < 8:
+            raise ValueError("identifier space too small")
+        if successor_count < 1:
+            raise ValueError("need at least one successor")
+        self.bits = bits
+        self.size = 1 << bits
+        self.successor_count = successor_count
+        self.nodes: Dict[int, ChordNode] = {}
+        self._sorted: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def build(self, n: int, rng: random.Random) -> None:
+        """Create n nodes with random ids and exact finger tables."""
+        if n < 1:
+            raise ValueError("need at least one node")
+        while len(self.nodes) < n:
+            node_id = rng.getrandbits(self.bits)
+            if node_id not in self.nodes:
+                self.nodes[node_id] = ChordNode(node_id)
+        self._sorted = sorted(self.nodes)
+        for node in self.nodes.values():
+            self._fill_state(node)
+
+    def _successor_of(self, value: int) -> int:
+        """First node id clockwise from *value* (inclusive)."""
+        index = bisect.bisect_left(self._sorted, value % self.size)
+        return self._sorted[index % len(self._sorted)]
+
+    def _fill_state(self, node: ChordNode) -> None:
+        node.fingers = [
+            self._successor_of(node.node_id + (1 << i)) for i in range(self.bits)
+        ]
+        index = bisect.bisect_right(self._sorted, node.node_id)
+        count = min(self.successor_count, len(self._sorted) - 1)
+        node.successors = [
+            self._sorted[(index + j) % len(self._sorted)] for j in range(count)
+        ]
+        pred_index = (bisect.bisect_left(self._sorted, node.node_id) - 1) % len(self._sorted)
+        node.predecessor = self._sorted[pred_index]
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def _in_interval_open_closed(self, value: int, low: int, high: int) -> bool:
+        """value in (low, high] on the ring."""
+        if low == high:
+            return True  # whole ring
+        span = (high - low) % self.size
+        offset = (value - low) % self.size
+        return 0 < offset <= span
+
+    def _closest_preceding(self, node: ChordNode, key: int) -> Optional[int]:
+        """The finger most closely preceding *key* (Chord's greedy step)."""
+        best = None
+        best_offset = -1
+        for finger in set(node.fingers) | set(node.successors):
+            if finger == node.node_id:
+                continue
+            # finger in (node, key]: it precedes (or owns) the key, so
+            # jumping there makes clockwise progress without overshooting.
+            if self._in_interval_open_closed(finger, node.node_id, key):
+                offset = (finger - node.node_id) % self.size
+                if offset > best_offset:
+                    best_offset = offset
+                    best = finger
+        return best
+
+    def route(self, key: int, origin: int, max_hops: Optional[int] = None) -> ChordRouteResult:
+        """Route to the key's successor node (the node that owns the key)."""
+        if origin not in self.nodes:
+            raise ValueError("unknown origin")
+        if max_hops is None:
+            max_hops = 4 * self.bits
+        key %= self.size
+        owner = self._successor_of(key)
+        current = self.nodes[origin]
+        path = [origin]
+        while True:
+            if current.node_id == owner:
+                return ChordRouteResult(key=key, path=path, delivered=True)
+            # Deliver when the key lies in (current, successor]: the
+            # successor owns it.
+            successor = current.successors[0] if current.successors else current.node_id
+            if self._in_interval_open_closed(key, current.node_id, successor):
+                path.append(successor)
+                return ChordRouteResult(key=key, path=path, delivered=True)
+            next_hop = self._closest_preceding(current, key)
+            if next_hop is None or next_hop == current.node_id:
+                next_hop = successor
+            path.append(next_hop)
+            if len(path) - 1 > max_hops:
+                return ChordRouteResult(key=key, path=path, delivered=False)
+            current = self.nodes[next_hop]
+
+    def owner_of(self, key: int) -> int:
+        """Ground truth: the node responsible for *key*."""
+        return self._successor_of(key % self.size)
+
+    def average_state_size(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return sum(n.state_size() for n in self.nodes.values()) / len(self.nodes)

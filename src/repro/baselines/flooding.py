@@ -1,0 +1,117 @@
+"""Gnutella-style flooding -- the no-structure baseline.
+
+Nodes form an unstructured random graph; a lookup floods a query with a
+TTL.  Files live on the nodes that inserted them (no placement rule), so
+there is no routing to speak of: coverage -- and therefore success
+probability -- is bought with exponentially growing message counts.
+This is the contrast the paper draws in section 3: earlier peer-to-peer
+systems offer "no definite answer in a bounded number of hops".
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class FloodResult:
+    """Outcome of one flooded query."""
+
+    found: bool
+    messages: int
+    hops_to_hit: Optional[int]  # hop count of the first copy found
+    nodes_reached: int
+
+
+@dataclass
+class FloodingNode:
+    node_id: int
+    neighbours: List[int] = field(default_factory=list)
+    files: Set[int] = field(default_factory=set)
+
+
+class FloodingNetwork:
+    """An unstructured overlay with TTL-flooded queries."""
+
+    def __init__(self, degree: int = 4) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.nodes: Dict[int, FloodingNode] = {}
+
+    def build(self, n: int, rng: random.Random) -> None:
+        """A connected random graph: ring + random chords (Gnutella
+        crawls show a similar small-world shape)."""
+        if n < 2:
+            raise ValueError("need at least two nodes")
+        for node_id in range(n):
+            self.nodes[node_id] = FloodingNode(node_id)
+        ids = list(self.nodes)
+        for index, node_id in enumerate(ids):
+            self._connect(node_id, ids[(index + 1) % n])
+        for node_id in ids:
+            while len(self.nodes[node_id].neighbours) < self.degree:
+                other = rng.choice(ids)
+                if other != node_id:
+                    self._connect(node_id, other)
+
+    def _connect(self, a: int, b: int) -> None:
+        if b not in self.nodes[a].neighbours:
+            self.nodes[a].neighbours.append(b)
+        if a not in self.nodes[b].neighbours:
+            self.nodes[b].neighbours.append(a)
+
+    def place_file(self, file_id: int, node_id: int, replicas: int = 1,
+                   rng: Optional[random.Random] = None) -> List[int]:
+        """Place a file on *node_id* plus (replicas - 1) random others --
+        unstructured systems replicate by popularity, not by rule."""
+        holders = [node_id]
+        if replicas > 1:
+            if rng is None:
+                raise ValueError("extra replicas need an rng")
+            pool = [n for n in self.nodes if n != node_id]
+            holders.extend(rng.sample(pool, min(replicas - 1, len(pool))))
+        for holder in holders:
+            self.nodes[holder].files.add(file_id)
+        return holders
+
+    def query(self, file_id: int, origin: int, ttl: int) -> FloodResult:
+        """Breadth-first flood with the given TTL; every edge traversal
+        is one message."""
+        if origin not in self.nodes:
+            raise ValueError("unknown origin")
+        if ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        visited: Set[int] = {origin}
+        queue = deque([(origin, 0)])
+        messages = 0
+        hops_to_hit: Optional[int] = None
+        while queue:
+            node_id, depth = queue.popleft()
+            node = self.nodes[node_id]
+            if file_id in node.files and hops_to_hit is None:
+                hops_to_hit = depth
+                # The real protocol keeps flooding (other branches are
+                # already in flight); we do too, so message counts are
+                # honest rather than best-case.
+            if depth >= ttl:
+                continue
+            for neighbour in node.neighbours:
+                messages += 1  # the query copy sent over this edge
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    queue.append((neighbour, depth + 1))
+        return FloodResult(
+            found=hops_to_hit is not None,
+            messages=messages,
+            hops_to_hit=hops_to_hit,
+            nodes_reached=len(visited),
+        )
+
+    def average_state_size(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return sum(len(n.neighbours) for n in self.nodes.values()) / len(self.nodes)

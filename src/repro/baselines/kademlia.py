@@ -1,0 +1,147 @@
+"""Kademlia (Maymounkov & Mazieres, 2002) -- the XOR-metric baseline.
+
+Included alongside Chord/CAN because it became the dominant deployed DHT
+(BitTorrent, IPFS/libp2p) of the design family the paper helped start.
+Each node keeps k-buckets: for each bit position i, up to ``bucket_size``
+contacts whose ids share exactly an i-bit prefix with the node's id.
+Lookups are iterative: the querying node repeatedly asks the
+``alpha`` closest known contacts for *their* closest contacts until the
+closest node to the target stops improving.
+
+Metrics reported in benchmark E13x: lookup hop count (iterations of the
+query loop), total messages (each probed contact costs one
+request/response), and per-node state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class KademliaNode:
+    node_id: int
+    buckets: List[List[int]] = field(default_factory=list)
+
+    def contacts(self) -> Set[int]:
+        return {c for bucket in self.buckets for c in bucket}
+
+    def state_size(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets)
+
+
+@dataclass
+class KademliaLookupResult:
+    target: int
+    found: int
+    iterations: int
+    messages: int
+
+    @property
+    def hops(self) -> int:
+        return self.iterations
+
+
+class KademliaNetwork:
+    """A Kademlia overlay with exact bucket construction."""
+
+    def __init__(self, bits: int = 128, bucket_size: int = 20, alpha: int = 3) -> None:
+        if bits < 8:
+            raise ValueError("identifier space too small")
+        if bucket_size < 1 or alpha < 1:
+            raise ValueError("bucket_size and alpha must be >= 1")
+        self.bits = bits
+        self.bucket_size = bucket_size
+        self.alpha = alpha
+        self.nodes: Dict[int, KademliaNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def build(self, n: int, rng: random.Random) -> None:
+        """Create n nodes and fill each node's k-buckets from the global
+        membership (the steady state a long-running network converges to)."""
+        if n < 1:
+            raise ValueError("need at least one node")
+        while len(self.nodes) < n:
+            node_id = rng.getrandbits(self.bits)
+            if node_id not in self.nodes:
+                self.nodes[node_id] = KademliaNode(node_id)
+        ids = list(self.nodes)
+        for node in self.nodes.values():
+            node.buckets = [[] for _ in range(self.bits)]
+            for other in ids:
+                if other == node.node_id:
+                    continue
+                index = self._bucket_index(node.node_id, other)
+                bucket = node.buckets[index]
+                if len(bucket) < self.bucket_size:
+                    bucket.append(other)
+
+    def _bucket_index(self, a: int, b: int) -> int:
+        """Index of the k-bucket of *a* that holds *b*: the position of
+        the most significant differing bit."""
+        distance = a ^ b
+        return distance.bit_length() - 1
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    def owner_of(self, target: int) -> int:
+        """Ground truth: the node with minimal XOR distance to *target*."""
+        return min(self.nodes, key=lambda n: n ^ target)
+
+    def _closest_known(self, node: KademliaNode, target: int, count: int) -> List[int]:
+        return sorted(node.contacts(), key=lambda c: c ^ target)[:count]
+
+    def lookup(self, target: int, origin: int, max_iterations: Optional[int] = None) -> KademliaLookupResult:
+        """Iterative node lookup as in the Kademlia paper.
+
+        The querier maintains a shortlist of the closest contacts seen,
+        probes the alpha closest unprobed ones each iteration (each probe
+        returning that node's closest contacts), and stops when an
+        iteration fails to improve the closest known node.
+        """
+        if origin not in self.nodes:
+            raise ValueError("unknown origin")
+        if max_iterations is None:
+            max_iterations = 4 * self.bits
+        origin_node = self.nodes[origin]
+        shortlist: Set[int] = set(self._closest_known(origin_node, target, self.bucket_size))
+        shortlist.add(origin)
+        probed: Set[int] = {origin}
+        messages = 0
+        iterations = 0
+        best = min(shortlist, key=lambda c: c ^ target)
+        while iterations < max_iterations:
+            candidates = sorted(
+                (c for c in shortlist if c not in probed),
+                key=lambda c: c ^ target,
+            )[: self.alpha]
+            if not candidates:
+                break
+            iterations += 1
+            improved = False
+            for contact in candidates:
+                probed.add(contact)
+                messages += 2  # FIND_NODE request + reply
+                learned = self._closest_known(self.nodes[contact], target, self.bucket_size)
+                shortlist.update(learned)
+            new_best = min(shortlist, key=lambda c: c ^ target)
+            if (new_best ^ target) < (best ^ target):
+                best = new_best
+                improved = True
+            if not improved:
+                break
+        return KademliaLookupResult(
+            target=target, found=best, iterations=iterations, messages=messages
+        )
+
+    def average_state_size(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return sum(n.state_size() for n in self.nodes.values()) / len(self.nodes)

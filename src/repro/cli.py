@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, self-contained demos and measurements runnable without writing
+any code -- the kind of smoke tooling a downstream user reaches for
+first:
+
+* ``demo``        -- build a network, insert/lookup/reclaim, narrated;
+* ``route``       -- build an overlay and trace one routed message;
+* ``hops``        -- the E1 measurement at chosen sizes;
+* ``fill``        -- the E9 insert-to-exhaustion measurement, compact;
+* ``churn``       -- the E15 availability measurement for one k.
+
+Every command takes ``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    build_pastry,
+    expected_hop_bound,
+    fill_network,
+    make_storage_network,
+    sample_lookups,
+)
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.core.churn_sim import ChurnSimulation
+from repro.core.files import RealData, SyntheticData
+from repro.core.network import PastNetwork
+from repro.core.storage_manager import StoragePolicy
+from repro.sim.rng import RngRegistry
+from repro.workloads.capacities import bounded_normal_capacities
+from repro.workloads.filesizes import TraceLikeSizes
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    network = PastNetwork(rngs=RngRegistry(args.seed))
+    network.build(args.nodes, method="join", capacity_fn=lambda r: 1_000_000)
+    print(f"built a {network.pastry.live_count()}-node PAST network")
+    alice = network.create_client(usage_quota=100_000)
+    handle = alice.insert("demo.txt", RealData(b"stored by the repro CLI"), 3)
+    print(f"inserted fileId {handle.file_id:040x} "
+          f"({len(handle.receipts)} replicas, quota used {alice.card.quota_used})")
+    bob = network.create_client(usage_quota=0)
+    result = bob.lookup_verbose(handle.file_id)
+    print(f"lookup: {result.data.to_bytes()!r} in {result.hops} hops "
+          f"from a {result.response.source}")
+    credited = alice.reclaim(handle)
+    print(f"reclaimed; {credited} bytes credited back")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    network = build_pastry(args.nodes, seed=args.seed, method="oracle")
+    rng = random.Random(args.seed)
+    key = network.space.random_id(rng)
+    origin = rng.choice(network.live_ids())
+    result = network.route(key, origin)
+    fmt = network.space.format_id
+    print(f"key    {fmt(key)}")
+    print(f"origin {fmt(origin)}")
+    for index, hop in enumerate(result.path):
+        prefix = network.space.shared_prefix_length(hop, key)
+        marker = "->" if index else "  "
+        print(f" {marker} {fmt(hop)}  (shared prefix {prefix} digits)")
+    print(f"delivered at the root in {result.hops} hops "
+          f"(bound {expected_hop_bound(args.nodes, network.space.b)})")
+    return 0
+
+
+def _cmd_hops(args: argparse.Namespace) -> int:
+    rows = []
+    for n in args.sizes:
+        network = build_pastry(n, seed=args.seed + n, method="oracle")
+        rng = random.Random(n)
+        hops = []
+        for key, origin in sample_lookups(network, args.lookups, rng):
+            result = network.route(key, origin)
+            hops.append(result.hops)
+        rows.append([n, round(mean(hops), 3), expected_hop_bound(n, 4)])
+    print(format_table(["N", "mean hops", "bound"], rows,
+                       title="routing hops vs N"))
+    return 0
+
+
+def _cmd_fill(args: argparse.Namespace) -> int:
+    network = make_storage_network(
+        args.nodes, seed=args.seed, policy=StoragePolicy(),
+        capacity_fn=bounded_normal_capacities(args.capacity),
+        cache_policy="none",
+    )
+    report = fill_network(
+        network, TraceLikeSizes(), random.Random(args.seed), replication_factor=3
+    )
+    utilization = network.utilization()["global_utilization"]
+    at95 = report.reject_ratio_at_utilization(0.95)
+    print(f"inserted {report.inserted}, rejected {report.rejected}")
+    print(f"final utilization {100 * utilization:.1f}%")
+    print("reject ratio at 95% utilization: "
+          + (f"{100 * at95:.1f}%" if at95 is not None else "never reached"))
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    network = PastNetwork(rngs=RngRegistry(args.seed))
+    network.build(args.nodes, method="join", capacity_fn=lambda r: 1 << 22)
+    client = network.create_client(usage_quota=1 << 40)
+    handles = [
+        client.insert(f"f{i}", SyntheticData(i, 1500), replication_factor=args.k)
+        for i in range(args.files)
+    ]
+    simulation = ChurnSimulation(
+        network, handles, arrival_rate=args.rate, departure_rate=args.rate,
+        maintenance_interval=40.0, lookup_interval=1.0,
+    )
+    report = simulation.run(args.duration)
+    print(f"k={args.k}: availability {100 * report.availability:.2f}%, "
+          f"{report.files_lost} files lost, {report.departures} departures, "
+          f"{report.replicas_restored} replicas restored")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAST (HotOS 2001) reproduction -- demos and measurements",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="insert/lookup/reclaim walkthrough")
+    demo.add_argument("--nodes", type=int, default=64)
+    demo.set_defaults(handler=_cmd_demo)
+
+    route = commands.add_parser("route", help="trace one routed message")
+    route.add_argument("--nodes", type=int, default=500)
+    route.set_defaults(handler=_cmd_route)
+
+    hops = commands.add_parser("hops", help="mean routing hops vs N")
+    hops.add_argument("--sizes", type=int, nargs="+", default=[256, 1024, 4096])
+    hops.add_argument("--lookups", type=int, default=500)
+    hops.set_defaults(handler=_cmd_hops)
+
+    fill = commands.add_parser("fill", help="storage utilization to exhaustion")
+    fill.add_argument("--nodes", type=int, default=60)
+    fill.add_argument("--capacity", type=int, default=8_000_000,
+                      help="mean node capacity in bytes")
+    fill.set_defaults(handler=_cmd_fill)
+
+    churn = commands.add_parser("churn", help="availability under churn")
+    churn.add_argument("--nodes", type=int, default=50)
+    churn.add_argument("--files", type=int, default=25)
+    churn.add_argument("--k", type=int, default=3)
+    churn.add_argument("--rate", type=float, default=0.06)
+    churn.add_argument("--duration", type=float, default=300.0)
+    churn.set_defaults(handler=_cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""PAST: the storage utility itself (the paper's primary contribution).
+
+Layered on the Pastry substrate:
+
+* identifiers and certificates (sections 1-2): 160-bit fileIds from
+  hash(name, owner key, salt); signed file certificates, store receipts,
+  reclaim certificates and receipts;
+* smartcards and brokers (section 2.1): quota bookkeeping, certified
+  nodeIds, unforgeable certificates, random storage audits;
+* storage management (section 2.3 / SOSP'01): per-node stores with an
+  acceptance policy, replica diversion within the leaf set, file
+  diversion by re-salting, and GreedyDual-Size caching along routes;
+* the node and network glue: insert / lookup / reclaim with k-way
+  replication on the nodes whose nodeIds are numerically closest to the
+  fileId, lookups satisfied by the first replica or cached copy on the
+  route.
+"""
+
+from repro.core.broker import Broker
+from repro.core.certificates import (
+    FileCertificate,
+    ReclaimCertificate,
+    ReclaimReceipt,
+    StoreReceipt,
+)
+from repro.core.client import PastClient
+from repro.core.errors import (
+    CertificateError,
+    DuplicateFileError,
+    InsertRejectedError,
+    LookupFailedError,
+    PastError,
+    QuotaExceededError,
+    ReclaimDeniedError,
+)
+from repro.core.files import FileData, SyntheticData
+from repro.core.ids import make_file_id, storage_key
+from repro.core.network import PastNetwork
+from repro.core.node import PastNode
+from repro.core.smartcard import SmartCard
+from repro.core.storage_manager import StoragePolicy
+
+__all__ = [
+    "Broker",
+    "FileCertificate",
+    "StoreReceipt",
+    "ReclaimCertificate",
+    "ReclaimReceipt",
+    "PastClient",
+    "PastError",
+    "QuotaExceededError",
+    "InsertRejectedError",
+    "LookupFailedError",
+    "DuplicateFileError",
+    "ReclaimDeniedError",
+    "CertificateError",
+    "FileData",
+    "SyntheticData",
+    "make_file_id",
+    "storage_key",
+    "PastNetwork",
+    "PastNode",
+    "SmartCard",
+    "StoragePolicy",
+]

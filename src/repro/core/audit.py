@@ -1,0 +1,109 @@
+"""Random storage audits (section 2.1, Storage quotas).
+
+"Nodes are randomly audited to see if they can produce files they are
+supposed to store, thus exposing nodes that cheat by offering less
+storage than indicated by their smartcard."
+
+The auditor draws a random (node, fileId) pair from the files the node is
+*supposed* to hold, challenges the node with a fresh nonce, and compares
+the node's answer with one recomputed from a reference copy held by a
+different replica of the same file.  A node that discarded content cannot
+answer; a node that fabricates an answer fails the comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, TYPE_CHECKING
+
+from repro.crypto.hashing import sha1_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import PastNetwork
+
+AUDIT_PREFIX_BYTES = 4096
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit round."""
+
+    challenges: int = 0
+    passed: int = 0
+    failed: int = 0
+    exposed_nodes: Set[int] = field(default_factory=set)
+
+
+class Auditor:
+    """Issues random audit challenges across the network."""
+
+    def __init__(self, network: "PastNetwork", rng: Optional[random.Random] = None) -> None:
+        self.network = network
+        self._rng = rng if rng is not None else network.rngs.stream("auditor")
+
+    def _expected_answer(self, file_id: int, nonce: int, exclude_node: int) -> Optional[int]:
+        """Recompute the challenge answer from any other live replica."""
+        record = self.network.files.get(file_id)
+        if record is None:
+            return None
+        for holder_id in sorted(record.holders):
+            node = self.network.past_node(holder_id)
+            if node is None or not node.pastry.alive:
+                continue
+            # Follow a diversion pointer to the actual content holder.
+            actual = node
+            if file_id not in node.store and node.store.pointer(file_id) is not None:
+                actual = self.network.past_node(node.store.pointer(file_id))
+                if actual is None or not actual.pastry.alive:
+                    continue
+            if actual.node_id == exclude_node:
+                continue
+            replica = actual.store.get(file_id)
+            if replica is not None and replica.data is not None:
+                return sha1_id(
+                    replica.data.prefix_bytes(AUDIT_PREFIX_BYTES),
+                    nonce.to_bytes(16, "big"),
+                    bits=160,
+                )
+        return None
+
+    def audit_node(self, node_id: int, samples: int = 4) -> AuditReport:
+        """Challenge one node on up to *samples* of its stored files."""
+        report = AuditReport()
+        node = self.network.past_node(node_id)
+        if node is None or not node.pastry.alive:
+            return report
+        stored = node.store.file_ids()
+        if not stored:
+            return report
+        chosen = self._rng.sample(stored, min(samples, len(stored)))
+        for file_id in chosen:
+            nonce = self._rng.getrandbits(128)
+            expected = self._expected_answer(file_id, nonce, exclude_node=node_id)
+            if expected is None:
+                continue  # no independent reference replica; skip
+            report.challenges += 1
+            self.network.pastry.count_message("audit", 2)  # challenge + answer
+            answer = node.audit_challenge(file_id, nonce)
+            if answer == expected:
+                report.passed += 1
+            else:
+                report.failed += 1
+                report.exposed_nodes.add(node_id)
+        return report
+
+    def audit_round(self, node_fraction: float = 0.1, samples: int = 4) -> AuditReport:
+        """Audit a random fraction of live nodes; merge the reports."""
+        if not 0.0 < node_fraction <= 1.0:
+            raise ValueError("node_fraction must be in (0, 1]")
+        live = self.network.pastry.live_ids()
+        count = max(1, int(len(live) * node_fraction))
+        merged = AuditReport()
+        for node_id in self._rng.sample(live, count):
+            partial = self.audit_node(node_id, samples)
+            merged.challenges += partial.challenges
+            merged.passed += partial.passed
+            merged.failed += partial.failed
+            merged.exposed_nodes |= partial.exposed_nodes
+        return merged

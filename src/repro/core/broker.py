@@ -1,0 +1,138 @@
+"""The broker: a third party that issues smartcards (section 2.1).
+
+The broker is *not* involved in the operation of the PAST network.  Its
+knowledge is limited to the number of smartcards it has circulated, their
+quotas and expiration dates -- exactly the state this class keeps.  Its
+one system-level responsibility is balancing storage supply and demand:
+the sum of all client quotas (potential demand) against the total storage
+contributed by node cards (supply).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.smartcard import CardCertificate, SmartCard
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+
+DEFAULT_CARD_LIFETIME = 365  # days; cards are replaced periodically
+
+
+class Broker:
+    """Issues and certifies smartcards; tracks aggregate supply/demand."""
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        key_backend: str = "rsa",
+        target_supply_margin: float = 1.0,
+    ) -> None:
+        """*target_supply_margin* is the minimum supply/demand ratio the
+        broker tries to maintain; below it, :meth:`can_issue_quota`
+        refuses further usage quota until more storage is contributed."""
+        if target_supply_margin <= 0:
+            raise ValueError("supply margin must be positive")
+        self._rng = rng if rng is not None else random.Random()
+        self._key_backend = key_backend
+        self._keypair: KeyPair = generate_keypair(self._rng, backend=key_backend)
+        self.target_supply_margin = target_supply_margin
+        self.cards_issued = 0
+        self.total_quota_issued = 0
+        self.total_contribution = 0
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The key every node uses to verify card certifications."""
+        return self._keypair.public
+
+    # ------------------------------------------------------------------ #
+    # supply / demand
+    # ------------------------------------------------------------------ #
+
+    def supply_demand_ratio(self) -> float:
+        """Contributed storage over issued quota (inf when no demand)."""
+        if self.total_quota_issued == 0:
+            return float("inf")
+        return self.total_contribution / self.total_quota_issued
+
+    def can_issue_quota(self, usage_quota: int, contributed_storage: int) -> bool:
+        """Would issuing this card keep supply/demand above the margin?
+
+        A card that contributes at least as much as it consumes is always
+        issuable ("users are allowed to use as much storage as they
+        contribute").
+        """
+        if usage_quota <= contributed_storage:
+            return True
+        demand = self.total_quota_issued + usage_quota
+        supply = self.total_contribution + contributed_storage
+        if demand == 0:
+            return True
+        return supply / demand >= self.target_supply_margin
+
+    # ------------------------------------------------------------------ #
+    # card issuance
+    # ------------------------------------------------------------------ #
+
+    def issue_card(
+        self,
+        usage_quota: int,
+        contributed_storage: int = 0,
+        now: int = 0,
+        lifetime: int = DEFAULT_CARD_LIFETIME,
+        enforce_balance: bool = True,
+    ) -> SmartCard:
+        """Mint and certify a new smartcard.
+
+        The broker records only the aggregate quota/contribution -- it
+        learns nothing about the user's identity or files (pseudonymity,
+        section 2.1).
+        """
+        if enforce_balance and not self.can_issue_quota(usage_quota, contributed_storage):
+            raise ValueError(
+                "issuing this quota would unbalance storage supply and demand "
+                f"(ratio would fall below {self.target_supply_margin})"
+            )
+        keypair = generate_keypair(self._rng, backend=self._key_backend)
+        certificate = CardCertificate.issue(
+            self._keypair,
+            keypair.public,
+            usage_quota=usage_quota,
+            contributed_storage=contributed_storage,
+            expiry=now + lifetime,
+        )
+        card = SmartCard(
+            keypair,
+            usage_quota=usage_quota,
+            contributed_storage=contributed_storage,
+            certificate=certificate,
+        )
+        self.cards_issued += 1
+        self.total_quota_issued += usage_quota
+        self.total_contribution += contributed_storage
+        return card
+
+    def certify_key(
+        self,
+        public_key: "PublicKey",
+        usage_quota: int,
+        contributed_storage: int = 0,
+        now: int = 0,
+        lifetime: int = DEFAULT_CARD_LIFETIME,
+    ) -> CardCertificate:
+        """Certify an externally held key (used by the on-line quota
+        service, whose signing key lives at the service, not in a card)."""
+        return CardCertificate.issue(
+            self._keypair,
+            public_key,
+            usage_quota=usage_quota,
+            contributed_storage=contributed_storage,
+            expiry=now + lifetime,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Broker(cards={self.cards_issued}, quota={self.total_quota_issued}, "
+            f"contribution={self.total_contribution})"
+        )

@@ -1,0 +1,241 @@
+"""File caching on the routing path (section 2.3).
+
+Any PAST node may cache additional copies of files in the *unused*
+portion of its advertised storage.  Cached copies are served to lookups
+that pass through the node, which balances query load for popular files
+and shortens fetch distance.  Cache space is strictly evictable: when the
+node needs room for a real replica, cached copies are discarded first.
+
+The default replacement policy is GreedyDual-Size (the policy the SOSP'01
+companion paper uses): each cached file gets a credit
+``H = cost/size + L`` where ``L`` is an inflation value equal to the ``H``
+of the last evicted entry; the entry with the lowest ``H`` is evicted
+first, and a hit refreshes the entry's ``H``.  With uniform cost this
+favours small and recently popular files.  An LRU variant and a no-op
+cache support the ablation benchmark (E12).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.certificates import FileCertificate
+from repro.core.files import FileData
+
+
+@dataclass
+class CacheEntry:
+    certificate: FileCertificate
+    data: Optional[FileData]
+
+    @property
+    def size(self) -> int:
+        return self.certificate.size
+
+
+class Cache(ABC):
+    """Interface all cache policies implement."""
+
+    def __init__(self) -> None:
+        self.used = 0
+        self.hits = 0
+        self.misses = 0
+
+    @abstractmethod
+    def get(self, file_id: int) -> Optional[CacheEntry]:
+        """Return and refresh a cached entry, or None (counts hit/miss)."""
+
+    @abstractmethod
+    def admit(self, certificate: FileCertificate, data: Optional[FileData],
+              budget: int) -> bool:
+        """Offer a file for caching with at most *budget* bytes of cache
+        space available (the node's unused storage).  The policy may evict
+        lower-value entries to make room.  Returns True if cached."""
+
+    @abstractmethod
+    def evict_bytes(self, needed: int) -> int:
+        """Evict entries until *needed* bytes have been freed (or the
+        cache is empty); returns bytes actually freed.  Called when the
+        node must reclaim cache space for a real replica."""
+
+    @abstractmethod
+    def __contains__(self, file_id: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class GreedyDualSizeCache(Cache):
+    """GreedyDual-Size with uniform cost.
+
+    Implemented with a lazy-deletion heap: stale heap records (whose H no
+    longer matches the entry's current H) are skipped on pop.
+    """
+
+    def __init__(self, max_fraction: float = 1.0) -> None:
+        """*max_fraction* caps a single cached file at that fraction of
+        the currently available cache budget (very large files are poor
+        cache citizens)."""
+        super().__init__()
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        self.max_fraction = max_fraction
+        self._entries: Dict[int, Tuple[CacheEntry, float]] = {}  # id -> (entry, H)
+        self._heap: list = []  # (H, seq, file_id)
+        self._seq = itertools.count()
+        self._inflation = 0.0  # the L value
+
+    def _credit(self, size: int) -> float:
+        return self._inflation + 1.0 / max(size, 1)
+
+    def get(self, file_id: int) -> Optional[CacheEntry]:
+        record = self._entries.get(file_id)
+        if record is None:
+            self.misses += 1
+            return None
+        entry, _ = record
+        refreshed = self._credit(entry.size)
+        self._entries[file_id] = (entry, refreshed)
+        heapq.heappush(self._heap, (refreshed, next(self._seq), file_id))
+        self.hits += 1
+        return entry
+
+    def admit(self, certificate: FileCertificate, data: Optional[FileData],
+              budget: int) -> bool:
+        file_id = certificate.file_id
+        if file_id in self._entries:
+            return True
+        size = certificate.size
+        if size <= 0 or size > budget * self.max_fraction:
+            return False
+        # Evict while the new entry does not fit in the budget.
+        while self.used + size > budget:
+            if not self._evict_one():
+                return False
+        credit = self._credit(size)
+        self._entries[file_id] = (CacheEntry(certificate, data), credit)
+        heapq.heappush(self._heap, (credit, next(self._seq), file_id))
+        self.used += size
+        return True
+
+    def _evict_one(self) -> bool:
+        while self._heap:
+            credit, _, file_id = heapq.heappop(self._heap)
+            record = self._entries.get(file_id)
+            if record is None or record[1] != credit:
+                continue  # stale heap record
+            entry, _ = record
+            del self._entries[file_id]
+            self.used -= entry.size
+            self._inflation = credit  # GD-S aging
+            return True
+        return False
+
+    def evict_bytes(self, needed: int) -> int:
+        freed = 0
+        while freed < needed and self._entries:
+            before = self.used
+            if not self._evict_one():
+                break
+            freed += before - self.used
+        return freed
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LruCache(Cache):
+    """Plain least-recently-used replacement (ablation comparator)."""
+
+    def __init__(self, max_fraction: float = 1.0) -> None:
+        super().__init__()
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        self.max_fraction = max_fraction
+        self._entries: "OrderedDict[int, CacheEntry]" = OrderedDict()
+
+    def get(self, file_id: int) -> Optional[CacheEntry]:
+        entry = self._entries.get(file_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(file_id)
+        self.hits += 1
+        return entry
+
+    def admit(self, certificate: FileCertificate, data: Optional[FileData],
+              budget: int) -> bool:
+        file_id = certificate.file_id
+        if file_id in self._entries:
+            self._entries.move_to_end(file_id)
+            return True
+        size = certificate.size
+        if size <= 0 or size > budget * self.max_fraction:
+            return False
+        while self.used + size > budget and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.used -= evicted.size
+        if self.used + size > budget:
+            return False
+        self._entries[file_id] = CacheEntry(certificate, data)
+        self.used += size
+        return True
+
+    def evict_bytes(self, needed: int) -> int:
+        freed = 0
+        while freed < needed and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.used -= evicted.size
+            freed += evicted.size
+        return freed
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class NoCache(Cache):
+    """Caching disabled (the baseline in benchmark E12)."""
+
+    def get(self, file_id: int) -> Optional[CacheEntry]:
+        self.misses += 1
+        return None
+
+    def admit(self, certificate: FileCertificate, data: Optional[FileData],
+              budget: int) -> bool:
+        return False
+
+    def evict_bytes(self, needed: int) -> int:
+        return 0
+
+    def __contains__(self, file_id: int) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+
+def make_cache(policy: str, max_fraction: float = 1.0) -> Cache:
+    """Factory: ``gds``, ``lru``, or ``none``."""
+    if policy == "gds":
+        return GreedyDualSizeCache(max_fraction)
+    if policy == "lru":
+        return LruCache(max_fraction)
+    if policy == "none":
+        return NoCache()
+    raise ValueError(f"unknown cache policy: {policy!r}")

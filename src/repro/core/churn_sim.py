@@ -1,0 +1,139 @@
+"""Event-driven churn scenarios.
+
+"Nodes ... may join the system at any time and may silently leave the
+system without warning" (abstract), and "the choice of a replication
+factor k must take into account the expected rate of transient storage
+node failures to ensure sufficient availability" (section 2.1).
+
+:class:`ChurnSimulation` drives a live PAST network on the discrete-event
+engine: Poisson node arrivals and silent departures, periodic
+failure-recovery (replica restoration) passes, and an ongoing lookup
+workload.  Benchmark E15 uses it to regenerate the availability-vs-k
+trade-off the paper's replication-factor guidance describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.client import FileHandle
+from repro.core.errors import LookupFailedError
+from repro.core.maintenance import replication_census, restore_replication
+from repro.core.network import PastNetwork
+from repro.pastry.failure import notify_leafset_of_failure
+from repro.sim.engine import SimulationEngine
+from repro.workloads.churn import ARRIVAL, poisson_churn_schedule
+
+
+@dataclass
+class ChurnReport:
+    """What happened over one simulated run."""
+
+    arrivals: int = 0
+    departures: int = 0
+    maintenance_passes: int = 0
+    replicas_restored: int = 0
+    lookups_attempted: int = 0
+    lookups_succeeded: int = 0
+    files_lost: int = 0
+    final_node_count: int = 0
+
+    @property
+    def availability(self) -> float:
+        if self.lookups_attempted == 0:
+            return 1.0
+        return self.lookups_succeeded / self.lookups_attempted
+
+
+class ChurnSimulation:
+    """One churned run over an existing network and file population."""
+
+    def __init__(
+        self,
+        network: PastNetwork,
+        handles: List[FileHandle],
+        rng: Optional[random.Random] = None,
+        arrival_rate: float = 0.02,
+        departure_rate: float = 0.02,
+        maintenance_interval: Optional[float] = 50.0,
+        lookup_interval: float = 1.0,
+        node_capacity: int = 1 << 22,
+        min_live_nodes: int = 8,
+    ) -> None:
+        """Rates are events per simulated time unit.  Setting
+        ``maintenance_interval`` to None disables failure recovery -- the
+        ablation that shows why the recovery procedure matters."""
+        self.network = network
+        self.handles = handles
+        self._rng = rng if rng is not None else network.rngs.stream("churn-sim")
+        self.arrival_rate = arrival_rate
+        self.departure_rate = departure_rate
+        self.maintenance_interval = maintenance_interval
+        self.lookup_interval = lookup_interval
+        self.node_capacity = node_capacity
+        self.min_live_nodes = min_live_nodes
+        self.report = ChurnReport()
+
+    # ------------------------------------------------------------------ #
+    # event actions
+    # ------------------------------------------------------------------ #
+
+    def _arrive(self) -> None:
+        self.network.add_storage_node(self.node_capacity, join=True)
+        self.report.arrivals += 1
+
+    def _depart(self) -> None:
+        live = self.network.pastry.live_ids()
+        if len(live) <= self.min_live_nodes:
+            return  # refuse to churn the network out of existence
+        victim = self._rng.choice(live)
+        self.network.pastry.mark_failed(victim)
+        # Silent departure: neighbours detect it via their keep-alive
+        # machinery; we apply the detection outcome directly.
+        notify_leafset_of_failure(self.network.pastry, victim)
+        self.report.departures += 1
+
+    def _maintain(self) -> None:
+        maintenance = restore_replication(self.network)
+        self.report.maintenance_passes += 1
+        self.report.replicas_restored += maintenance.replicas_restored
+
+    def _lookup(self) -> None:
+        if not self.handles:
+            return
+        handle = self._rng.choice(self.handles)
+        origin = self._rng.choice(self.network.pastry.live_ids())
+        reader = self.network.create_client(usage_quota=0, access_node=origin)
+        self.report.lookups_attempted += 1
+        try:
+            reader.lookup(
+                handle.file_id,
+                replica_hint=handle.certificate.replication_factor,
+            )
+            self.report.lookups_succeeded += 1
+        except LookupFailedError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # driver
+    # ------------------------------------------------------------------ #
+
+    def run(self, duration: float) -> ChurnReport:
+        """Run the scenario for *duration* simulated time units."""
+        engine = SimulationEngine()
+        for event in poisson_churn_schedule(
+            self._rng, duration, self.arrival_rate, self.departure_rate
+        ):
+            action = self._arrive if event.kind == ARRIVAL else self._depart
+            engine.schedule_at(event.time, action)
+        if self.maintenance_interval is not None:
+            engine.schedule_periodic(self.maintenance_interval, self._maintain)
+        engine.schedule_periodic(self.lookup_interval, self._lookup)
+        engine.run(until=duration)
+
+        census = replication_census(self.network)
+        self.report.files_lost = census["lost"]
+        self.report.final_node_count = self.network.pastry.live_count()
+        return self.report

@@ -1,0 +1,296 @@
+"""The client side of PAST: insert, lookup, reclaim.
+
+A client is a user holding a smartcard, attached to an access node (any
+PAST node can serve as one).  The client performs the user-side halves of
+the protocols:
+
+* **insert** -- obtain a file certificate from the card (debiting the
+  quota), route the insert to the fileId's root, and *verify the k store
+  receipts* (distinct storing nodes, signatures valid, consistent with
+  the certificate).  On failure, re-salt and retry: this is file
+  diversion (section 2.3).
+* **lookup** -- route towards the fileId, verify the returned certificate
+  and content hash (content authenticity, section 2.1), and let nodes on
+  the route cache the file on its way back.
+* **reclaim** -- obtain a reclaim certificate, route it, and credit the
+  returned reclaim receipts against the quota.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.certificates import FileCertificate, StoreReceipt
+from repro.core.errors import (
+    CertificateError,
+    DuplicateFileError,
+    InsertRejectedError,
+    LookupFailedError,
+    ReclaimDeniedError,
+)
+from repro.core.files import FileData
+from repro.core.ids import make_salt, storage_key
+from repro.core.messages import (
+    InsertOutcome,
+    InsertRequest,
+    LookupRequest,
+    LookupResponse,
+    ReclaimOutcome,
+    ReclaimRequest,
+)
+from repro.core.smartcard import SmartCard
+from repro.pastry.routing import RandomizedRouting, ReplicaAwareRouting
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import PastNetwork
+
+
+@dataclass
+class FileHandle:
+    """What an owner keeps after a successful insert: enough to look the
+    file up, share it (distribute the fileId), and reclaim it later."""
+
+    file_id: int
+    certificate: FileCertificate
+    receipts: List[StoreReceipt] = field(default_factory=list)
+    attempts: int = 1  # 1 = no file diversion was needed
+
+
+@dataclass
+class LookupResult:
+    """A verified lookup with routing diagnostics."""
+
+    data: FileData
+    response: LookupResponse
+    hops: int
+    path: List[int]
+
+
+class PastClient:
+    """One PAST user."""
+
+    def __init__(self, network: "PastNetwork", card: SmartCard, access_node: int) -> None:
+        self.network = network
+        self.card = card
+        self.access_node = access_node
+        # How many randomized re-routes a failed lookup attempts before
+        # giving up (section 2.2, fault tolerance).
+        self.lookup_retries = 8
+        self._rng = network.rngs.stream(f"client-{card.node_id():032x}")
+
+    # ------------------------------------------------------------------ #
+    # insert
+    # ------------------------------------------------------------------ #
+
+    def insert(self, name: str, data: FileData, replication_factor: int = 3) -> FileHandle:
+        """Insert a file, retrying with fresh salts (file diversion) up to
+        the policy limit.  Raises :class:`QuotaExceededError` if the card
+        refuses, :class:`InsertRejectedError` if the system cannot place
+        k replicas anywhere, :class:`DuplicateFileError` on a fileId
+        collision (re-inserting identical (name, owner, salt))."""
+        policy = self.network.policy
+        max_attempts = (
+            1 + policy.max_file_diversions if policy.enable_file_diversion else 1
+        )
+        self.network.inserts_attempted += 1
+        last_reason = "unknown"
+        for attempt in range(1, max_attempts + 1):
+            salt = make_salt(self._rng)
+            certificate = self.card.issue_file_certificate(
+                name,
+                data,
+                replication_factor=replication_factor,
+                salt=salt,
+                insertion_date=self.network.now(),
+            )
+            request = InsertRequest(
+                certificate=certificate,
+                data=data,
+                owner_card_certificate=self.card.certificate,
+            )
+            result = self.network.pastry.route(
+                certificate.storage_key(),
+                origin=self.access_node,
+                message=request,
+                category="insert",
+            )
+            outcome = result.value if result.delivered else None
+            if isinstance(outcome, InsertOutcome) and outcome.success:
+                self._verify_receipts(certificate, outcome.receipts)
+                self.network.attach_card_certificate(
+                    certificate.file_id, self.card.certificate
+                )
+                self._cache_along_path(result.path, certificate, data)
+                return FileHandle(
+                    file_id=certificate.file_id,
+                    certificate=certificate,
+                    receipts=outcome.receipts,
+                    attempts=attempt,
+                )
+            # Failed attempt: the card refunds the charge, and unless the
+            # failure is permanent we re-salt and divert the file.
+            self.card.refund_failed_insert(certificate)
+            last_reason = outcome.reason if isinstance(outcome, InsertOutcome) else (
+                result.reason if not result.delivered else "no-root-response"
+            )
+        self.network.inserts_rejected += 1
+        raise InsertRejectedError(
+            f"insert of {data.size} bytes rejected after {max_attempts} attempt(s): {last_reason}"
+        )
+
+    def _verify_receipts(self, certificate: FileCertificate, receipts: List[StoreReceipt]) -> None:
+        """The client-side check that k diverse replicas really exist."""
+        k = certificate.replication_factor
+        if len(receipts) != k:
+            raise CertificateError(f"expected {k} store receipts, got {len(receipts)}")
+        node_ids = set()
+        for receipt in receipts:
+            if not receipt.verify(certificate):
+                raise CertificateError("store receipt failed verification")
+            node_ids.add(receipt.node_id)
+        if len(node_ids) != k:
+            raise CertificateError("store receipts do not come from k distinct nodes")
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, file_id: int, replica_hint: Optional[int] = None) -> FileData:
+        """Retrieve and verify a file's content.
+
+        *replica_hint*, when the client knows the file's replication
+        factor k, enables the nearest-among-k routing heuristic (claim
+        C5): the final hops steer towards the proximally nearest replica
+        instead of the numerically closest node.
+        """
+        return self.lookup_verbose(file_id, replica_hint).data
+
+    def lookup_verbose(self, file_id: int, replica_hint: Optional[int] = None) -> LookupResult:
+        """Retrieve a file with provenance and routing diagnostics."""
+        policy = ReplicaAwareRouting(replica_hint) if replica_hint else None
+        result = self.network.pastry.route(
+            storage_key(file_id),
+            origin=self.access_node,
+            message=LookupRequest(file_id=file_id),
+            category="lookup",
+            policy=policy,
+        )
+        response = result.value if result.delivered else None
+        if not isinstance(response, LookupResponse) and policy is not None:
+            # The heuristic aimed at an estimated replica holder that did
+            # not have the file (stale estimate); retry with plain routing
+            # to the root before declaring failure.
+            result = self.network.pastry.route(
+                storage_key(file_id),
+                origin=self.access_node,
+                message=LookupRequest(file_id=file_id),
+                category="lookup",
+            )
+            response = result.value if result.delivered else None
+        if not isinstance(response, LookupResponse):
+            # Section 2.2, fault tolerance: "the query may have to be
+            # repeated several times by the client, until a route is
+            # chosen that avoids the bad node."  Each retry varies the
+            # route two ways: a fresh access node (any PAST node serves
+            # as one) and alternating policies -- the nearest-among-k
+            # heuristic steers the final hop to a *different* replica
+            # holder from a different vantage point, and randomized
+            # routing explores alternative intermediate hops.  A replica
+            # holder encountered anywhere en route answers even when the
+            # root itself is malicious or unresponsive.
+            k_estimate = replica_hint if replica_hint else 3
+            live = self.network.pastry.live_ids()
+            for attempt in range(self.lookup_retries):
+                origin = self._rng.choice(live)
+                if attempt % 2 == 0:
+                    retry_policy = ReplicaAwareRouting(k_estimate)
+                else:
+                    retry_policy = RandomizedRouting(bias=min(0.3 + 0.05 * attempt, 0.6))
+                result = self.network.pastry.route(
+                    storage_key(file_id),
+                    origin=origin,
+                    message=LookupRequest(file_id=file_id),
+                    category="lookup",
+                    policy=retry_policy,
+                    rng=self._rng,
+                )
+                response = result.value if result.delivered else None
+                if isinstance(response, LookupResponse):
+                    break
+        if not isinstance(response, LookupResponse):
+            raise LookupFailedError(f"file {file_id:040x} not found ({result.reason})")
+        self._verify_lookup(file_id, response)
+        self._cache_along_path(result.path, response.certificate, response.data,
+                               exclude=response.serving_node)
+        return LookupResult(
+            data=response.data,
+            response=response,
+            hops=result.hops,
+            path=result.path,
+        )
+
+    def _verify_lookup(self, file_id: int, response: LookupResponse) -> None:
+        """Content authenticity: certificate valid, ids and hashes match."""
+        certificate = response.certificate
+        if certificate.file_id != file_id:
+            raise CertificateError("lookup returned a different fileId")
+        if not certificate.verify():
+            raise CertificateError("file certificate failed verification")
+        if response.data.content_hash() != certificate.content_hash:
+            raise CertificateError("content hash mismatch: corrupted or forged data")
+
+    def _cache_along_path(
+        self,
+        path: List[int],
+        certificate: FileCertificate,
+        data: FileData,
+        exclude: Optional[int] = None,
+    ) -> None:
+        """Offer the file to the caches of nodes it passed through
+        (section 2.3: caching on insert and lookup paths)."""
+        for node_id in path:
+            if node_id == exclude:
+                continue
+            node = self.network.past_node(node_id)
+            if node is not None and node.pastry.alive:
+                node.offer_to_cache(certificate, data)
+
+    # ------------------------------------------------------------------ #
+    # reclaim
+    # ------------------------------------------------------------------ #
+
+    def reclaim(self, handle: FileHandle) -> int:
+        """Reclaim the file's storage; returns the quota credited.
+
+        Weaker-than-delete semantics (section 1): the operation releases
+        the owner's claim and the replicas' storage, but cached copies may
+        keep the file retrievable for a while.
+        """
+        reclaim_certificate = self.card.issue_reclaim_certificate(handle.file_id)
+        request = ReclaimRequest(
+            reclaim_certificate=reclaim_certificate,
+            file_certificate=handle.certificate,
+        )
+        result = self.network.pastry.route(
+            handle.certificate.storage_key(),
+            origin=self.access_node,
+            message=request,
+            category="reclaim",
+        )
+        outcome = result.value if result.delivered else None
+        if not isinstance(outcome, ReclaimOutcome):
+            raise LookupFailedError("reclaim request could not be routed")
+        if outcome.denied:
+            raise ReclaimDeniedError(outcome.reason)
+        credited = 0
+        for receipt in outcome.receipts:
+            credited += self.card.credit_reclaim_receipt(receipt, reclaim_certificate)
+        return credited
+
+    @property
+    def quota_remaining(self) -> int:
+        return self.card.quota_remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PastClient(access_node={self.access_node:032x}, quota={self.card.quota_remaining})"

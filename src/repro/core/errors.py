@@ -1,0 +1,45 @@
+"""Exception hierarchy for the PAST storage layer.
+
+Every failure mode a client can observe is a distinct exception type, so
+applications (and tests) can react precisely.  All inherit from
+:class:`PastError`.
+"""
+
+from __future__ import annotations
+
+
+class PastError(Exception):
+    """Base class for all PAST storage-layer errors."""
+
+
+class QuotaExceededError(PastError):
+    """The user's smartcard quota cannot cover size x replication factor."""
+
+
+class DuplicateFileError(PastError):
+    """A file with this fileId already exists; files are immutable and a
+    fileId cannot be inserted twice (section 1)."""
+
+
+class InsertRejectedError(PastError):
+    """The system could not create k replicas even after replica and file
+    diversion; the insert is rejected (section 2.3)."""
+
+
+class LookupFailedError(PastError):
+    """No live node holding the file could be reached."""
+
+
+class ReclaimDeniedError(PastError):
+    """The reclaim certificate's signer does not match the file's owner;
+    only the owner may reclaim a file's storage (section 2.1)."""
+
+
+class CertificateError(PastError):
+    """A certificate or receipt failed verification (bad signature,
+    mismatched field, or uncertified smartcard)."""
+
+
+class AuditFailedError(PastError):
+    """A storage node failed a random audit: it could not produce a file
+    it is supposed to store (section 2.1, storage quotas)."""

@@ -1,0 +1,142 @@
+"""Co-existing PAST systems and broker-less communities (section 2.1).
+
+Two deployment variations the paper sketches at the end of section 2.1:
+
+* "Multiple PAST systems can co-exist in the Internet.  In fact, we
+  envision PAST networks run by many competing brokers, where a client
+  can access files in the entire system."  :class:`Federation` models
+  that: several independent PAST networks (each with its own broker,
+  smartcards and overlay), and a :class:`FederatedClient` that inserts
+  into its home system but can retrieve from any of them.
+* "It is possible to operate isolated PAST systems that serve a mutually
+  trusting community without a broker or smartcards."
+  :func:`trusted_community_network` builds such a system: nodes and
+  users hold plain (uncertified) key pairs, card-certification checks
+  are disabled, and everything else -- certificates, receipts, quotas,
+  diversion, caching -- still works, because those mechanisms only need
+  signatures, not third-party certification.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.client import FileHandle, PastClient
+from repro.core.errors import LookupFailedError
+from repro.core.files import FileData
+from repro.core.network import PastNetwork
+from repro.sim.rng import RngRegistry, stable_seed
+
+
+class Federation:
+    """Several independent PAST systems, reachable by one client."""
+
+    def __init__(self) -> None:
+        self._systems: Dict[str, PastNetwork] = {}
+
+    def add_system(self, name: str, network: PastNetwork) -> None:
+        """Register an independently run PAST network (its own broker)."""
+        if name in self._systems:
+            raise ValueError(f"system {name!r} already registered")
+        self._systems[name] = network
+
+    def system(self, name: str) -> PastNetwork:
+        return self._systems[name]
+
+    def system_names(self) -> List[str]:
+        return sorted(self._systems)
+
+    def build_system(
+        self,
+        name: str,
+        nodes: int,
+        seed: Optional[int] = None,
+        capacity_fn: Optional[Callable[[random.Random], int]] = None,
+        **network_kwargs,
+    ) -> PastNetwork:
+        """Convenience: create, build, and register a system."""
+        if seed is None:
+            seed = stable_seed("federation", name)
+        network = PastNetwork(rngs=RngRegistry(seed), **network_kwargs)
+        network.build(nodes, method="join", capacity_fn=capacity_fn)
+        self.add_system(name, network)
+        return network
+
+    def create_client(self, home: str, usage_quota: int) -> "FederatedClient":
+        """A client homed in one system with read access to all."""
+        return FederatedClient(self, home, usage_quota)
+
+
+class FederatedClient:
+    """A user with a smartcard from one broker and read access to every
+    federated system.
+
+    Inserts go to the home system (that is where the quota lives);
+    lookups try the home system first and then the others -- brokers
+    compete for storage customers, but content is reachable everywhere.
+    """
+
+    def __init__(self, federation: Federation, home: str, usage_quota: int) -> None:
+        self.federation = federation
+        self.home = home
+        self._home_client: PastClient = federation.system(home).create_client(
+            usage_quota=usage_quota
+        )
+        # Zero-quota read clients in the other systems, created lazily.
+        self._readers: Dict[str, PastClient] = {home: self._home_client}
+
+    def _reader(self, system_name: str) -> PastClient:
+        reader = self._readers.get(system_name)
+        if reader is None:
+            reader = self.federation.system(system_name).create_client(usage_quota=0)
+            self._readers[system_name] = reader
+        return reader
+
+    def insert(self, name: str, data: FileData, replication_factor: int = 3) -> FileHandle:
+        """Store in the home system (quota is debited there)."""
+        return self._home_client.insert(name, data, replication_factor)
+
+    def reclaim(self, handle: FileHandle) -> int:
+        return self._home_client.reclaim(handle)
+
+    def lookup(self, file_id: int, replica_hint: Optional[int] = None) -> FileData:
+        """Try the home system, then every other federated system."""
+        order = [self.home] + [
+            name for name in self.federation.system_names() if name != self.home
+        ]
+        last_error: Optional[LookupFailedError] = None
+        for system_name in order:
+            try:
+                return self._reader(system_name).lookup(file_id, replica_hint)
+            except LookupFailedError as exc:
+                last_error = exc
+        raise LookupFailedError(
+            f"file {file_id:040x} not found in any of {len(order)} federated systems"
+        ) from last_error
+
+    @property
+    def quota_remaining(self) -> int:
+        return self._home_client.quota_remaining
+
+
+def trusted_community_network(
+    nodes: int,
+    seed: int = 0,
+    capacity_fn: Optional[Callable[[random.Random], int]] = None,
+    **network_kwargs,
+) -> PastNetwork:
+    """An isolated PAST system for a mutually trusting community.
+
+    No broker certification is required: any key pair can store and
+    serve (e.g. the members of one organisation over a VPN).  All other
+    machinery -- signatures, receipts, quotas on each member's own card,
+    storage management, caching -- operates unchanged.
+    """
+    network = PastNetwork(
+        rngs=RngRegistry(seed),
+        require_card_certification=False,
+        **network_kwargs,
+    )
+    network.build(nodes, method="join", capacity_fn=capacity_fn)
+    return network

@@ -1,0 +1,128 @@
+"""File content representations.
+
+Storage experiments insert hundreds of thousands of files whose *sizes*
+matter but whose *bytes* do not.  Materialising gigabytes of synthetic
+content would make the simulation memory-bound, so content is an
+abstraction with two implementations:
+
+* :class:`RealData` -- actual bytes; used by the examples and the
+  security tests (where content hashes must reflect real content);
+* :class:`SyntheticData` -- a (seed, size) pair whose content hash is
+  computed from the pair.  Behaviourally identical for every storage
+  management experiment: sizes, hashes, and certificates all work; only
+  the bytes are virtual.  ``to_bytes`` can still materialise content
+  deterministically when a test wants to round-trip it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto.hashing import FILE_ID_BITS, sha1_id
+
+
+class FileData(ABC):
+    """Abstract file content: has a size and a content hash."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Content length in bytes."""
+
+    @abstractmethod
+    def content_hash(self) -> int:
+        """The 160-bit cryptographic hash carried in the file certificate."""
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Materialise the content (deterministic)."""
+
+    def prefix_bytes(self, n: int) -> bytes:
+        """The first *n* bytes of the content, materialising no more than
+        necessary (audit challenges hash a bounded prefix so that auditing
+        a multi-gigabyte synthetic file stays cheap)."""
+        return self.to_bytes()[:n]
+
+
+class RealData(FileData):
+    """Content backed by actual bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def content_hash(self) -> int:
+        return sha1_id(self._data, bits=FILE_ID_BITS)
+
+    def to_bytes(self) -> bytes:
+        return self._data
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RealData) and other._data == self._data
+
+    def __hash__(self) -> int:
+        return hash(self._data)
+
+    def __repr__(self) -> str:
+        return f"RealData({self.size} bytes)"
+
+
+class SyntheticData(FileData):
+    """Virtual content identified by (seed, size).
+
+    Two synthetic files with the same seed and size are the same content;
+    different seeds give different hashes with overwhelming probability,
+    exactly like real content under a cryptographic hash.
+    """
+
+    def __init__(self, seed: int, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.seed = seed
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def content_hash(self) -> int:
+        return sha1_id(
+            b"synthetic",
+            self.seed.to_bytes(16, "big", signed=False),
+            self._size.to_bytes(8, "big"),
+            bits=FILE_ID_BITS,
+        )
+
+    def to_bytes(self) -> bytes:
+        # Deterministic expansion: repeat the seed's digest to the length.
+        return self.prefix_bytes(self._size)
+
+    def prefix_bytes(self, n: int) -> bytes:
+        import hashlib
+
+        n = min(n, self._size)
+        out = bytearray()
+        counter = 0
+        while len(out) < n:
+            block = hashlib.sha256(
+                self.seed.to_bytes(16, "big") + counter.to_bytes(8, "big")
+            ).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:n])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SyntheticData)
+            and other.seed == self.seed
+            and other._size == self._size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seed, self._size))
+
+    def __repr__(self) -> str:
+        return f"SyntheticData(seed={self.seed}, size={self._size})"

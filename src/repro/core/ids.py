@@ -1,0 +1,58 @@
+"""fileId construction and projection onto the nodeId space.
+
+Each file inserted into PAST is assigned a 160-bit fileId: the
+cryptographic hash of the file's textual name, the owner's public key and
+a random salt (section 2).  Pastry then routes to the node whose 128-bit
+nodeId is numerically closest to the 128 *most significant bits* of the
+fileId; :func:`storage_key` performs that projection.
+
+The salt is what makes *file diversion* possible (section 2.3 / SOSP'01):
+if the nodes near one fileId cannot accommodate the file, the client
+generates a fresh salt, obtaining a fileId in a different, hopefully less
+loaded, region of the id space.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.hashing import FILE_ID_BITS, NODE_ID_BITS, sha1_id
+from repro.crypto.keys import PublicKey
+
+SALT_BITS = 64
+
+
+def make_salt(rng: random.Random) -> int:
+    """A fresh random salt (regenerated on each file-diversion retry)."""
+    return rng.getrandbits(SALT_BITS)
+
+
+def make_file_id(name: str, owner: PublicKey, salt: int) -> int:
+    """The 160-bit fileId: hash(name, owner public key, salt).
+
+    Because the hash is cryptographic, clients cannot choose fileIds
+    with nearby values to exhaust storage at a subset of nodes -- the
+    storing nodes re-derive and check the fileId (section 2.1).
+    """
+    if not 0 <= salt < (1 << SALT_BITS):
+        raise ValueError(f"salt must fit in {SALT_BITS} bits")
+    return sha1_id(
+        name.encode("utf-8"),
+        owner.fingerprint(),
+        salt.to_bytes(SALT_BITS // 8, "big"),
+        bits=FILE_ID_BITS,
+    )
+
+
+def storage_key(file_id: int) -> int:
+    """The 128 most significant bits of a fileId: the key Pastry routes
+    on, and the value nodeIds are compared against for replica placement."""
+    if not 0 <= file_id < (1 << FILE_ID_BITS):
+        raise ValueError("fileId out of range")
+    return file_id >> (FILE_ID_BITS - NODE_ID_BITS)
+
+
+def verify_file_id(file_id: int, name: str, owner: PublicKey, salt: int) -> bool:
+    """Re-derive and compare: the check each storing node performs to
+    defeat chosen-fileId denial-of-service attacks."""
+    return file_id == make_file_id(name, owner, salt)

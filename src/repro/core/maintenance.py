@@ -1,0 +1,152 @@
+"""Replica maintenance after node failures.
+
+Section 2.1 (Persistence): "In the event of storage node failures that
+involve loss of the stored files, the system automatically restores k
+copies of a file as part of a failure recovery procedure [12]."
+
+In the deployed system each node watches its leaf set; when membership
+around a fileId's root changes, the nodes adjacent in the id space
+re-replicate the files whose k-closest set they entered or left.  This
+module drives the same per-file transfers, but enumerates affected files
+from the network's ground-truth registry instead of per-node watchers --
+an equivalent, much cheaper way to trigger the identical data movements
+(the transfers themselves are performed by the real node-side store
+logic, policy checks included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.messages import InsertRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import FileRecord, PastNetwork
+    from repro.core.node import PastNode
+
+
+@dataclass
+class MaintenanceReport:
+    """What one restoration pass did."""
+
+    files_checked: int = 0
+    replicas_restored: int = 0
+    files_fully_replicated: int = 0
+    files_under_replicated: int = 0
+    files_lost: int = 0
+    transfer_bytes: int = 0
+    lost_file_ids: List[int] = field(default_factory=list)
+
+
+def restore_replication(network: "PastNetwork") -> MaintenanceReport:
+    """Re-establish k replicas for every tracked file.
+
+    For each live (non-reclaimed) file: determine the current k live
+    nodes numerically closest to its storage key, copy the file from any
+    surviving holder to the new members of that set, and drop registry
+    holders that died.  A file whose every replica died is *lost* --
+    exactly the event the paper's replication-factor guidance (choose k
+    against the transient-failure rate) is meant to make rare.
+    """
+    report = MaintenanceReport()
+    for record in network.files.values():
+        if record.reclaimed:
+            continue
+        report.files_checked += 1
+        _restore_one(network, record, report)
+    return report
+
+
+def _serving_holder(network: "PastNetwork", record: "FileRecord") -> Optional["PastNode"]:
+    """A live holder able to produce the content (data not discarded),
+    following diversion pointers."""
+    for holder_id in sorted(record.holders):
+        node = network.past_node(holder_id)
+        if node is None or not node.pastry.alive:
+            continue
+        replica = node.store.get(record.certificate.file_id)
+        if replica is not None and replica.data is not None:
+            return node
+        pointer = node.store.pointer(record.certificate.file_id)
+        if pointer is not None:
+            held_node = network.past_node(pointer)
+            if held_node is not None and held_node.pastry.alive:
+                held = held_node.store.get(record.certificate.file_id)
+                if held is not None and held.data is not None:
+                    return held_node
+    return None
+
+
+def _restore_one(network: "PastNetwork", record: "FileRecord", report: MaintenanceReport) -> None:
+    certificate = record.certificate
+    file_id = certificate.file_id
+    k = certificate.replication_factor
+    key = certificate.storage_key()
+
+    live_holders = {
+        holder_id
+        for holder_id in record.holders
+        if network.pastry.is_live(holder_id)
+        and (
+            file_id in network.past_node(holder_id).store
+            or network.past_node(holder_id).store.pointer(file_id) is not None
+        )
+    }
+    source = _serving_holder(network, record)
+    if source is None:
+        report.files_lost += 1
+        report.lost_file_ids.append(file_id)
+        record.holders = live_holders
+        return
+
+    data = source.store.get(file_id).data
+    desired = set(network.pastry.replica_root_set(key, min(k, network.pastry.live_count())))
+    request = InsertRequest(
+        certificate=certificate,
+        data=data,
+        owner_card_certificate=record.owner_card_certificate,
+    )
+    for new_holder_id in sorted(desired - live_holders):
+        target = network.past_node(new_holder_id)
+        if target is None or not target.pastry.alive:
+            continue
+        network.pastry.count_message("restore", 2)  # fetch + store
+        receipt, _ = target.handle_store(request, replica_set=desired)
+        if receipt is not None:
+            live_holders.add(new_holder_id)
+            report.replicas_restored += 1
+            report.transfer_bytes += certificate.size
+
+    record.holders = live_holders
+    if len(live_holders) >= k:
+        report.files_fully_replicated += 1
+    else:
+        report.files_under_replicated += 1
+
+
+def replication_census(network: "PastNetwork") -> dict:
+    """How many live replicas each tracked file currently has (ground
+    truth; used by the churn experiments and tests)."""
+    counts = {"full": 0, "under": 0, "lost": 0, "reclaimed": 0}
+    for record in network.files.values():
+        if record.reclaimed:
+            counts["reclaimed"] += 1
+            continue
+        live = sum(
+            1
+            for holder_id in record.holders
+            if network.pastry.is_live(holder_id)
+            and (
+                record.certificate.file_id in network.past_node(holder_id).store
+                or network.past_node(holder_id).store.pointer(record.certificate.file_id)
+                is not None
+            )
+        )
+        if live == 0:
+            counts["lost"] += 1
+        elif live >= record.certificate.replication_factor:
+            counts["full"] += 1
+        else:
+            counts["under"] += 1
+    return counts

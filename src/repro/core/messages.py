@@ -1,0 +1,80 @@
+"""Application-level messages routed through Pastry by PAST.
+
+Three request types (insert, lookup, reclaim) and their responses.  The
+requests travel through ``PastryNetwork.route`` keyed by the 128-bit
+storage key of the fileId; responses are returned as route values (the
+simulation's stand-in for the reply path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.certificates import (
+    FileCertificate,
+    ReclaimCertificate,
+    ReclaimReceipt,
+    StoreReceipt,
+)
+from repro.core.files import FileData
+from repro.core.smartcard import CardCertificate
+
+
+@dataclass
+class InsertRequest:
+    """Routed to the root of the fileId; carries everything the storing
+    nodes need to verify authorization end-to-end."""
+
+    certificate: FileCertificate
+    data: FileData
+    owner_card_certificate: Optional[CardCertificate]
+
+
+@dataclass
+class InsertOutcome:
+    """Returned by the root after attempting k-way replication."""
+
+    success: bool
+    reason: str = "stored"
+    receipts: List[StoreReceipt] = field(default_factory=list)
+    # Diagnostics for the storage-management experiments:
+    diverted_replicas: int = 0
+
+
+@dataclass
+class LookupRequest:
+    """Routed towards the fileId's root; satisfied by the *first* node on
+    the route holding a replica or cached copy (locality, section 2.2)."""
+
+    file_id: int
+
+
+@dataclass
+class LookupResponse:
+    """A successful lookup: the file plus its certificate (which lets the
+    client verify content authenticity), and provenance diagnostics."""
+
+    certificate: FileCertificate
+    data: FileData
+    serving_node: int
+    source: str  # "replica" | "diverted" | "cache"
+
+
+@dataclass
+class ReclaimRequest:
+    """Routed to the fileId's root; the owner includes the file
+    certificate so storage nodes can check the signer match even if their
+    local copy was lost."""
+
+    reclaim_certificate: ReclaimCertificate
+    file_certificate: FileCertificate
+
+
+@dataclass
+class ReclaimOutcome:
+    """Receipts from each node that released storage."""
+
+    receipts: List[ReclaimReceipt] = field(default_factory=list)
+    denied: bool = False
+    reason: str = ""

@@ -1,0 +1,236 @@
+"""The PAST network façade.
+
+Builds the whole stack -- broker, smartcards, Pastry overlay, PAST nodes
+-- and exposes the operations a deployment would: create storage nodes,
+create clients, and observe global statistics.  NodeIds are derived from
+the nodes' smartcard public keys (section 2.1), so id assignment is
+exactly as in the paper: uniform, quasi-random, and unbiasable.
+
+The façade also keeps a *file registry*: ground-truth bookkeeping of
+which nodes hold each inserted file.  The registry is never consulted by
+the routing or storage logic (which is fully decentralised); it exists
+for experiments, tests, and as the driver for the replica-restoration
+pass in :mod:`repro.core.maintenance` (standing in for the distributed
+failure-recovery procedure of the SOSP'01 companion paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.broker import Broker
+from repro.core.certificates import FileCertificate
+from repro.core.client import PastClient
+from repro.core.node import PastNode
+from repro.core.smartcard import CardCertificate
+from repro.core.storage_manager import StoragePolicy, summarize_utilization
+from repro.netsim.topology import Topology
+from repro.pastry.join import join_network
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.sim.rng import RngRegistry
+
+DEFAULT_NODE_CAPACITY = 1 << 30  # 1 GiB
+
+
+@dataclass
+class FileRecord:
+    """Registry entry: ground truth about one inserted file."""
+
+    certificate: FileCertificate
+    owner_card_certificate: Optional[CardCertificate]
+    holders: Set[int] = field(default_factory=set)
+    reclaimed: bool = False
+
+
+class PastNetwork:
+    """A complete simulated PAST deployment."""
+
+    def __init__(
+        self,
+        space: Optional[IdSpace] = None,
+        topology: Optional[Topology] = None,
+        rngs: Optional[RngRegistry] = None,
+        broker: Optional[Broker] = None,
+        storage_policy: Optional[StoragePolicy] = None,
+        cache_policy: str = "gds",
+        key_backend: str = "insecure_fast",
+        leaf_capacity: int = 32,
+        neighborhood_capacity: int = 32,
+        require_card_certification: bool = True,
+        table_quality: str = "good",
+    ) -> None:
+        """*key_backend* defaults to the fast insecure mode because a
+        network of hundreds of nodes mints hundreds of keypairs; pass
+        ``"rsa"`` for real signatures (the security tests do)."""
+        self.rngs = rngs if rngs is not None else RngRegistry(0)
+        self.broker = (
+            broker
+            if broker is not None
+            else Broker(self.rngs.stream("broker"), key_backend=key_backend)
+        )
+        self.pastry = PastryNetwork(
+            space=space,
+            topology=topology,
+            leaf_capacity=leaf_capacity,
+            neighborhood_capacity=neighborhood_capacity,
+            rngs=self.rngs,
+            table_quality=table_quality,
+        )
+        self.policy = storage_policy if storage_policy is not None else StoragePolicy()
+        self.cache_policy = cache_policy
+        self.key_backend = key_backend
+        self.require_card_certification = require_card_certification
+        self.files: Dict[int, FileRecord] = {}
+        self._past_nodes: Dict[int, PastNode] = {}
+        self._clock = 0
+        self.inserts_attempted = 0
+        self.inserts_rejected = 0
+
+    @property
+    def space(self) -> IdSpace:
+        return self.pastry.space
+
+    # ------------------------------------------------------------------ #
+    # time (a coarse day counter for card expiry)
+    # ------------------------------------------------------------------ #
+
+    def now(self) -> int:
+        return self._clock
+
+    def advance_time(self, days: int = 1) -> None:
+        if days < 0:
+            raise ValueError("time does not run backwards")
+        self._clock += days
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def add_storage_node(self, capacity: int, join: bool = True) -> PastNode:
+        """Mint a smartcard, derive the nodeId from its key, and bring the
+        node into the overlay (via the arrival protocol when *join*)."""
+        card = self.broker.issue_card(
+            usage_quota=0, contributed_storage=capacity, now=self.now()
+        )
+        node_id = card.node_id()
+        had_nodes = self.pastry.live_count() > 0
+        pastry_node = self.pastry.add_node(node_id)
+        node = PastNode(
+            self,
+            pastry_node,
+            card,
+            capacity=capacity,
+            policy=self.policy,
+            cache_policy=self.cache_policy,
+        )
+        self._past_nodes[node_id] = node
+        if join and had_nodes:
+            contact = self.pastry._nearest_live_contact(pastry_node)
+            join_network(self.pastry, pastry_node, contact)
+        return node
+
+    def build(
+        self,
+        n: int,
+        capacity_fn: Optional[Callable[[random.Random], int]] = None,
+        method: str = "join",
+    ) -> List[PastNode]:
+        """Create *n* storage nodes.
+
+        *capacity_fn* draws each node's advertised capacity (defaults to a
+        constant 1 GiB); *method* is ``join`` (real arrivals) or
+        ``oracle`` (direct state construction for large overlays).
+        """
+        if n < 1:
+            raise ValueError("need at least one node")
+        rng = self.rngs.stream("capacities")
+        nodes = []
+        for _ in range(n):
+            capacity = capacity_fn(rng) if capacity_fn is not None else DEFAULT_NODE_CAPACITY
+            nodes.append(self.add_storage_node(capacity, join=(method == "join")))
+        if method == "oracle":
+            self.pastry.rebuild_state_oracle()
+        elif method != "join":
+            raise ValueError(f"unknown build method: {method!r}")
+        return nodes
+
+    def past_node(self, node_id: int) -> Optional[PastNode]:
+        return self._past_nodes.get(node_id)
+
+    def past_nodes(self) -> List[PastNode]:
+        """All PAST nodes, live and dead (copy)."""
+        return list(self._past_nodes.values())
+
+    def live_past_nodes(self) -> List[PastNode]:
+        return [n for n in self._past_nodes.values() if n.pastry.alive]
+
+    def create_client(
+        self,
+        usage_quota: int,
+        access_node: Optional[int] = None,
+        enforce_balance: bool = False,
+    ) -> PastClient:
+        """Issue a user smartcard and attach the client to an access node
+        (a uniformly random live node unless specified)."""
+        card = self.broker.issue_card(
+            usage_quota=usage_quota,
+            contributed_storage=0,
+            now=self.now(),
+            enforce_balance=enforce_balance,
+        )
+        if access_node is None:
+            rng = self.rngs.stream("client-placement")
+            access_node = rng.choice(self.pastry.live_ids())
+        return PastClient(self, card, access_node)
+
+    # ------------------------------------------------------------------ #
+    # registry bookkeeping (experiments only; see module docstring)
+    # ------------------------------------------------------------------ #
+
+    def record_insert(self, certificate: FileCertificate, holders: List[int]) -> None:
+        record = self.files.get(certificate.file_id)
+        if record is None:
+            self.files[certificate.file_id] = FileRecord(
+                certificate=certificate,
+                owner_card_certificate=None,
+                holders=set(holders),
+            )
+        else:
+            record.holders = set(holders)
+            record.reclaimed = False
+
+    def attach_card_certificate(self, file_id: int, card_certificate: Optional[CardCertificate]) -> None:
+        record = self.files.get(file_id)
+        if record is not None:
+            record.owner_card_certificate = card_certificate
+
+    def record_reclaim(self, file_id: int) -> None:
+        record = self.files.get(file_id)
+        if record is not None:
+            record.reclaimed = True
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def utilization(self) -> dict:
+        """Global storage statistics (benchmark E9)."""
+        return summarize_utilization(self.live_past_nodes())
+
+    def insert_rejection_rate(self) -> float:
+        if self.inserts_attempted == 0:
+            return 0.0
+        return self.inserts_rejected / self.inserts_attempted
+
+    def files_per_node(self) -> List[int]:
+        """Primary replica counts per live node (benchmark E11)."""
+        return [node.store.replica_count() for node in self.live_past_nodes()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PastNetwork(nodes={len(self._past_nodes)}, "
+            f"files={len(self.files)}, clock={self._clock})"
+        )

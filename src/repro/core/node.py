@@ -1,0 +1,334 @@
+"""A PAST node: Pastry node + storage + cache + smartcard.
+
+The node implements the Pastry :class:`~repro.pastry.node.Application`
+hooks.  ``on_forward`` lets a lookup be satisfied by the first node along
+the route that holds the file (replica, diverted replica via pointer, or
+cached copy) -- the mechanism behind the nearest-replica locality result.
+``on_deliver`` runs the root-node logic: k-way replication for inserts
+(with replica diversion when a chosen node is too full) and fan-out of
+reclaims to the replica holders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, TYPE_CHECKING
+
+from repro.core.cache import Cache, make_cache
+from repro.core.certificates import FileCertificate, StoreReceipt
+from repro.core.errors import PastError
+from repro.core.files import FileData
+from repro.core.messages import (
+    InsertOutcome,
+    InsertRequest,
+    LookupRequest,
+    LookupResponse,
+    ReclaimOutcome,
+    ReclaimRequest,
+)
+from repro.core.smartcard import SmartCard
+from repro.core.storage import FileStore
+from repro.core.storage_manager import StoragePolicy, choose_diversion_target
+from repro.pastry.node import Application, PastryNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import PastNetwork
+
+
+class PastNode(Application):
+    """One PAST node (storage node + client access point)."""
+
+    def __init__(
+        self,
+        network: "PastNetwork",
+        pastry_node: PastryNode,
+        card: SmartCard,
+        capacity: int,
+        policy: StoragePolicy,
+        cache_policy: str = "gds",
+    ) -> None:
+        self.network = network
+        self.pastry = pastry_node
+        self.card = card
+        self.store = FileStore(capacity)
+        self.cache: Cache = make_cache(cache_policy)
+        self.policy = policy
+        # A cheating node advertises storage it silently discards content
+        # from; random audits are meant to expose it (section 2.1).
+        self.cheats_storage = False
+        # Query-load accounting (who actually serves lookups -- the
+        # quantity caching is supposed to balance, section 2.3).
+        self.lookups_served = 0
+        self.bytes_served = 0
+        pastry_node.application = self
+
+    @property
+    def node_id(self) -> int:
+        return self.pastry.node_id
+
+    # ------------------------------------------------------------------ #
+    # Pastry application hooks
+    # ------------------------------------------------------------------ #
+
+    def on_forward(self, node: PastryNode, key: int, message: object):
+        """Satisfy lookups en route; other requests pass through."""
+        if isinstance(message, LookupRequest):
+            return self._serve_lookup(message.file_id, chase_pointer=False)
+        return None
+
+    def on_deliver(self, node: PastryNode, key: int, message: object):
+        """Root-node logic for each request type."""
+        if isinstance(message, InsertRequest):
+            return self._insert_as_root(message)
+        if isinstance(message, LookupRequest):
+            return self._serve_lookup(message.file_id, chase_pointer=True)
+        if isinstance(message, ReclaimRequest):
+            return self._reclaim_as_root(message)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def _serve_lookup(self, file_id: int, chase_pointer: bool) -> Optional[LookupResponse]:
+        """Serve from a local replica or cached copy; at the root, also
+        chase a diversion pointer to the actual holder."""
+        replica = self.store.get(file_id)
+        if replica is not None and replica.data is not None:
+            self.lookups_served += 1
+            self.bytes_served += replica.certificate.size
+            return LookupResponse(
+                certificate=replica.certificate,
+                data=replica.data,
+                serving_node=self.node_id,
+                source="replica",
+            )
+        entry = self.cache.get(file_id)
+        if entry is not None and entry.data is not None:
+            self.lookups_served += 1
+            self.bytes_served += entry.certificate.size
+            return LookupResponse(
+                certificate=entry.certificate,
+                data=entry.data,
+                serving_node=self.node_id,
+                source="cache",
+            )
+        if chase_pointer:
+            holder_id = self.store.pointer(file_id)
+            if holder_id is not None:
+                holder = self.network.past_node(holder_id)
+                if holder is not None and holder.pastry.alive:
+                    self.network.pastry.count_message("lookup")  # indirection hop
+                    held = holder.store.get(file_id)
+                    if held is not None and held.data is not None:
+                        holder.lookups_served += 1
+                        holder.bytes_served += held.certificate.size
+                        return LookupResponse(
+                            certificate=held.certificate,
+                            data=held.data,
+                            serving_node=holder_id,
+                            source="diverted",
+                        )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # insert (root side)
+    # ------------------------------------------------------------------ #
+
+    def _insert_as_root(self, request: InsertRequest) -> InsertOutcome:
+        certificate = request.certificate
+        key = certificate.storage_key()
+        k = certificate.replication_factor
+        try:
+            replica_ids = self.pastry.state.leaf_set.replica_candidates(key, k)
+        except ValueError as exc:
+            return InsertOutcome(success=False, reason=f"bad-k: {exc}")
+        if len(replica_ids) < k:
+            return InsertOutcome(success=False, reason="too-few-nodes")
+
+        receipts: List[StoreReceipt] = []
+        stored_on: List["PastNode"] = []
+        diverted = 0
+        replica_set: Set[int] = set(replica_ids)
+        for replica_id in replica_ids:
+            target = self.network.past_node(replica_id)
+            if target is None or not target.pastry.alive:
+                self._rollback(certificate.file_id, stored_on)
+                return InsertOutcome(success=False, reason="replica-node-dead")
+            if target is not self:
+                self.network.pastry.count_message("insert")  # store request
+            receipt, was_diverted = target.handle_store(request, replica_set)
+            if receipt is None:
+                self._rollback(certificate.file_id, stored_on)
+                return InsertOutcome(success=False, reason="no-space")
+            receipts.append(receipt)
+            stored_on.append(target)
+            diverted += int(was_diverted)
+        self.network.record_insert(certificate, replica_ids)
+        return InsertOutcome(success=True, receipts=receipts, diverted_replicas=diverted)
+
+    def _rollback(self, file_id: int, stored_on: List["PastNode"]) -> None:
+        """Abort a partially replicated insert: every node that already
+        stored a replica (or pointer) releases it."""
+        for node in stored_on:
+            node.release_replica(file_id)
+
+    def handle_store(self, request: InsertRequest, replica_set: Set[int]):
+        """Store one replica of the file (storage-node side).
+
+        Returns ``(receipt, was_diverted)``; ``(None, False)`` on
+        rejection.  Verification failures also reject: the storing node
+        checks the whole chain before committing any space.
+        """
+        certificate = request.certificate
+        if not self._verify_insert(request):
+            return None, False
+        file_id = certificate.file_id
+        if file_id in self.store or self.store.pointer(file_id) is not None:
+            return None, False  # immutability: a fileId is stored once
+        size = certificate.size
+        if self.policy.accepts(self.store, size, diverted=False):
+            self._make_room(size)
+            data = None if self.cheats_storage else request.data
+            self.store.store(certificate, data, diverted=False)
+            return self.card.issue_store_receipt(certificate), False
+        if not self.policy.enable_replica_diversion:
+            return None, False
+        # Replica diversion: find a leaf-set node outside the replica set.
+        target = choose_diversion_target(
+            self, file_id, size, exclude=replica_set | {self.node_id}, policy=self.policy
+        )
+        if target is None:
+            return None, False
+        self.network.pastry.count_message("insert", 2)  # divert request + ack
+        target._make_room(size)
+        data = None if target.cheats_storage else request.data
+        target.store.store(certificate, data, diverted=True)
+        self.store.install_pointer(file_id, target.node_id)
+        # The receipt still comes from the *primary* node -- the client
+        # checks for k receipts from nodes with adjacent nodeIds.
+        return self.card.issue_store_receipt(certificate, diverted=True), True
+
+    def _verify_insert(self, request: InsertRequest) -> bool:
+        """The storing-node checks of section 2.1: certificate signature,
+        authentic fileId, uncorrupted content, certified owner card."""
+        certificate = request.certificate
+        if not certificate.verify():
+            return False
+        if request.data.size != certificate.size:
+            return False
+        if request.data.content_hash() != certificate.content_hash:
+            return False
+        card_certificate = request.owner_card_certificate
+        if self.network.require_card_certification:
+            if card_certificate is None:
+                return False
+            if not card_certificate.verify(
+                self.network.broker.public_key, certificate.owner, now=self.network.now()
+            ):
+                return False
+        return True
+
+    def _make_room(self, size: int) -> None:
+        """Evict cached copies if the physical space they occupy is needed
+        for a real replica (cache lives in the unused portion only)."""
+        overflow = self.cache.used + size - self.store.free_space
+        if overflow > 0:
+            self.cache.evict_bytes(overflow)
+
+    def release_replica(self, file_id: int) -> int:
+        """Release a replica or diversion pointer; returns bytes freed
+        locally.  Used by rollback and reclaim."""
+        holder_id = self.store.pointer(file_id)
+        if holder_id is not None:
+            self.store.remove_pointer(file_id)
+            holder = self.network.past_node(holder_id)
+            if holder is not None:
+                self.network.pastry.count_message("reclaim")
+                holder.store.remove(file_id)
+            return 0
+        return self.store.remove(file_id)
+
+    # ------------------------------------------------------------------ #
+    # reclaim (root side)
+    # ------------------------------------------------------------------ #
+
+    def _reclaim_as_root(self, request: ReclaimRequest) -> ReclaimOutcome:
+        certificate = request.file_certificate
+        reclaim = request.reclaim_certificate
+        key = certificate.storage_key()
+        k = certificate.replication_factor
+        try:
+            replica_ids = self.pastry.state.leaf_set.replica_candidates(key, k)
+        except ValueError:
+            replica_ids = [self.node_id]
+        outcome = ReclaimOutcome()
+        for replica_id in replica_ids:
+            target = self.network.past_node(replica_id)
+            if target is None or not target.pastry.alive:
+                continue
+            if target is not self:
+                self.network.pastry.count_message("reclaim")
+            receipt = target.handle_reclaim(request)
+            if receipt is not None:
+                outcome.receipts.append(receipt)
+        if not outcome.receipts:
+            # Distinguish "not stored here" from "owner mismatch".
+            stored = self.store.get(certificate.file_id)
+            if stored is not None and not reclaim.verify_against(stored.certificate):
+                outcome.denied = True
+                outcome.reason = "owner-mismatch"
+            else:
+                outcome.reason = "not-found"
+        self.network.record_reclaim(certificate.file_id)
+        return outcome
+
+    def handle_reclaim(self, request: ReclaimRequest):
+        """Release this node's replica if the reclaim is authorized.
+
+        The node verifies that the reclaim certificate's signer matches
+        the signer of the file certificate *it stored* (or, if the local
+        copy is a pointer, the certificate included in the request).
+        """
+        file_id = request.reclaim_certificate.file_id
+        stored = self.store.get(file_id)
+        reference = stored.certificate if stored is not None else request.file_certificate
+        if not request.reclaim_certificate.verify_against(reference):
+            return None
+        if stored is None and self.store.pointer(file_id) is None:
+            return None
+        freed = request.file_certificate.size
+        self.release_replica(file_id)
+        return self.card.issue_reclaim_receipt(request.reclaim_certificate, freed)
+
+    # ------------------------------------------------------------------ #
+    # caching and audits
+    # ------------------------------------------------------------------ #
+
+    def offer_to_cache(self, certificate: FileCertificate, data: Optional[FileData]) -> bool:
+        """Offer a passing file for caching in the unused storage."""
+        if data is None:
+            return False
+        if certificate.file_id in self.store:
+            return False
+        budget = self.store.free_space
+        return self.cache.admit(certificate, data, budget)
+
+    def audit_challenge(self, file_id: int, nonce: int) -> Optional[int]:
+        """Answer a random audit: hash of (content, nonce) -- producible
+        only if the node actually holds the content (section 2.1)."""
+        from repro.crypto.hashing import sha1_id
+
+        replica = self.store.get(file_id)
+        if replica is None or replica.data is None:
+            return None
+        return sha1_id(
+            replica.data.prefix_bytes(4096),
+            nonce.to_bytes(16, "big"),
+            bits=160,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PastNode({self.network.pastry.space.format_id(self.node_id)}, "
+            f"store={self.store.used}/{self.store.capacity}, cache={self.cache.used})"
+        )

@@ -1,0 +1,272 @@
+"""The on-line quota service: running PAST without smartcards.
+
+Section 2.1 (Smartcards): "The use of smartcards ... [is] not fundamental
+to PAST's design.  First, smartcards could be replaced by secure on-line
+quota services run by the brokers."
+
+This module implements that alternative so the trade-off the paper
+describes can be measured (benchmark E17): every certificate issuance
+and every quota credit becomes an *on-line round trip* to a broker-run
+service, instead of a local smartcard operation.  The service keeps the
+authoritative quota ledger and signs certificates with its own key; the
+user holds only a lightweight account token.
+
+Functionally the two designs enforce identical rules -- the test suite
+runs the same quota/forgery scenarios against both -- but the on-line
+design pays two messages per operation and concentrates trust and load
+on the service, which is exactly the scalability/efficiency argument the
+paper makes for smartcards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.core.certificates import FileCertificate, ReclaimCertificate, ReclaimReceipt
+from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.files import FileData
+from repro.core.ids import make_file_id
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import PastNetwork
+
+
+@dataclass
+class QuotaAccount:
+    """Server-side ledger entry for one user."""
+
+    account_id: int
+    user_key: PublicKey
+    usage_quota: int
+    quota_used: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.usage_quota - self.quota_used
+
+
+class OnlineQuotaService:
+    """A broker-run service that issues certificates on-line.
+
+    The service signs file and reclaim certificates with *its* key (users
+    have no signing hardware), so storage nodes verify certificates
+    against the service key exactly as they would verify a smartcard's
+    broker certification.  Message costs are recorded on the network's
+    ``messages.quota-service`` counter.
+    """
+
+    def __init__(self, network: "PastNetwork", rng: Optional[random.Random] = None,
+                 key_backend: Optional[str] = None) -> None:
+        self.network = network
+        self._rng = rng if rng is not None else network.rngs.stream("quota-service")
+        backend = key_backend if key_backend is not None else network.key_backend
+        self._keypair: KeyPair = generate_keypair(self._rng, backend=backend)
+        self._accounts: Dict[int, QuotaAccount] = {}
+        self._next_account = 1
+        self._credited: Set[Tuple[int, int]] = set()
+        self._issuer_of: Dict[int, int] = {}  # fileId -> owning account
+        self.operations = 0
+        # The broker certifies the service key once, so storage nodes
+        # accept service-signed certificates through the ordinary
+        # card-certification check.
+        self.card_certificate = network.broker.certify_key(
+            self._keypair.public, usage_quota=0, contributed_storage=0,
+            now=network.now(),
+        )
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The key storage nodes trust certificates from."""
+        return self._keypair.public
+
+    def _round_trip(self) -> None:
+        """Account for one request/response exchange with the service."""
+        self.network.pastry.count_message("quota-service", 2)
+        self.operations += 1
+
+    # ------------------------------------------------------------------ #
+    # accounts
+    # ------------------------------------------------------------------ #
+
+    def open_account(self, user_key: PublicKey, usage_quota: int) -> int:
+        """Register a user (identified only by a pseudonymous key)."""
+        if usage_quota < 0:
+            raise ValueError("quota must be non-negative")
+        self._round_trip()
+        account_id = self._next_account
+        self._next_account += 1
+        self._accounts[account_id] = QuotaAccount(
+            account_id=account_id, user_key=user_key, usage_quota=usage_quota
+        )
+        return account_id
+
+    def account(self, account_id: int) -> QuotaAccount:
+        return self._accounts[account_id]
+
+    # ------------------------------------------------------------------ #
+    # on-line certificate issuance
+    # ------------------------------------------------------------------ #
+
+    def issue_file_certificate(
+        self,
+        account_id: int,
+        name: str,
+        data: FileData,
+        replication_factor: int,
+        salt: int,
+    ) -> FileCertificate:
+        """The on-line equivalent of a smartcard certificate issuance:
+        one round trip, ledger debit, service-signed certificate."""
+        self._round_trip()
+        account = self._accounts.get(account_id)
+        if account is None:
+            raise CertificateError("unknown quota account")
+        charge = data.size * replication_factor
+        if account.quota_used + charge > account.usage_quota:
+            raise QuotaExceededError(
+                f"charge {charge} exceeds remaining quota {account.remaining}"
+            )
+        # The fileId binds to the *service* key (the signer), keeping the
+        # chosen-fileId defence intact.
+        file_id = make_file_id(name, self._keypair.public, salt)
+        certificate = FileCertificate.issue(
+            self._keypair,
+            name=name,
+            file_id=file_id,
+            content_hash=data.content_hash(),
+            size=data.size,
+            replication_factor=replication_factor,
+            salt=salt,
+            insertion_date=self.network.now(),
+        )
+        account.quota_used += charge
+        self._issuer_of[file_id] = account_id
+        return certificate
+
+    def refund_failed_insert(self, account_id: int, certificate: FileCertificate) -> None:
+        """Credit back a rejected insert's charge (one round trip)."""
+        self._round_trip()
+        account = self._accounts[account_id]
+        charge = certificate.size * certificate.replication_factor
+        account.quota_used = max(account.quota_used - charge, 0)
+
+    def issue_reclaim_certificate(self, account_id: int, file_id: int) -> ReclaimCertificate:
+        """On-line reclaim authorization.
+
+        With every certificate signed by the same service key, the
+        storage-node signer-match check alone cannot distinguish owners,
+        so ownership checking moves to the ledger: the service only
+        signs reclaims for files it issued to *this* account."""
+        self._round_trip()
+        if account_id not in self._accounts:
+            raise CertificateError("unknown quota account")
+        if self._issuer_of.get(file_id) != account_id:
+            raise CertificateError("account does not own this file")
+        return ReclaimCertificate.issue(self._keypair, file_id)
+
+    def credit_reclaim_receipt(
+        self,
+        account_id: int,
+        receipt: ReclaimReceipt,
+        reclaim_certificate: ReclaimCertificate,
+    ) -> int:
+        """Apply a storage node's reclaim receipt to the ledger."""
+        self._round_trip()
+        account = self._accounts[account_id]
+        if not receipt.verify(reclaim_certificate):
+            raise CertificateError("reclaim receipt failed verification")
+        replay_key = (receipt.file_id, receipt.node_id)
+        if replay_key in self._credited:
+            raise CertificateError("reclaim receipt already credited")
+        self._credited.add(replay_key)
+        account.quota_used = max(account.quota_used - receipt.amount, 0)
+        return receipt.amount
+
+
+class ServiceBackedCard:
+    """Adapter presenting the on-line service through the SmartCard
+    interface, so :class:`~repro.core.client.PastClient` runs unmodified
+    in the no-smartcard configuration.
+
+    Every method that a smartcard would execute locally becomes a round
+    trip to the service -- the performance difference benchmark E17
+    measures.
+    """
+
+    def __init__(self, service: OnlineQuotaService, account_id: int) -> None:
+        self._service = service
+        self.account_id = account_id
+        self.certificate = service.card_certificate
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._service.public_key
+
+    def node_id(self) -> int:
+        # Only used for per-client rng stream naming; mix in the account
+        # so distinct clients get distinct streams despite sharing the
+        # service key.
+        from repro.crypto.hashing import sha256_id
+
+        return sha256_id(
+            self._service.public_key.fingerprint(),
+            self.account_id.to_bytes(8, "big"),
+            bits=128,
+        )
+
+    # --- quota state (proxied from the ledger) ------------------------- #
+
+    @property
+    def usage_quota(self) -> int:
+        return self._service.account(self.account_id).usage_quota
+
+    @property
+    def quota_used(self) -> int:
+        return self._service.account(self.account_id).quota_used
+
+    @property
+    def quota_remaining(self) -> int:
+        return self._service.account(self.account_id).remaining
+
+    # --- the SmartCard operations, now on-line -------------------------- #
+
+    def issue_file_certificate(self, name, data, replication_factor, salt, insertion_date):
+        return self._service.issue_file_certificate(
+            self.account_id, name, data, replication_factor, salt
+        )
+
+    def refund_failed_insert(self, certificate) -> None:
+        self._service.refund_failed_insert(self.account_id, certificate)
+
+    def issue_reclaim_certificate(self, file_id: int):
+        return self._service.issue_reclaim_certificate(self.account_id, file_id)
+
+    def credit_reclaim_receipt(self, receipt, reclaim_certificate) -> int:
+        return self._service.credit_reclaim_receipt(
+            self.account_id, receipt, reclaim_certificate
+        )
+
+
+def create_online_client(
+    service: OnlineQuotaService,
+    usage_quota: int,
+    access_node: Optional[int] = None,
+):
+    """A PastClient whose quota lives at the on-line service.
+
+    The user key registered with the account is a throwaway pseudonym --
+    the service never learns more than the smartcard broker would.
+    """
+    from repro.core.client import PastClient
+
+    network = service.network
+    user_key = generate_keypair(service._rng, backend=network.key_backend).public
+    account_id = service.open_account(user_key, usage_quota)
+    if access_node is None:
+        access_node = network.rngs.stream("client-placement").choice(
+            network.pastry.live_ids()
+        )
+    return PastClient(network, ServiceBackedCard(service, account_id), access_node)

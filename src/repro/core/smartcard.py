@@ -1,0 +1,227 @@
+"""Smartcards: quota bookkeeping and certificate issuance (section 2.1).
+
+Each PAST user and each PAST node holds a smartcard.  A card carries a
+private/public key pair; the card's public key is signed by the issuing
+broker for certification.  The private key never leaves the card object
+-- node and client code can only ask the card to issue certificates,
+mirroring tamper-proof hardware.
+
+The card enforces the quota system: issuing a file certificate debits
+``size x replication factor`` against the usage quota; presenting a valid
+reclaim receipt credits the reclaimed amount back.  Double-crediting is
+prevented by remembering which (fileId, nodeId) reclaim receipts have
+already been applied.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set, Tuple
+
+from repro.core.certificates import (
+    FileCertificate,
+    ReclaimCertificate,
+    ReclaimReceipt,
+    StoreReceipt,
+)
+from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.files import FileData
+from repro.core.ids import make_file_id
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.crypto.signatures import SignedEnvelope
+
+CARD_CERT_KIND = "past.card-certificate"
+
+
+class CardCertificate:
+    """The broker's signature over a card's public key and parameters."""
+
+    def __init__(self, envelope: SignedEnvelope) -> None:
+        self.envelope = envelope
+
+    @classmethod
+    def issue(
+        cls,
+        broker_keypair: KeyPair,
+        card_public: PublicKey,
+        usage_quota: int,
+        contributed_storage: int,
+        expiry: int,
+    ) -> "CardCertificate":
+        fields = {
+            "card_key": card_public.fingerprint(),
+            "usage_quota": usage_quota,
+            "contributed": contributed_storage,
+            "expiry": expiry,
+        }
+        return cls(SignedEnvelope.create(broker_keypair, CARD_CERT_KIND, fields))
+
+    @property
+    def usage_quota(self) -> int:
+        return int(self.envelope.fields["usage_quota"])
+
+    @property
+    def contributed_storage(self) -> int:
+        return int(self.envelope.fields["contributed"])
+
+    @property
+    def expiry(self) -> int:
+        return int(self.envelope.fields["expiry"])
+
+    def verify(self, broker_public: PublicKey, card_public: PublicKey, now: int = 0) -> bool:
+        """Check the broker's signature, the key binding, and freshness."""
+        if not self.envelope.verify_with(broker_public):
+            return False
+        if bytes(self.envelope.fields["card_key"]) != card_public.fingerprint():
+            return False
+        return now < self.expiry
+
+
+class SmartCard:
+    """One smartcard: keys, quota state, certificate issuance.
+
+    Create via :meth:`repro.core.broker.Broker.issue_card`; the
+    constructor is also usable directly for tests that need uncertified
+    (rogue) cards.
+    """
+
+    def __init__(
+        self,
+        keypair: KeyPair,
+        usage_quota: int,
+        contributed_storage: int = 0,
+        certificate: Optional[CardCertificate] = None,
+    ) -> None:
+        if usage_quota < 0 or contributed_storage < 0:
+            raise ValueError("quota and contribution must be non-negative")
+        self._keypair = keypair
+        self.usage_quota = usage_quota
+        self.contributed_storage = contributed_storage
+        self.certificate = certificate
+        self.quota_used = 0
+        self._credited_receipts: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public
+
+    def node_id(self) -> int:
+        """The 128-bit nodeId PAST derives from this card's public key.
+
+        Because the id is a cryptographic hash of a broker-certified key,
+        an attacker cannot choose a nodeId adjacent to a victim's."""
+        return self._keypair.public.derive_id(bits=128)
+
+    def verify_certified_by(self, broker_public: PublicKey, now: int = 0) -> bool:
+        """True iff this card's key carries a fresh broker certification."""
+        if self.certificate is None:
+            return False
+        return self.certificate.verify(broker_public, self.public_key, now)
+
+    # ------------------------------------------------------------------ #
+    # quota
+    # ------------------------------------------------------------------ #
+
+    @property
+    def quota_remaining(self) -> int:
+        return self.usage_quota - self.quota_used
+
+    def issue_file_certificate(
+        self,
+        name: str,
+        data: FileData,
+        replication_factor: int,
+        salt: int,
+        insertion_date: int,
+    ) -> FileCertificate:
+        """Issue a file certificate, debiting size x k against the quota.
+
+        Raises :class:`QuotaExceededError` when the quota cannot cover the
+        charge -- the card refuses, so an over-quota client simply cannot
+        produce a valid certificate.
+        """
+        charge = data.size * replication_factor
+        if self.quota_used + charge > self.usage_quota:
+            raise QuotaExceededError(
+                f"charge {charge} exceeds remaining quota {self.quota_remaining}"
+            )
+        file_id = make_file_id(name, self.public_key, salt)
+        certificate = FileCertificate.issue(
+            self._keypair,
+            name=name,
+            file_id=file_id,
+            content_hash=data.content_hash(),
+            size=data.size,
+            replication_factor=replication_factor,
+            salt=salt,
+            insertion_date=insertion_date,
+        )
+        self.quota_used += charge
+        return certificate
+
+    def refund_failed_insert(self, certificate: FileCertificate) -> None:
+        """Credit back the charge for an insert the network rejected
+        (no replica was retained)."""
+        charge = certificate.size * certificate.replication_factor
+        self.quota_used = max(self.quota_used - charge, 0)
+
+    def issue_reclaim_certificate(self, file_id: int) -> ReclaimCertificate:
+        """Sign a reclaim request for one of this card's files."""
+        return ReclaimCertificate.issue(self._keypair, file_id)
+
+    def credit_reclaim_receipt(
+        self, receipt: ReclaimReceipt, reclaim_certificate: ReclaimCertificate
+    ) -> int:
+        """Apply a reclaim receipt: credit the reclaimed amount.
+
+        Each (fileId, nodeId) receipt is credited at most once; replays
+        raise :class:`CertificateError`.  Returns the amount credited.
+        """
+        if not receipt.verify(reclaim_certificate):
+            raise CertificateError("reclaim receipt failed verification")
+        key = (receipt.file_id, receipt.node_id)
+        if key in self._credited_receipts:
+            raise CertificateError("reclaim receipt already credited")
+        self._credited_receipts.add(key)
+        self.quota_used = max(self.quota_used - receipt.amount, 0)
+        return receipt.amount
+
+    # ------------------------------------------------------------------ #
+    # storage-node operations
+    # ------------------------------------------------------------------ #
+
+    def issue_store_receipt(
+        self, certificate: FileCertificate, diverted: bool = False
+    ) -> StoreReceipt:
+        """Issued by a *storage node's* card after storing a replica."""
+        return StoreReceipt.issue(self._keypair, self.node_id(), certificate, diverted)
+
+    def issue_reclaim_receipt(
+        self, reclaim_certificate: ReclaimCertificate, amount: int
+    ) -> ReclaimReceipt:
+        """Issued by a *storage node's* card after releasing storage."""
+        return ReclaimReceipt.issue(self._keypair, self.node_id(), reclaim_certificate, amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SmartCard(node_id={self.node_id():032x}, "
+            f"quota={self.quota_used}/{self.usage_quota}, "
+            f"contributes={self.contributed_storage})"
+        )
+
+
+def make_uncertified_card(
+    rng: random.Random, usage_quota: int, contributed_storage: int = 0, backend: str = "rsa"
+) -> SmartCard:
+    """A card with no broker certification -- the 'rogue card' the
+    security tests use to confirm that uncertified cards are rejected."""
+    return SmartCard(
+        generate_keypair(rng, backend=backend),
+        usage_quota=usage_quota,
+        contributed_storage=contributed_storage,
+        certificate=None,
+    )

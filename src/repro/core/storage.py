@@ -1,0 +1,143 @@
+"""Per-node file storage.
+
+Each PAST node contributes a fixed amount of storage (advertised by its
+smartcard).  The :class:`FileStore` accounts for that space and holds:
+
+* **primary replicas** -- files this node stores because its nodeId is
+  among the k closest to the fileId;
+* **diverted replicas** -- files stored on behalf of another node that
+  could not accommodate them (replica diversion, section 2.3);
+* **pointers** -- for each replica this node diverted away, a pointer to
+  the node actually holding it (negligible space, modelled as free).
+
+Cache space is accounted separately (:mod:`repro.core.cache`) because
+cached copies are evictable at any time; the *unused portion* of the
+advertised storage is what caching may use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.certificates import FileCertificate
+from repro.core.errors import DuplicateFileError, PastError
+from repro.core.files import FileData
+
+
+@dataclass
+class StoredReplica:
+    """One replica held by a node."""
+
+    certificate: FileCertificate
+    data: Optional[FileData]  # None if a cheating node discarded content
+    diverted: bool = False  # held on behalf of another node?
+
+    @property
+    def size(self) -> int:
+        return self.certificate.size
+
+
+class FileStore:
+    """Capacity-accounted replica storage for one node."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.used = 0
+        self._replicas: Dict[int, StoredReplica] = {}
+        self._pointers: Dict[int, int] = {}  # fileId -> nodeId holding it
+
+    # ------------------------------------------------------------------ #
+    # space accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_space(self) -> int:
+        """Bytes not occupied by replicas (cache space is evictable and
+        therefore counts as free here)."""
+        return self.capacity - self.used
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of advertised capacity occupied by replicas."""
+        if self.capacity == 0:
+            return 1.0
+        return self.used / self.capacity
+
+    # ------------------------------------------------------------------ #
+    # replicas
+    # ------------------------------------------------------------------ #
+
+    def store(self, certificate: FileCertificate, data: Optional[FileData],
+              diverted: bool = False) -> StoredReplica:
+        """Store one replica; the caller has already applied the
+        acceptance policy.  Raises on duplicate or genuine lack of space."""
+        file_id = certificate.file_id
+        if file_id in self._replicas:
+            raise DuplicateFileError(f"fileId {file_id:040x} already stored")
+        if certificate.size > self.free_space:
+            raise PastError(
+                f"replica of {certificate.size} bytes exceeds free space {self.free_space}"
+            )
+        replica = StoredReplica(certificate=certificate, data=data, diverted=diverted)
+        self._replicas[file_id] = replica
+        self.used += certificate.size
+        return replica
+
+    def remove(self, file_id: int) -> int:
+        """Release a replica's storage; returns the bytes freed."""
+        replica = self._replicas.pop(file_id, None)
+        if replica is None:
+            return 0
+        self.used -= replica.size
+        return replica.size
+
+    def get(self, file_id: int) -> Optional[StoredReplica]:
+        return self._replicas.get(file_id)
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._replicas
+
+    def file_ids(self) -> List[int]:
+        return list(self._replicas)
+
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def discard_content(self, file_id: int) -> bool:
+        """Model a cheating node: keep the replica's metadata (so it still
+        answers 'yes, I store that') but drop the content.  Random audits
+        (section 2.1) are designed to expose exactly this."""
+        replica = self._replicas.get(file_id)
+        if replica is None or replica.data is None:
+            return False
+        replica.data = None
+        return True
+
+    # ------------------------------------------------------------------ #
+    # diversion pointers
+    # ------------------------------------------------------------------ #
+
+    def install_pointer(self, file_id: int, holder_node_id: int) -> None:
+        """Record that this node's replica of *file_id* lives on
+        *holder_node_id* (replica diversion)."""
+        if file_id in self._replicas:
+            raise PastError("cannot install a pointer for a locally stored replica")
+        self._pointers[file_id] = holder_node_id
+
+    def pointer(self, file_id: int) -> Optional[int]:
+        return self._pointers.get(file_id)
+
+    def remove_pointer(self, file_id: int) -> bool:
+        return self._pointers.pop(file_id, None) is not None
+
+    def pointer_count(self) -> int:
+        return len(self._pointers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FileStore(used={self.used}/{self.capacity}, "
+            f"replicas={len(self._replicas)}, pointers={len(self._pointers)})"
+        )

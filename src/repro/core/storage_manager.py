@@ -1,0 +1,126 @@
+"""Storage management: acceptance policy and diversion (section 2.3).
+
+The statistical assignment of files to nodes balances the *number* of
+files per node, but file sizes and node capacities are heavily skewed, so
+explicit load balancing is needed for the system to behave gracefully as
+global utilization approaches 100%.  Three mechanisms (from the SOSP'01
+companion paper):
+
+* **Acceptance policy.**  A node rejects a replica when
+  ``size / free_space > t`` -- large files are refused by nearly-full
+  nodes while small files still fit.  The threshold is ``t_pri`` for
+  primary replicas and a stricter ``t_div`` for diverted ones (a diverted
+  replica also costs an indirection, so it must clear a higher bar).
+* **Replica diversion.**  A node among the k closest that cannot accept
+  a replica asks a node in its *leaf set* -- one that is not itself among
+  the k closest and has the most free space -- to hold the replica, and
+  keeps a pointer.  This balances storage within a leaf set.
+* **File diversion.**  If the k-closest neighbourhood cannot accommodate
+  the file at all, the whole insert aborts, the client generates a fresh
+  salt, and the file is diverted to a different region of the id space.
+  After ``max_file_diversions`` failed attempts the insert is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+from repro.core.storage import FileStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import PastNode
+
+
+@dataclass(frozen=True)
+class StoragePolicy:
+    """Tunable knobs of the storage-management scheme.
+
+    Defaults follow the SOSP'01 evaluation: t_pri = 0.1, t_div = 0.05,
+    up to 3 file diversions (4 attempts total), diversion enabled.
+    Setting both ``enable_*`` flags False gives the no-diversion baseline
+    of benchmark E9.
+    """
+
+    t_pri: float = 0.1
+    t_div: float = 0.05
+    max_file_diversions: int = 3
+    enable_replica_diversion: bool = True
+    enable_file_diversion: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.t_pri <= 1.0:
+            raise ValueError("t_pri must be in (0, 1]")
+        if not 0.0 < self.t_div <= 1.0:
+            raise ValueError("t_div must be in (0, 1]")
+        if self.t_div > self.t_pri:
+            raise ValueError(
+                "t_div must not exceed t_pri: diverted replicas carry an "
+                "indirection cost and must clear a stricter bar"
+            )
+        if self.max_file_diversions < 0:
+            raise ValueError("max_file_diversions must be non-negative")
+
+    def accepts(self, store: FileStore, size: int, diverted: bool) -> bool:
+        """The SD/FN > t acceptance test."""
+        free = store.free_space
+        if size > free:
+            return False
+        if free == 0:
+            return False
+        threshold = self.t_div if diverted else self.t_pri
+        return size / free <= threshold
+
+
+def choose_diversion_target(
+    node: "PastNode",
+    file_id: int,
+    size: int,
+    exclude: Iterable[int],
+    policy: StoragePolicy,
+) -> Optional["PastNode"]:
+    """Pick the leaf-set node to divert a replica to.
+
+    Candidates: the diverting node's leaf set, minus the k closest nodes
+    (they hold or were asked to hold their own replicas) and minus any
+    node already involved.  Among candidates that would accept under
+    ``t_div``, the one with most free space wins -- diverting to the
+    emptiest neighbour is what balances utilization across the leaf set.
+    """
+    excluded = set(exclude)
+    best: Optional["PastNode"] = None
+    best_free = -1
+    for member_id in node.pastry.state.leaf_set.members():
+        if member_id in excluded:
+            continue
+        member = node.network.past_node(member_id)
+        if member is None or not member.pastry.alive:
+            continue
+        if file_id in member.store or member.store.pointer(file_id) is not None:
+            continue
+        if not policy.accepts(member.store, size, diverted=True):
+            continue
+        if member.store.free_space > best_free:
+            best_free = member.store.free_space
+            best = member
+    return best
+
+
+def summarize_utilization(nodes: Iterable["PastNode"]) -> dict:
+    """Global storage statistics across *nodes* (benchmark E9 reporting)."""
+    total_capacity = 0
+    total_used = 0
+    per_node: List[float] = []
+    for node in nodes:
+        total_capacity += node.store.capacity
+        total_used += node.store.used
+        if node.store.capacity > 0:
+            per_node.append(node.store.utilization)
+    return {
+        "total_capacity": total_capacity,
+        "total_used": total_used,
+        "global_utilization": (total_used / total_capacity) if total_capacity else 0.0,
+        "per_node_min": min(per_node) if per_node else 0.0,
+        "per_node_max": max(per_node) if per_node else 0.0,
+        "node_count": len(per_node),
+    }

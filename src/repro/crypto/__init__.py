@@ -1,0 +1,35 @@
+"""Simulated cryptographic substrate for PAST.
+
+The paper assumes (security model, section 2.1) a public-key cryptosystem
+and a cryptographic hash function that cannot feasibly be broken.  We
+provide both from scratch:
+
+* :mod:`repro.crypto.hashing` -- SHA-1/SHA-256 (via :mod:`hashlib`) mapped
+  onto the fixed-width integer identifiers PAST uses (128-bit nodeIds and
+  160-bit fileIds).
+* :mod:`repro.crypto.rsa` -- a from-scratch RSA implementation
+  (Miller-Rabin key generation, hash-then-sign).  Small keys (default 512
+  bits) keep simulations fast while preserving the *semantics* that the
+  security claims need: certificates really verify, and forging any field
+  really breaks verification.
+* :mod:`repro.crypto.keys` -- the :class:`KeyPair`/:class:`PublicKey`
+  abstraction used by smartcards and brokers, including an "insecure fast"
+  mode that swaps RSA for keyed hashing when an experiment pushes millions
+  of messages and does not exercise the security path.
+"""
+
+from repro.crypto.hashing import sha1_id, sha256_id, hash_bytes
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.crypto.signatures import SignedEnvelope, sign_fields, verify_fields
+
+__all__ = [
+    "sha1_id",
+    "sha256_id",
+    "hash_bytes",
+    "KeyPair",
+    "PublicKey",
+    "generate_keypair",
+    "SignedEnvelope",
+    "sign_fields",
+    "verify_fields",
+]

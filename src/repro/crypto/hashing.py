@@ -1,0 +1,76 @@
+"""Cryptographic hashing mapped onto PAST's identifier widths.
+
+PAST assigns each node a 128-bit nodeId (hash of the node's public key)
+and each file a 160-bit fileId (hash of the file's textual name, the
+owner's public key and a random salt).  The helpers here produce those
+integers from arbitrary byte strings using SHA-1/SHA-256 truncation, which
+preserves the property the paper relies on: identifiers are uniformly and
+quasi-randomly distributed, so an attacker cannot bias them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+NODE_ID_BITS = 128
+FILE_ID_BITS = 160
+
+_FIELD_SEPARATOR = b"\x1f"
+
+
+def hash_bytes(*parts: bytes) -> bytes:
+    """SHA-256 over length-prefixed parts.
+
+    Length-prefixing (rather than bare concatenation) prevents ambiguity
+    attacks where ``(b"ab", b"c")`` and ``(b"a", b"bc")`` would otherwise
+    hash identically.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+        h.update(_FIELD_SEPARATOR)
+    return h.digest()
+
+
+def _truncate_to_bits(digest: bytes, bits: int) -> int:
+    value = int.from_bytes(digest, "big")
+    excess = len(digest) * 8 - bits
+    if excess < 0:
+        raise ValueError(f"digest too short for {bits} bits")
+    return value >> excess
+
+
+def sha1_id(*parts: bytes, bits: int = FILE_ID_BITS) -> int:
+    """SHA-1 of the parts truncated to *bits* (SHA-1 is exactly 160 bits,
+    matching the paper's fileId width)."""
+    h = hashlib.sha1()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+        h.update(_FIELD_SEPARATOR)
+    return _truncate_to_bits(h.digest(), bits)
+
+
+def sha256_id(*parts: bytes, bits: int = NODE_ID_BITS) -> int:
+    """SHA-256 of the parts truncated to *bits* (128 for nodeIds)."""
+    return _truncate_to_bits(hash_bytes(*parts), bits)
+
+
+def content_hash(data: bytes) -> int:
+    """The cryptographic hash of a file's contents carried in its
+    file certificate (160 bits, like the fileId)."""
+    return sha1_id(data, bits=FILE_ID_BITS)
+
+
+def int_to_bytes(value: int, bits: int) -> bytes:
+    """Fixed-width big-endian encoding of an identifier."""
+    if value < 0 or value >= (1 << bits):
+        raise ValueError(f"value {value} does not fit in {bits} bits")
+    return value.to_bytes(bits // 8, "big")
+
+
+def combine_ids(values: Iterable[int], bits: int) -> int:
+    """Hash several identifiers into one (used for audit challenges)."""
+    return sha256_id(*(int_to_bytes(v, bits) for v in values), bits=bits)

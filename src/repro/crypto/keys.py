@@ -1,0 +1,122 @@
+"""Key abstraction used by smartcards, brokers, and users.
+
+Two interchangeable backends:
+
+* ``rsa`` -- real signatures via :mod:`repro.crypto.rsa`.  Default; used by
+  all the security tests and by any experiment that exercises certificate
+  verification.
+* ``insecure_fast`` -- a keyed-hash tag.  Verification recomputes the tag
+  from a *secret* the public key object carries.  This is obviously not a
+  signature scheme (anyone holding the "public" key can forge), but it is
+  two orders of magnitude faster and behaviourally identical for the
+  performance experiments, which never attempt forgery.  The mode is an
+  explicit opt-in so no security-relevant code path can select it silently.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.crypto.hashing import hash_bytes, sha256_id, NODE_ID_BITS
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+
+RSA_BACKEND = "rsa"
+INSECURE_FAST_BACKEND = "insecure_fast"
+
+
+@dataclass(frozen=True)
+class _FastPublicKey:
+    """Keyed-hash 'public key' for the insecure fast backend."""
+
+    secret: bytes
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        expected = int.from_bytes(hash_bytes(self.secret, message), "big")
+        return signature == expected
+
+    def fingerprint(self) -> bytes:
+        return hash_bytes(b"fast-key", self.secret)
+
+
+@dataclass(frozen=True)
+class _FastPrivateKey:
+    secret: bytes
+
+    def sign(self, message: bytes) -> int:
+        return int.from_bytes(hash_bytes(self.secret, message), "big")
+
+    def public_key(self) -> _FastPublicKey:
+        return _FastPublicKey(secret=self.secret)
+
+
+class PublicKey:
+    """Backend-agnostic public key: verify signatures, derive identifiers."""
+
+    def __init__(self, impl: Union[RsaPublicKey, _FastPublicKey]) -> None:
+        self._impl = impl
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """True iff *signature* was produced by the matching private key
+        over exactly *message*."""
+        return self._impl.verify(message, signature)
+
+    def fingerprint(self) -> bytes:
+        """Canonical bytes identifying this key (hash of its material)."""
+        return self._impl.fingerprint()
+
+    def derive_id(self, bits: int = NODE_ID_BITS) -> int:
+        """The identifier PAST derives from a public key (e.g. a nodeId is
+        the 128-bit hash of the smartcard's public key)."""
+        return sha256_id(self.fingerprint(), bits=bits)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PublicKey) and other._impl == self._impl
+
+    def __hash__(self) -> int:
+        return hash(self._impl)
+
+    def __repr__(self) -> str:
+        return f"PublicKey({self.fingerprint().hex()[:12]}…)"
+
+
+class KeyPair:
+    """A private/public key pair.
+
+    The private half never leaves this object; smartcards hold a KeyPair
+    and expose only signing operations, mirroring tamper-proof hardware.
+    """
+
+    def __init__(self, private: Union[RsaPrivateKey, _FastPrivateKey], backend: str) -> None:
+        self._private = private
+        self.backend = backend
+        self.public = PublicKey(private.public_key())
+
+    def sign(self, message: bytes) -> int:
+        """Sign *message*; verify with ``self.public.verify``."""
+        return self._private.sign(message)
+
+    def __repr__(self) -> str:
+        return f"KeyPair(backend={self.backend}, public={self.public!r})"
+
+
+def generate_keypair(
+    rng: Optional[random.Random] = None,
+    backend: str = RSA_BACKEND,
+    bits: int = 512,
+) -> KeyPair:
+    """Mint a new keypair with the requested backend.
+
+    *rng* makes key generation deterministic under a seeded stream, which
+    keeps whole-network simulations reproducible.
+    """
+    if rng is None:
+        rng = random.Random()
+    if backend == RSA_BACKEND:
+        private, _ = generate_rsa_keypair(bits=bits, rng=rng)
+        return KeyPair(private, backend)
+    if backend == INSECURE_FAST_BACKEND:
+        secret = rng.getrandbits(256).to_bytes(32, "big")
+        return KeyPair(_FastPrivateKey(secret=secret), backend)
+    raise ValueError(f"unknown key backend: {backend!r}")

@@ -1,0 +1,93 @@
+"""Signed-envelope helpers shared by all PAST certificates.
+
+Every certificate in PAST (file certificate, store receipt, reclaim
+certificate, reclaim receipt) is "a set of named fields, signed".  The
+helpers here canonicalise the fields into bytes deterministically so that
+signing and verification agree, and so that changing *any* field breaks
+the signature -- the property each security test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.crypto.keys import KeyPair, PublicKey
+
+FieldValue = Union[int, str, bytes]
+
+
+def _encode_value(value: FieldValue) -> bytes:
+    """Unambiguous, type-tagged encoding of a field value."""
+    if isinstance(value, bool):  # bool is an int subclass; tag it separately
+        return b"B" + (b"1" if value else b"0")
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"Y" + value
+    raise TypeError(f"unsupported certificate field type: {type(value).__name__}")
+
+
+def canonical_bytes(fields: Mapping[str, FieldValue]) -> bytes:
+    """Deterministic byte encoding of a field mapping.
+
+    Fields are sorted by name and length-prefixed, so reordering keys or
+    splitting/joining values cannot produce a colliding encoding.
+    """
+    chunks = []
+    for name in sorted(fields):
+        encoded = _encode_value(fields[name])
+        name_bytes = name.encode("utf-8")
+        chunks.append(len(name_bytes).to_bytes(4, "big"))
+        chunks.append(name_bytes)
+        chunks.append(len(encoded).to_bytes(4, "big"))
+        chunks.append(encoded)
+    return b"".join(chunks)
+
+
+def sign_fields(keypair: KeyPair, kind: str, fields: Mapping[str, FieldValue]) -> int:
+    """Sign a certificate of the given *kind* over canonicalised fields.
+
+    The kind tag is mixed into the signed bytes so that, e.g., a reclaim
+    certificate can never be replayed as a file certificate even if their
+    field sets coincided.
+    """
+    return keypair.sign(kind.encode("utf-8") + b"\x00" + canonical_bytes(fields))
+
+
+def verify_fields(
+    public: PublicKey, kind: str, fields: Mapping[str, FieldValue], signature: int
+) -> bool:
+    """Verify a certificate signed by :func:`sign_fields`."""
+    return public.verify(kind.encode("utf-8") + b"\x00" + canonical_bytes(fields), signature)
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """A generic signed message: fields + signer + signature.
+
+    Concrete certificate classes in :mod:`repro.core.certificates` wrap
+    this with typed accessors; the envelope keeps the signing mechanics in
+    one place.
+    """
+
+    kind: str
+    fields: Mapping[str, FieldValue]
+    signer: PublicKey
+    signature: int
+
+    @classmethod
+    def create(cls, keypair: KeyPair, kind: str, fields: Mapping[str, FieldValue]) -> "SignedEnvelope":
+        signature = sign_fields(keypair, kind, fields)
+        return cls(kind=kind, fields=dict(fields), signer=keypair.public, signature=signature)
+
+    def verify(self) -> bool:
+        """Self-check against the embedded signer key."""
+        return verify_fields(self.signer, self.kind, self.fields, self.signature)
+
+    def verify_with(self, public: PublicKey) -> bool:
+        """Check against an externally supplied key (e.g. the one a broker
+        certified), guarding against envelope substitution."""
+        return verify_fields(public, self.kind, self.fields, self.signature)

@@ -1,0 +1,107 @@
+"""Symmetric encryption for private files.
+
+Section 2.1 (Data privacy and integrity): "Users may use encryption to
+protect the privacy of their data, using a cryptosystem of their choice.
+Data encryption does not involve the smartcards."
+
+This module provides that client-side cryptosystem, from scratch on top
+of SHA-256 (the only primitive the environment offers):
+
+* a **stream cipher** in counter mode -- the keystream is
+  ``SHA-256(key || nonce || counter)`` blocks XORed with the plaintext;
+* an **encrypt-then-MAC** envelope -- a keyed-hash tag over the nonce and
+  ciphertext, with a key derived from (but not equal to) the encryption
+  key, so tampering is detected before decryption.
+
+Storage nodes see only ciphertext; sharing a file means distributing the
+fileId *and* the key (section 1: "files can be shared at the owner's
+discretion by distributing the fileId ... and, if necessary, a
+decryption key").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass
+
+KEY_BYTES = 32
+NONCE_BYTES = 16
+TAG_BYTES = 32
+_BLOCK = 32  # SHA-256 output size
+
+
+class DecryptionError(Exception):
+    """Wrong key, or the ciphertext was tampered with."""
+
+
+def generate_key(rng: random.Random) -> bytes:
+    """A fresh 256-bit symmetric key (deterministic under a seeded rng,
+    for reproducible simulations)."""
+    return rng.getrandbits(KEY_BYTES * 8).to_bytes(KEY_BYTES, "big")
+
+
+def _keystream_block(key: bytes, nonce: bytes, counter: int) -> bytes:
+    return hashlib.sha256(
+        b"past-ctr" + key + nonce + counter.to_bytes(8, "big")
+    ).digest()
+
+
+def _mac_key(key: bytes) -> bytes:
+    # Domain-separated derivation: the MAC key differs from the cipher key.
+    return hashlib.sha256(b"past-mac" + key).digest()
+
+
+def _xor_stream(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    out = bytearray(len(data))
+    for block_index in range((len(data) + _BLOCK - 1) // _BLOCK):
+        stream = _keystream_block(key, nonce, block_index)
+        base = block_index * _BLOCK
+        chunk = data[base:base + _BLOCK]
+        for i, byte in enumerate(chunk):
+            out[base + i] = byte ^ stream[i]
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class SealedBox:
+    """nonce || ciphertext || tag, as stored in PAST."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.nonce + self.ciphertext + self.tag
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SealedBox":
+        if len(blob) < NONCE_BYTES + TAG_BYTES:
+            raise DecryptionError("sealed blob too short")
+        return cls(
+            nonce=blob[:NONCE_BYTES],
+            ciphertext=blob[NONCE_BYTES:-TAG_BYTES],
+            tag=blob[-TAG_BYTES:],
+        )
+
+
+def encrypt(key: bytes, plaintext: bytes, rng: random.Random) -> SealedBox:
+    """Encrypt-then-MAC under a fresh random nonce."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"key must be {KEY_BYTES} bytes")
+    nonce = rng.getrandbits(NONCE_BYTES * 8).to_bytes(NONCE_BYTES, "big")
+    ciphertext = _xor_stream(key, nonce, plaintext)
+    tag = hmac.new(_mac_key(key), nonce + ciphertext, hashlib.sha256).digest()
+    return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def decrypt(key: bytes, box: SealedBox) -> bytes:
+    """Verify the tag, then decrypt.  Raises :class:`DecryptionError` on
+    a wrong key or any ciphertext/nonce/tag tampering."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"key must be {KEY_BYTES} bytes")
+    expected = hmac.new(_mac_key(key), box.nonce + box.ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(expected, box.tag):
+        raise DecryptionError("authentication tag mismatch (wrong key or tampering)")
+    return _xor_stream(key, box.nonce, box.ciphertext)

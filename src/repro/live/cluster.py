@@ -1,0 +1,380 @@
+"""Live Pastry nodes as asyncio tasks, and the cluster orchestrator.
+
+Each :class:`LiveNode` runs a message loop over its transport mailbox
+and maintains exactly the same :class:`~repro.pastry.state.NodeState`
+the synchronous simulator uses; routing decisions go through the same
+:class:`~repro.pastry.routing.DeterministicRouting` policy.  What is
+*different* here is genuine concurrency: joins overlap, route messages
+interleave, and dead peers are discovered through failed sends rather
+than an oracle.
+
+Protocol messages
+-----------------
+``route``          key routed hop by hop; carries a trail and, for join
+                   routes, the routing-table rows collected on the way.
+``route-result``   delivered notification back to the requesting node.
+``join-request``   X -> contact A: start the join route towards X's id.
+``join-reply``     root Z -> X: leaf set, neighborhood, collected rows.
+``announce``       X -> everyone in its new state: "I have arrived."
+``stop``           shut the node's loop down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from typing import Dict, List, Optional
+
+from repro.live.transport import InProcessTransport, Message
+from repro.netsim.topology import EuclideanPlaneTopology, Topology
+from repro.pastry.nodeid import IdSpace
+from repro.pastry.routing import DeterministicRouting
+from repro.pastry.state import NodeState
+from repro.sim.rng import RngRegistry
+
+ROUTE_TIMEOUT = 10.0  # seconds of real time; generous for CI machines
+
+
+class LiveNode:
+    """One overlay node running as an asyncio task."""
+
+    def __init__(self, cluster: "LiveCluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.state = NodeState(
+            space=cluster.space,
+            node_id=node_id,
+            leaf_capacity=cluster.leaf_capacity,
+            neighborhood_capacity=cluster.neighborhood_capacity,
+            proximity=lambda other: cluster.topology.distance(node_id, other),
+        )
+        self.joined = asyncio.Event()
+        self._policy = DeterministicRouting()
+        self._task: Optional[asyncio.Task] = None
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        self._running = True
+        self._task = asyncio.create_task(self._run(), name=f"node-{self.node_id:x}")
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._running = False
+        await self.cluster.transport.send(
+            self.node_id, Message(kind="stop", sender=self.node_id)
+        )
+        try:
+            await asyncio.wait_for(self._task, timeout=2.0)
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            self._task.cancel()
+        except asyncio.CancelledError:
+            pass  # the task was cancelled by kill(); that is its end state
+
+    async def _run(self) -> None:
+        transport = self.cluster.transport
+        while self._running:
+            message = await transport.receive(self.node_id)
+            if message is None or message.kind == "stop":
+                break
+            handler = getattr(self, f"_on_{message.kind.replace('-', '_')}", None)
+            if handler is not None:
+                await handler(message)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    async def _send(self, destination: int, message: Message) -> bool:
+        """Send, treating failure as discovery of the peer's death."""
+        delivered = await self.cluster.transport.send(destination, message)
+        if not delivered:
+            self.state.forget(destination)
+        return delivered
+
+    async def _forward_route(self, payload: dict) -> None:
+        """Advance a route message one hop (or deliver it here)."""
+        key = payload["key"]
+        while True:
+            hop = self._policy.next_hop(self.state, key)
+            if hop is not None and hop in payload["trail"]:
+                hop = None  # cycle guard: deliver here (see network.route)
+            if hop is None:
+                await self._deliver_route(payload)
+                return
+            payload["trail"].append(self.node_id)
+            if payload.get("collect_rows") is not None:
+                row_index = min(len(payload["trail"]) - 1, self.cluster.space.digits - 1)
+                payload["collect_rows"].append(
+                    (row_index, self.state.routing_table.row(row_index))
+                )
+            message = Message(kind="route", sender=self.node_id, payload=payload)
+            if await self._send(hop, message):
+                return
+            payload["trail"].pop()
+            if payload.get("collect_rows") is not None:
+                payload["collect_rows"].pop()
+            # Send failed: the dead hop was forgotten; re-decide.
+
+    async def _deliver_route(self, payload: dict) -> None:
+        purpose = payload.get("purpose", "lookup")
+        if purpose == "join":
+            await self._answer_join(payload)
+            return
+        result = Message(
+            kind="route-result",
+            sender=self.node_id,
+            payload={
+                "request_id": payload["request_id"],
+                "path": payload["trail"] + [self.node_id],
+                "key": payload["key"],
+            },
+        )
+        await self._send(payload["origin"], result)
+
+    # ------------------------------------------------------------------ #
+    # message handlers
+    # ------------------------------------------------------------------ #
+
+    async def _on_route(self, message: Message) -> None:
+        await self._forward_route(message.payload)
+
+    async def _on_route_result(self, message: Message) -> None:
+        self.cluster._resolve_route(message.payload["request_id"], message.payload["path"])
+
+    async def _on_join_request(self, message: Message) -> None:
+        """Contact-node side: start the join route towards X's id."""
+        joiner = message.payload["joiner"]
+        payload = {
+            "key": joiner,
+            "origin": joiner,
+            "purpose": "join",
+            "trail": [],
+            "collect_rows": [],
+            "contact_neighborhood": sorted(
+                self.state.neighborhood.members() | {self.node_id}
+            ),
+        }
+        await self._forward_route(payload)
+
+    async def _answer_join(self, payload: dict) -> None:
+        """Root side: hand the joiner its initial state."""
+        reply = Message(
+            kind="join-reply",
+            sender=self.node_id,
+            payload={
+                "leaf_set": sorted(self.state.leaf_set.members() | {self.node_id}),
+                "neighborhood": payload.get("contact_neighborhood", []),
+                "rows": payload.get("collect_rows", []),
+                "trail": payload["trail"] + [self.node_id],
+            },
+        )
+        await self._send(payload["origin"], reply)
+
+    async def _on_join_reply(self, message: Message) -> None:
+        """Joiner side: absorb the state, announce arrival."""
+        payload = message.payload
+        for peer in itertools.chain(
+            payload["neighborhood"], payload["leaf_set"], payload["trail"]
+        ):
+            if peer != self.node_id:
+                self.state.learn(peer)
+        for row_index, row in payload["rows"]:
+            self.state.routing_table.install_row(
+                row_index, row, self.state.proximity
+            )
+            for entry in row:
+                if entry is not None and entry != self.node_id:
+                    self.state.learn(entry)
+        announce = sorted(self.state.known_nodes())
+        for peer in announce:
+            await self._send(
+                peer, Message(kind="announce", sender=self.node_id, payload={})
+            )
+        self.joined.set()
+
+    async def _on_announce(self, message: Message) -> None:
+        self.state.learn(message.sender)
+
+    async def _on_leafset_request(self, message: Message) -> None:
+        await self._send(
+            message.sender,
+            Message(
+                kind="leafset-reply",
+                sender=self.node_id,
+                payload={
+                    "members": sorted(self.state.leaf_set.members() | {self.node_id})
+                },
+            ),
+        )
+
+    async def _on_leafset_reply(self, message: Message) -> None:
+        for member in message.payload["members"]:
+            if member != self.node_id:
+                self.state.learn(member)
+
+
+class LiveCluster:
+    """Builds and drives a live overlay."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        leaf_capacity: int = 16,
+        neighborhood_capacity: int = 16,
+        topology: Optional[Topology] = None,
+        space: Optional[IdSpace] = None,
+    ) -> None:
+        self.space = space if space is not None else IdSpace(128, 4)
+        self.rngs = RngRegistry(seed)
+        self.topology = (
+            topology
+            if topology is not None
+            else EuclideanPlaneTopology(self.rngs.stream("topology"))
+        )
+        self.leaf_capacity = leaf_capacity
+        self.neighborhood_capacity = neighborhood_capacity
+        self.transport = InProcessTransport()
+        self.nodes: Dict[int, LiveNode] = {}
+        self._route_futures: Dict[int, asyncio.Future] = {}
+        self._request_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def _create_node(self, node_id: Optional[int] = None) -> LiveNode:
+        rng = self.rngs.stream("node-ids")
+        if node_id is None:
+            node_id = self.space.random_id(rng)
+            while node_id in self.nodes:
+                node_id = self.space.random_id(rng)
+        self.topology.add_endpoint(node_id)
+        self.transport.register(node_id)
+        node = LiveNode(self, node_id)
+        self.nodes[node_id] = node
+        node.start()
+        return node
+
+    def _nearest_contact(self, newcomer: LiveNode, joined: List[int]) -> int:
+        return min(
+            joined,
+            key=lambda other: self.topology.distance(newcomer.node_id, other),
+        )
+
+    async def start(self, n: int, join_concurrency: int = 8) -> None:
+        """Bootstrap an n-node overlay with *concurrent* joins.
+
+        Nodes join in waves of *join_concurrency*; within a wave the join
+        protocols genuinely overlap (interleaved routes, announcements
+        racing with other joins).
+        """
+        if n < 1:
+            raise ValueError("need at least one node")
+        first = self._create_node()
+        first.joined.set()
+        joined = [first.node_id]
+        remaining = n - 1
+        while remaining > 0:
+            wave = [self._create_node() for _ in range(min(join_concurrency, remaining))]
+            remaining -= len(wave)
+
+            async def join_one(node: LiveNode) -> None:
+                contact = self._nearest_contact(node, joined)
+                await self.transport.send(
+                    contact,
+                    Message(kind="join-request", sender=node.node_id,
+                            payload={"joiner": node.node_id}),
+                )
+                await asyncio.wait_for(node.joined.wait(), timeout=ROUTE_TIMEOUT)
+
+            await asyncio.gather(*(join_one(node) for node in wave))
+            joined.extend(node.node_id for node in wave)
+            # Concurrent joiners within a wave may not have learned of
+            # each other (their announcements raced); one leaf-set
+            # stabilization round restores the adjacency invariants --
+            # the live equivalent of Pastry's periodic leaf-set
+            # maintenance.
+            await self.stabilize(rounds=1)
+        await self.stabilize(rounds=2)
+
+    async def stabilize(self, rounds: int = 1) -> None:
+        """Leaf-set gossip: every live node asks its current leaf-set
+        members for *their* leaf sets and merges the replies.  Two rounds
+        propagate membership across any single missed announcement."""
+        for _ in range(rounds):
+            for node_id in self.live_ids():
+                node = self.nodes[node_id]
+                for member in sorted(node.state.leaf_set.members()):
+                    await self.transport.send(
+                        member,
+                        Message(kind="leafset-request", sender=node_id, payload={}),
+                    )
+            await self._quiesce()
+
+    async def _quiesce(self, settle_checks: int = 3) -> None:
+        """Wait until every mailbox has been empty for a few checks."""
+        clear = 0
+        while clear < settle_checks:
+            await asyncio.sleep(0.005)
+            if all(q.empty() for q in self.transport._mailboxes.values()):
+                clear += 1
+            else:
+                clear = 0
+
+    async def shutdown(self) -> None:
+        await asyncio.gather(*(node.stop() for node in self.nodes.values()))
+
+    def kill(self, node_id: int) -> None:
+        """Silent failure: the node stops responding; peers discover it
+        through failed sends."""
+        self.transport.mark_dead(node_id)
+        node = self.nodes[node_id]
+        node._running = False
+        if node._task is not None:
+            node._task.cancel()
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def live_ids(self) -> List[int]:
+        return sorted(
+            node_id for node_id in self.nodes
+            if not self.transport.is_dead(node_id)
+        )
+
+    def global_root(self, key: int) -> int:
+        """Ground truth for verification (never used by the protocol)."""
+        return self.space.closest(key, iter(self.live_ids()))
+
+    def _resolve_route(self, request_id: int, path: List[int]) -> None:
+        future = self._route_futures.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_result(path)
+
+    async def route(self, key: int, origin: int,
+                    timeout: float = ROUTE_TIMEOUT) -> List[int]:
+        """Route *key* from *origin*; returns the path (origin..root)."""
+        request_id = next(self._request_ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._route_futures[request_id] = future
+        payload = {
+            "key": key,
+            "origin": origin,
+            "request_id": request_id,
+            "trail": [],
+            "purpose": "lookup",
+        }
+        await self.transport.send(
+            origin, Message(kind="route", sender=origin, payload=payload)
+        )
+        try:
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._route_futures.pop(request_id, None)

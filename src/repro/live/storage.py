@@ -1,0 +1,268 @@
+"""PAST storage operations over the live asyncio overlay.
+
+Extends the live Pastry cluster with the storage protocol: inserts fan
+out from the root to the k numerically closest nodes and collect
+acknowledgements asynchronously; lookups are served by the *first* node
+on the route holding a replica.  Everything runs inside the single-task
+node loops, so all the interesting interleavings happen: two inserts
+racing to the same region, lookups overtaking the insert that stored
+their file, roots dying between fan-out and acknowledgement.
+
+Scope note: this layer demonstrates the *protocol* under concurrency in
+a trusted-community configuration (signature and content-hash checks,
+no broker certification); the storage-management policies (diversion,
+caching, quotas) are exercised exhaustively by the simulator test suite
+and are orthogonal to message concurrency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, Optional
+
+from repro.core.certificates import FileCertificate
+from repro.core.files import FileData
+from repro.core.storage import FileStore
+from repro.live.cluster import LiveCluster, LiveNode, ROUTE_TIMEOUT
+from repro.live.transport import Message
+
+
+class LiveStorageNode(LiveNode):
+    """A live node that also stores replicas."""
+
+    def __init__(self, cluster: "LiveStorageCluster", node_id: int,
+                 capacity: int) -> None:
+        super().__init__(cluster, node_id)
+        self.store = FileStore(capacity)
+        # insert_id -> {"needed", "receipts", "client"} at the root.
+        self._pending_inserts: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # route delivery overrides
+    # ------------------------------------------------------------------ #
+
+    async def _forward_route(self, payload: dict) -> None:
+        # En-route serving: the first node holding the file answers a
+        # lookup immediately (the simulator's forward-hook behaviour).
+        if payload.get("purpose") == "past-lookup":
+            replica = self.store.get(payload["file_id"])
+            if replica is not None and replica.data is not None:
+                await self._send(
+                    payload["client"],
+                    Message(
+                        kind="lookup-result",
+                        sender=self.node_id,
+                        payload={
+                            "request_id": payload["request_id"],
+                            "certificate": replica.certificate,
+                            "data": replica.data,
+                            "serving_node": self.node_id,
+                        },
+                    ),
+                )
+                return
+        await super()._forward_route(payload)
+
+    async def _deliver_route(self, payload: dict) -> None:
+        purpose = payload.get("purpose")
+        if purpose == "past-insert":
+            await self._insert_as_root(payload)
+            return
+        if purpose == "past-lookup":
+            # Reached the root without finding the file anywhere en route.
+            await self._send(
+                payload["client"],
+                Message(
+                    kind="lookup-result",
+                    sender=self.node_id,
+                    payload={"request_id": payload["request_id"],
+                             "certificate": None, "data": None,
+                             "serving_node": self.node_id},
+                ),
+            )
+            return
+        await super()._deliver_route(payload)
+
+    # ------------------------------------------------------------------ #
+    # insert: root-side fan-out with async ack collection
+    # ------------------------------------------------------------------ #
+
+    async def _insert_as_root(self, payload: dict) -> None:
+        certificate: FileCertificate = payload["certificate"]
+        k = certificate.replication_factor
+        key = certificate.storage_key()
+        try:
+            replica_ids = self.state.leaf_set.replica_candidates(key, k)
+        except ValueError:
+            await self._insert_failed(payload, "bad-k")
+            return
+        pending = {
+            "needed": set(replica_ids),
+            "stored": set(),
+            "client": payload["client"],
+            "request_id": payload["request_id"],
+            "certificate": certificate,
+        }
+        self._pending_inserts[payload["request_id"]] = pending
+        for replica_id in replica_ids:
+            if replica_id == self.node_id:
+                if self._store_locally(certificate, payload["data"]):
+                    pending["stored"].add(self.node_id)
+                continue
+            message = Message(
+                kind="store-request",
+                sender=self.node_id,
+                payload={
+                    "request_id": payload["request_id"],
+                    "certificate": certificate,
+                    "data": payload["data"],
+                },
+            )
+            await self._send(replica_id, message)
+        await self._maybe_finish_insert(payload["request_id"])
+
+    def _store_locally(self, certificate: FileCertificate,
+                       data: FileData) -> bool:
+        if not certificate.verify():
+            return False
+        if data.content_hash() != certificate.content_hash:
+            return False
+        if certificate.file_id in self.store:
+            return False
+        if certificate.size > self.store.free_space:
+            return False
+        self.store.store(certificate, data)
+        return True
+
+    async def _on_store_request(self, message: Message) -> None:
+        ok = self._store_locally(
+            message.payload["certificate"], message.payload["data"]
+        )
+        await self._send(
+            message.sender,
+            Message(
+                kind="store-ack",
+                sender=self.node_id,
+                payload={"request_id": message.payload["request_id"], "ok": ok},
+            ),
+        )
+
+    async def _on_store_ack(self, message: Message) -> None:
+        pending = self._pending_inserts.get(message.payload["request_id"])
+        if pending is None:
+            return
+        if message.payload["ok"]:
+            pending["stored"].add(message.sender)
+        else:
+            pending["needed"].discard(message.sender)  # permanent refusal
+        await self._maybe_finish_insert(message.payload["request_id"])
+
+    async def _maybe_finish_insert(self, request_id: int) -> None:
+        pending = self._pending_inserts.get(request_id)
+        if pending is None:
+            return
+        if pending["stored"] >= pending["needed"]:
+            del self._pending_inserts[request_id]
+            await self._send(
+                pending["client"],
+                Message(
+                    kind="insert-result",
+                    sender=self.node_id,
+                    payload={
+                        "request_id": request_id,
+                        "success": True,
+                        "holders": sorted(pending["stored"]),
+                    },
+                ),
+            )
+        elif pending["needed"] - pending["stored"] and \
+                len(pending["needed"]) < pending["certificate"].replication_factor:
+            # Someone refused: the insert cannot reach k replicas.
+            del self._pending_inserts[request_id]
+            await self._insert_failed(
+                {"client": pending["client"], "request_id": request_id},
+                "refused",
+            )
+
+    async def _insert_failed(self, payload: dict, reason: str) -> None:
+        await self._send(
+            payload["client"],
+            Message(
+                kind="insert-result",
+                sender=self.node_id,
+                payload={"request_id": payload["request_id"],
+                         "success": False, "reason": reason, "holders": []},
+            ),
+        )
+
+    async def _on_insert_result(self, message: Message) -> None:
+        self.cluster._resolve_request(message.payload["request_id"], message.payload)
+
+    async def _on_lookup_result(self, message: Message) -> None:
+        self.cluster._resolve_request(message.payload["request_id"], message.payload)
+
+
+class LiveStorageCluster(LiveCluster):
+    """A live overlay whose nodes store files."""
+
+    def __init__(self, seed: int = 0, node_capacity: int = 1 << 24, **kwargs) -> None:
+        super().__init__(seed, **kwargs)
+        self.node_capacity = node_capacity
+        self._request_futures: Dict[int, asyncio.Future] = {}
+        self._op_ids = itertools.count(10_000)
+
+    def _create_node(self, node_id: Optional[int] = None) -> LiveNode:
+        rng = self.rngs.stream("node-ids")
+        if node_id is None:
+            node_id = self.space.random_id(rng)
+            while node_id in self.nodes:
+                node_id = self.space.random_id(rng)
+        self.topology.add_endpoint(node_id)
+        self.transport.register(node_id)
+        node = LiveStorageNode(self, node_id, self.node_capacity)
+        self.nodes[node_id] = node
+        node.start()
+        return node
+
+    def _resolve_request(self, request_id: int, payload: dict) -> None:
+        future = self._request_futures.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_result(payload)
+
+    async def _request(self, origin: int, payload: dict,
+                       timeout: float = ROUTE_TIMEOUT) -> dict:
+        request_id = next(self._op_ids)
+        payload["request_id"] = request_id
+        payload["client"] = origin
+        payload["trail"] = []
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._request_futures[request_id] = future
+        await self.transport.send(
+            origin, Message(kind="route", sender=origin, payload=payload)
+        )
+        try:
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._request_futures.pop(request_id, None)
+
+    async def insert(self, certificate: FileCertificate, data: FileData,
+                     origin: int) -> dict:
+        """Insert a certified file from *origin*; returns the result
+        payload (success flag + holder list)."""
+        return await self._request(
+            origin,
+            {"key": certificate.storage_key(), "purpose": "past-insert",
+             "certificate": certificate, "data": data},
+        )
+
+    async def lookup(self, file_id: int, origin: int) -> dict:
+        """Look a file up from *origin*; the result payload carries the
+        certificate and data (None if not found)."""
+        from repro.core.ids import storage_key
+
+        return await self._request(
+            origin,
+            {"key": storage_key(file_id), "purpose": "past-lookup",
+             "file_id": file_id},
+        )

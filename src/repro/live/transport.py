@@ -1,0 +1,96 @@
+"""In-process asyncio transport: mailboxes, latency, failures.
+
+Each node owns an ``asyncio.Queue`` mailbox.  ``send`` optionally sleeps
+a latency drawn from a latency model before enqueueing, so messages
+genuinely overtake each other when routes differ -- the concurrency the
+live tests exercise.  Sends to unregistered or dead addresses fail
+(return False), which is how a live node discovers a peer's death.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.netsim.latency import LatencyModel
+
+
+@dataclass
+class Message:
+    """One message on the wire."""
+
+    kind: str
+    sender: int
+    payload: dict = field(default_factory=dict)
+    message_id: int = 0
+
+
+class InProcessTransport:
+    """Mailbox-per-node message passing with failure semantics."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None,
+                 latency_scale: float = 0.001) -> None:
+        """*latency_scale* converts latency-model units into seconds of
+        real asyncio sleep (keep it small; the point is ordering, not
+        wall-clock realism)."""
+        self._mailboxes: Dict[int, asyncio.Queue] = {}
+        self._dead: Set[int] = set()
+        self._latency = latency
+        self._latency_scale = latency_scale
+        self._sequence = itertools.count(1)
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def register(self, address: int) -> asyncio.Queue:
+        """Create the mailbox for a new node."""
+        if address in self._mailboxes:
+            raise ValueError(f"address {address} already registered")
+        queue: asyncio.Queue = asyncio.Queue()
+        self._mailboxes[address] = queue
+        self._dead.discard(address)
+        return queue
+
+    def mark_dead(self, address: int) -> None:
+        """Future sends to *address* fail (the node stops responding)."""
+        self._dead.add(address)
+
+    def mark_alive(self, address: int) -> None:
+        self._dead.discard(address)
+
+    def is_dead(self, address: int) -> bool:
+        return address in self._dead
+
+    async def send(self, destination: int, message: Message) -> bool:
+        """Deliver *message*; False if the destination is dead/unknown.
+
+        The failure is reported to the *sender* (models a timeout /
+        connection refusal), which is what triggers repair in the node
+        runtime.
+        """
+        message.message_id = next(self._sequence)
+        if destination in self._dead or destination not in self._mailboxes:
+            self.messages_dropped += 1
+            return False
+        if self._latency is not None:
+            delay = self._latency.delay(message.sender, destination)
+            if delay > 0:
+                await asyncio.sleep(delay * self._latency_scale)
+            # Re-check: the destination may have died mid-flight.
+            if destination in self._dead:
+                self.messages_dropped += 1
+                return False
+        self.messages_sent += 1
+        self._mailboxes[destination].put_nowait(message)
+        return True
+
+    async def receive(self, address: int, timeout: Optional[float] = None) -> Optional[Message]:
+        """Next message for *address*, or None on timeout."""
+        queue = self._mailboxes[address]
+        if timeout is None:
+            return await queue.get()
+        try:
+            return await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None

@@ -1,0 +1,30 @@
+"""Network substrate: topologies, proximity metrics, latency.
+
+Pastry's locality properties (section 2.2 of the paper) are defined
+against "a scalar proximity metric, such as the number of IP hops,
+geographic distance, or a combination".  This package supplies such
+metrics over synthetic topologies:
+
+* Euclidean plane / sphere point sets -- geographic distance, the metric
+  the Pastry paper's own simulations use;
+* random-graph shortest-path hop counts -- an IP-hop-like metric built on
+  a sparse connected graph.
+"""
+
+from repro.netsim.topology import (
+    EuclideanPlaneTopology,
+    SphereTopology,
+    RandomGraphTopology,
+    Topology,
+)
+from repro.netsim.latency import LatencyModel, UniformLatency, ProximityLatency
+
+__all__ = [
+    "Topology",
+    "EuclideanPlaneTopology",
+    "SphereTopology",
+    "RandomGraphTopology",
+    "LatencyModel",
+    "UniformLatency",
+    "ProximityLatency",
+]

@@ -1,0 +1,56 @@
+"""Helpers over the proximity metric.
+
+These are the small selection utilities Pastry's locality heuristics use:
+pick the proximally nearest candidate, rank a set of candidates by
+distance from a reference endpoint, measure route stretch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.netsim.topology import Topology
+
+
+def nearest(topology: Topology, origin: int, candidates: Iterable[int]) -> Optional[int]:
+    """The candidate proximally closest to *origin*, or None if empty.
+
+    Ties are broken by the candidate address, which keeps the choice
+    deterministic across runs.
+    """
+    best: Optional[int] = None
+    best_key: Optional[Tuple[float, int]] = None
+    for candidate in candidates:
+        key = (topology.distance(origin, candidate), candidate)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = candidate
+    return best
+
+
+def rank_by_proximity(topology: Topology, origin: int, candidates: Iterable[int]) -> List[int]:
+    """Candidates sorted nearest-first from *origin* (ties by address)."""
+    return sorted(candidates, key=lambda c: (topology.distance(origin, c), c))
+
+
+def k_nearest(topology: Topology, origin: int, candidates: Iterable[int], k: int) -> List[int]:
+    """The *k* proximally nearest candidates."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return rank_by_proximity(topology, origin, candidates)[:k]
+
+
+def route_stretch(topology: Topology, route: Sequence[int]) -> float:
+    """Ratio of the distance travelled along *route* to the direct
+    distance between its endpoints.
+
+    This is the quantity the paper reports as "only 50% higher than the
+    corresponding distance of the source and destination" (a stretch of
+    about 1.5).  Returns 1.0 for degenerate routes (identical endpoints).
+    """
+    if len(route) < 2:
+        return 1.0
+    direct = topology.distance(route[0], route[-1])
+    if direct <= 0.0:
+        return 1.0
+    return topology.path_distance(list(route)) / direct

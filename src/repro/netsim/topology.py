@@ -1,0 +1,281 @@
+"""Synthetic network topologies with a scalar proximity metric.
+
+A topology assigns each endpoint (keyed by an opaque address, here an int)
+a position, and answers ``distance(a, b)``.  Pastry uses the metric in two
+places: choosing among candidate routing-table entries (prefer the
+proximally closest) and evaluating locality (route stretch, nearest-replica
+hit rate).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+
+class Topology(ABC):
+    """Abstract topology: endpoints with pairwise scalar distances."""
+
+    @abstractmethod
+    def add_endpoint(self, address: int) -> None:
+        """Register a new endpoint and assign it a position."""
+
+    @abstractmethod
+    def distance(self, a: int, b: int) -> float:
+        """Scalar proximity between two registered endpoints.
+
+        Must be symmetric and zero iff ``a == b`` (for distinct positions).
+        """
+
+    @abstractmethod
+    def remove_endpoint(self, address: int) -> None:
+        """Forget an endpoint (a node that left the network)."""
+
+    def path_distance(self, hops: List[int]) -> float:
+        """Total distance along a sequence of endpoint addresses."""
+        return sum(self.distance(a, b) for a, b in zip(hops, hops[1:]))
+
+
+class EuclideanPlaneTopology(Topology):
+    """Endpoints are uniform random points in a [0, side) x [0, side) square.
+
+    This is the simplest geographic-distance model and the one used for
+    the locality experiments (E5, E6): distances satisfy the triangle
+    inequality exactly, so route stretch is well defined.
+    """
+
+    def __init__(self, rng: random.Random, side: float = 1000.0) -> None:
+        if side <= 0:
+            raise ValueError("side must be positive")
+        self._rng = rng
+        self.side = side
+        self._points: Dict[int, Tuple[float, float]] = {}
+
+    def add_endpoint(self, address: int) -> None:
+        if address in self._points:
+            raise ValueError(f"endpoint {address} already registered")
+        self._points[address] = (
+            self._rng.uniform(0.0, self.side),
+            self._rng.uniform(0.0, self.side),
+        )
+
+    def remove_endpoint(self, address: int) -> None:
+        self._points.pop(address, None)
+
+    def position(self, address: int) -> Tuple[float, float]:
+        return self._points[address]
+
+    def distance(self, a: int, b: int) -> float:
+        xa, ya = self._points[a]
+        xb, yb = self._points[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class SphereTopology(Topology):
+    """Endpoints are uniform random points on a sphere; distance is the
+    great-circle distance.
+
+    The Pastry paper's simulations place nodes on a sphere; we offer the
+    same model so locality results can be cross-checked between metrics.
+    """
+
+    def __init__(self, rng: random.Random, radius: float = 6371.0) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self._rng = rng
+        self.radius = radius
+        self._points: Dict[int, Tuple[float, float, float]] = {}
+
+    def add_endpoint(self, address: int) -> None:
+        if address in self._points:
+            raise ValueError(f"endpoint {address} already registered")
+        # Uniform on the sphere: normalise a 3D Gaussian sample.
+        while True:
+            x = self._rng.gauss(0.0, 1.0)
+            y = self._rng.gauss(0.0, 1.0)
+            z = self._rng.gauss(0.0, 1.0)
+            norm = math.sqrt(x * x + y * y + z * z)
+            if norm > 1e-9:
+                break
+        self._points[address] = (x / norm, y / norm, z / norm)
+
+    def remove_endpoint(self, address: int) -> None:
+        self._points.pop(address, None)
+
+    def distance(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0  # acos(dot) would return a float-noise epsilon
+        xa, ya, za = self._points[a]
+        xb, yb, zb = self._points[b]
+        dot = max(-1.0, min(1.0, xa * xb + ya * yb + za * zb))
+        return self.radius * math.acos(dot)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class RandomGraphTopology(Topology):
+    """An IP-hop-like metric: shortest-path hop count in a random graph.
+
+    Endpoints attach to routers of a fixed random ``k``-neighbour router
+    core; distance between endpoints is the hop distance between their
+    routers (+2 access hops).  Distances are computed on demand with a
+    BFS per source router and memoised.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        routers: int = 200,
+        degree: int = 4,
+    ) -> None:
+        if routers < 2:
+            raise ValueError("need at least 2 routers")
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self._rng = rng
+        self.router_count = routers
+        self._adjacency: List[List[int]] = [[] for _ in range(routers)]
+        self._build_router_core(degree)
+        self._attachment: Dict[int, int] = {}
+        self._bfs_cache: Dict[int, List[int]] = {}
+
+    def _build_router_core(self, degree: int) -> None:
+        # Ring + random chords: guarantees connectivity, approximates a
+        # small-world AS graph.
+        for i in range(self.router_count):
+            self._connect(i, (i + 1) % self.router_count)
+        for i in range(self.router_count):
+            for _ in range(degree - 2):
+                j = self._rng.randrange(self.router_count)
+                if j != i:
+                    self._connect(i, j)
+
+    def _connect(self, a: int, b: int) -> None:
+        if b not in self._adjacency[a]:
+            self._adjacency[a].append(b)
+        if a not in self._adjacency[b]:
+            self._adjacency[b].append(a)
+
+    def add_endpoint(self, address: int) -> None:
+        if address in self._attachment:
+            raise ValueError(f"endpoint {address} already registered")
+        self._attachment[address] = self._rng.randrange(self.router_count)
+
+    def remove_endpoint(self, address: int) -> None:
+        self._attachment.pop(address, None)
+
+    def _hops_from(self, router: int) -> List[int]:
+        cached = self._bfs_cache.get(router)
+        if cached is not None:
+            return cached
+        dist = [-1] * self.router_count
+        dist[router] = 0
+        frontier = [router]
+        while frontier:
+            next_frontier = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        next_frontier.append(v)
+            frontier = next_frontier
+        self._bfs_cache[router] = dist
+        return dist
+
+    def distance(self, a: int, b: int) -> float:
+        ra = self._attachment[a]
+        rb = self._attachment[b]
+        if a == b:
+            return 0.0
+        if ra == rb:
+            return 2.0  # both access links through the same router
+        return float(self._hops_from(ra)[rb] + 2)
+
+    def __len__(self) -> int:
+        return len(self._attachment)
+
+
+class WeightedGraphTopology(Topology):
+    """Shortest-path metric over a randomly weighted router graph.
+
+    Like :class:`RandomGraphTopology` but edges carry latency-like
+    weights, so the metric is continuous rather than integral.  Uses
+    Dijkstra with memoised single-source results.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        routers: int = 200,
+        degree: int = 4,
+        min_weight: float = 1.0,
+        max_weight: float = 20.0,
+    ) -> None:
+        if min_weight <= 0 or max_weight < min_weight:
+            raise ValueError("need 0 < min_weight <= max_weight")
+        self._rng = rng
+        self.router_count = routers
+        self._edges: Dict[int, List[Tuple[int, float]]] = {i: [] for i in range(routers)}
+        self._build(degree, min_weight, max_weight)
+        self._attachment: Dict[int, int] = {}
+        self._sssp_cache: Dict[int, List[float]] = {}
+
+    def _build(self, degree: int, lo: float, hi: float) -> None:
+        def connect(a: int, b: int) -> None:
+            if a == b or any(nbr == b for nbr, _ in self._edges[a]):
+                return
+            w = self._rng.uniform(lo, hi)
+            self._edges[a].append((b, w))
+            self._edges[b].append((a, w))
+
+        for i in range(self.router_count):
+            connect(i, (i + 1) % self.router_count)
+        for i in range(self.router_count):
+            for _ in range(max(degree - 2, 0)):
+                connect(i, self._rng.randrange(self.router_count))
+
+    def add_endpoint(self, address: int) -> None:
+        if address in self._attachment:
+            raise ValueError(f"endpoint {address} already registered")
+        self._attachment[address] = self._rng.randrange(self.router_count)
+
+    def remove_endpoint(self, address: int) -> None:
+        self._attachment.pop(address, None)
+
+    def _dist_from(self, router: int) -> List[float]:
+        cached = self._sssp_cache.get(router)
+        if cached is not None:
+            return cached
+        dist = [math.inf] * self.router_count
+        dist[router] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, router)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, w in self._edges[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        self._sssp_cache[router] = dist
+        return dist
+
+    def distance(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        ra = self._attachment[a]
+        rb = self._attachment[b]
+        if ra == rb:
+            return 1.0
+        return self._dist_from(ra)[rb] + 1.0
+
+    def __len__(self) -> int:
+        return len(self._attachment)

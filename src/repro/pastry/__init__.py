@@ -1,0 +1,41 @@
+"""Pastry: the location-and-routing substrate PAST is built on.
+
+Implements the scheme sketched in section 2.2 of the PAST paper and
+detailed in Rowstron & Druschel, Middleware 2001:
+
+* a circular 128-bit nodeId space, ids treated as digit strings base 2^b
+  (:mod:`repro.pastry.nodeid`);
+* per-node state: a routing table with ceil(log_2^b N) populated rows of
+  2^b - 1 entries, a leaf set of the l nodes numerically closest to the
+  node, and a neighborhood set of proximally near nodes
+  (:mod:`repro.pastry.routing_table`, :mod:`repro.pastry.leaf_set`,
+  :mod:`repro.pastry.neighborhood`);
+* prefix routing with the leaf-set short-circuit and the rare-case
+  numeric fallback, plus the randomized variant used to route around
+  malicious nodes (:mod:`repro.pastry.node`, :mod:`repro.pastry.routing`);
+* the node arrival protocol that initialises a new node's state from the
+  nodes along the route A -> Z and notifies affected nodes
+  (:mod:`repro.pastry.join`);
+* keep-alive based failure detection, leaf-set repair and lazy routing
+  table repair (:mod:`repro.pastry.failure`).
+"""
+
+from repro.pastry.nodeid import IdSpace
+from repro.pastry.leaf_set import LeafSet
+from repro.pastry.neighborhood import NeighborhoodSet
+from repro.pastry.routing_table import RoutingTable
+from repro.pastry.node import PastryNode
+from repro.pastry.network import PastryNetwork, RouteResult
+from repro.pastry.routing import DeterministicRouting, RandomizedRouting
+
+__all__ = [
+    "IdSpace",
+    "LeafSet",
+    "NeighborhoodSet",
+    "RoutingTable",
+    "PastryNode",
+    "PastryNetwork",
+    "RouteResult",
+    "DeterministicRouting",
+    "RandomizedRouting",
+]

@@ -1,0 +1,231 @@
+"""Failure detection and state repair.
+
+Three mechanisms from section 2.2:
+
+* **Leaf set repair.**  Nodes with adjacent nodeIds learn of a neighbour's
+  failure (via keep-alives or a failed send) and repair by asking the
+  live node with the largest index on the failed node's side for *its*
+  leaf set; because adjacent leaf sets overlap, the merge restores the
+  invariant with a couple of messages.
+* **Lazy routing-table repair.**  A dead table entry is only repaired
+  when routing trips over it: the node asks the other entries of the same
+  row for their entry at the dead slot, then (if that fails) entries of
+  later rows, which by construction also know candidate nodes with the
+  required prefix.
+* **Keep-alive failure detection.**  Leaf set neighbours exchange
+  periodic keep-alives on the discrete-event engine; a node unresponsive
+  for period T is presumed failed and its leaf-set members repair.
+
+A recovering node contacts its last known leaf set, refreshes from their
+current leaf sets, and announces its presence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.pastry.node import PastryNode
+from repro.sim.engine import SimulationEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pastry.network import PastryNetwork
+
+
+def repair_leaf_set(network: "PastryNetwork", node: PastryNode, dead_id: int) -> int:
+    """Repair *node*'s leaf set after *dead_id* failed.
+
+    Returns the number of messages used.  The dead node must already have
+    been removed from the leaf set (``on_dead_entry`` does this).
+    """
+    before = network.stats.counter("messages.repair").value
+    space = network.space
+    on_larger_side = (
+        space.clockwise_offset(node.node_id, dead_id)
+        <= space.counter_clockwise_offset(node.node_id, dead_id)
+    )
+    side = (
+        node.state.leaf_set.larger_side()
+        if on_larger_side
+        else node.state.leaf_set.smaller_side()
+    )
+    donor_id = _first_live_from_end(network, node, side)
+    if donor_id is None:
+        # That whole side is gone; fall back to the other side, then to
+        # anything the node still knows.
+        other = (
+            node.state.leaf_set.smaller_side()
+            if on_larger_side
+            else node.state.leaf_set.larger_side()
+        )
+        donor_id = _first_live_from_end(network, node, other)
+    if donor_id is None:
+        donor_id = next(
+            (n for n in sorted(node.state.known_nodes()) if network.is_live(n)), None
+        )
+    if donor_id is None:
+        return 0  # totally isolated; nothing to repair from
+    # Request + reply.
+    network.count_message("repair", 2)
+    donor = network.nodes[donor_id]
+    for member in donor.state.leaf_set.members() | {donor_id}:
+        if member != node.node_id and network.is_live(member):
+            node.state.learn(member)
+    return network.stats.counter("messages.repair").value - before
+
+
+def _first_live_from_end(
+    network: "PastryNetwork", node: PastryNode, side: List[int]
+) -> Optional[int]:
+    """The live member with the largest index on *side* (furthest from the
+    owner), silently dropping dead members encountered on the way."""
+    for candidate in reversed(side):
+        if network.is_live(candidate):
+            return candidate
+        node.state.forget(candidate)  # direct forget: no recursive repair
+    return None
+
+
+def repair_routing_entry(
+    network: "PastryNetwork", node: PastryNode, row: int, col: int
+) -> int:
+    """Lazily repair the vacant routing-table slot (row, col).
+
+    Returns messages used.  Queries row-mates first, then later rows, as
+    in the Pastry paper; installs the first suitable live entry found.
+    """
+    before = network.stats.counter("messages.repair").value
+    table = node.state.routing_table
+    space = network.space
+    for query_row in range(row, space.digits):
+        for mate_id in table.row_entries(query_row):
+            if not network.is_live(mate_id):
+                node.state.forget(mate_id)
+                continue
+            network.count_message("repair", 2)  # request + reply
+            mate = network.nodes[mate_id]
+            candidate = mate.state.routing_table.lookup(row, col)
+            if candidate is None:
+                # A row-mate's leaf set may also know a suitable node.
+                candidate = _candidate_from_state(network, mate, node, row, col)
+            if (
+                candidate is not None
+                and candidate != node.node_id
+                and network.is_live(candidate)
+            ):
+                node.state.learn(candidate)
+                if table.lookup(row, col) is not None:
+                    return network.stats.counter("messages.repair").value - before
+        if query_row > row + 2:
+            break  # bounded effort, as in practice
+    return network.stats.counter("messages.repair").value - before
+
+
+def _candidate_from_state(
+    network: "PastryNetwork", donor: PastryNode, node: PastryNode, row: int, col: int
+) -> Optional[int]:
+    """Scan a donor's known nodes for one that fits (row, col) of *node*."""
+    space = network.space
+    for known in donor.state.known_nodes():
+        if known == node.node_id or not network.is_live(known):
+            continue
+        slot = node.state.routing_table.slot_for(known)
+        if slot == (row, col):
+            return known
+    return None
+
+
+def notify_leafset_of_failure(network: "PastryNetwork", failed_id: int) -> int:
+    """Synchronous stand-in for keep-alive detection: every live node that
+    holds *failed_id* in its leaf set detects the failure and repairs.
+
+    Returns total repair messages.  (The event-driven path below produces
+    the same repairs, spread over detection timeouts.)
+    """
+    before = network.stats.counter("messages.repair").value
+    for node_id in network.live_ids():
+        node = network.nodes[node_id]
+        if failed_id in node.state.leaf_set:
+            node.on_dead_entry(failed_id)
+    return network.stats.counter("messages.repair").value - before
+
+
+def recover_node(network: "PastryNetwork", node_id: int) -> int:
+    """Bring a failed node back per the paper: contact the last known leaf
+    set, refresh from their current leaf sets, announce presence."""
+    before = network.stats.counter("messages.repair").value
+    node = network.mark_recovered(node_id)
+    last_known = sorted(node.state.leaf_set.members())
+    # Drop stale members; refresh from the live ones.
+    for member in last_known:
+        if not network.is_live(member):
+            node.state.forget(member)
+            continue
+        network.count_message("repair", 2)  # request + reply
+        donor = network.nodes[member]
+        for known in donor.state.leaf_set.members() | {member}:
+            if known != node.node_id and network.is_live(known):
+                node.state.learn(known)
+    # Announce presence so neighbours re-admit the node.
+    for member in sorted(node.state.leaf_set.members()):
+        if network.is_live(member):
+            network.count_message("repair")
+            network.nodes[member].learn(node.node_id)
+    return network.stats.counter("messages.repair").value - before
+
+
+class KeepAliveProtocol:
+    """Event-driven failure detection over leaf sets.
+
+    Every node pings its leaf-set neighbours every *interval*; a
+    neighbour that has not answered for *timeout* is presumed failed and
+    the leaf-set repair runs.  Built on the discrete-event engine so the
+    detection latency distribution can be studied (benchmark E7 uses the
+    synchronous path; the integration tests exercise this one).
+    """
+
+    def __init__(
+        self,
+        network: "PastryNetwork",
+        engine: SimulationEngine,
+        interval: float = 10.0,
+        timeout: float = 30.0,
+    ) -> None:
+        if timeout < interval:
+            raise ValueError("timeout shorter than the probe interval cannot work")
+        self.network = network
+        self.engine = engine
+        self.interval = interval
+        self.timeout = timeout
+        self._last_heard: dict = {}
+        self._handles = []
+
+    def start(self) -> None:
+        """Arm periodic probing for every currently live node."""
+        for node_id in self.network.live_ids():
+            handle = self.engine.schedule_periodic(
+                self.interval,
+                lambda nid=node_id: self._probe_round(nid),
+                label=f"keepalive-{node_id}",
+            )
+            self._handles.append(handle)
+
+    def stop(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    def _probe_round(self, node_id: int) -> None:
+        if not self.network.is_live(node_id):
+            return
+        node = self.network.nodes[node_id]
+        now = self.engine.now
+        for neighbour_id in node.state.leaf_set.members():
+            self.network.count_message("keepalive")
+            key = (node_id, neighbour_id)
+            if self.network.is_live(neighbour_id):
+                self._last_heard[key] = now  # probe answered immediately
+                continue
+            last = self._last_heard.get(key, now - self.interval)
+            if now - last >= self.timeout:
+                node.on_dead_entry(neighbour_id)
+                self._last_heard.pop(key, None)

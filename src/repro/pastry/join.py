@@ -1,0 +1,119 @@
+"""Node arrival: initialising a new node's state.
+
+The protocol of section 2.2: an arriving node X contacts a nearby node A
+(by the proximity metric) and asks A to route a special join message to
+the existing node Z whose id is numerically closest to X's.  X then takes
+
+* the *neighborhood set* from A -- A is proximally near X, so A's
+  proximal neighbours are good candidates for X's;
+* the *leaf set* from Z -- Z is numerically closest to X, so Z's leaf set
+  members are exactly the candidates for X's;
+* *row i of the routing table* from the i-th node along the route from A
+  to Z -- that node shares the first i digits with X (the route's shared
+  prefix grows by at least one digit per hop), so its row i entries are
+  valid for X, and they are proximally reasonable because the route's
+  early hops stay near A (and hence near X).
+
+Finally X notifies every node that appears in its new state, and each of
+those nodes folds X into its own state, restoring all invariants.  The
+message cost, measured under the ``messages.join`` counter, is
+O(log_2^b N) -- claim C3, benchmark E4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.pastry.node import PastryNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pastry.network import PastryNetwork
+
+
+def join_network(network: "PastryNetwork", new_node: PastryNode, contact_id: int) -> int:
+    """Run the arrival protocol for *new_node* via *contact_id*.
+
+    Returns the number of messages the join generated.  The new node must
+    already be registered with the network (``add_node``) but have empty
+    state; the contact must be a live node.
+    """
+    if not network.is_live(contact_id):
+        raise ValueError("join contact is not alive")
+    if contact_id == new_node.node_id:
+        raise ValueError("a node cannot use itself as a join contact")
+    before = network.stats.counter("messages.join").value
+
+    # X -> A: the initial contact message.
+    network.count_message("join")
+
+    # A routes the join message towards X's id; the nodes encountered are
+    # exactly the ones whose state X copies from.  The arriving node is
+    # not live for routing purposes yet (its id is excluded as a hop
+    # because it holds no state), so we route with A's view.
+    result = network.route(new_node.node_id, origin=contact_id, category="join")
+    if not result.delivered:
+        raise RuntimeError(f"join route failed: {result.reason}")
+    path = result.path
+    node_a = network.nodes[path[0]]
+    node_z = network.nodes[path[-1]]
+
+    # Neighborhood set from A (one state-transfer message).
+    network.count_message("join")
+    new_node.learn(node_a.node_id)
+    for member in node_a.state.neighborhood.ordered_members():
+        new_node.learn(member)
+
+    # Leaf set from Z (one state-transfer message).
+    network.count_message("join")
+    new_node.learn(node_z.node_id)
+    for member in node_z.state.leaf_set.members():
+        new_node.learn(member)
+
+    # Row i of the routing table from the i-th route node (one message
+    # per node on the path).
+    for row_index, hop_id in enumerate(path):
+        if row_index >= network.space.digits:
+            break
+        network.count_message("join")
+        hop = network.nodes[hop_id]
+        new_node.learn(hop_id)
+        new_node.state.routing_table.install_row(
+            row_index, hop.state.routing_table.row(row_index), new_node.proximity
+        )
+
+    # Announce X to every node in its resulting state; each one absorbs X.
+    for known_id in sorted(new_node.state.known_nodes()):
+        if not network.is_live(known_id):
+            continue
+        network.count_message("join")
+        network.nodes[known_id].learn(new_node.node_id)
+
+    return network.stats.counter("messages.join").value - before
+
+
+def refine_node_state(network: "PastryNetwork", node: PastryNode) -> int:
+    """The optional second-stage state improvement.
+
+    The Pastry companion paper notes that after the basic arrival
+    protocol a node's routing table is proximally good but not optimal,
+    and describes an improvement round: the node asks each of the nodes
+    in its routing table and neighborhood set for *their* state, and
+    adopts any candidate that is proximally closer than the incumbent
+    for its slot.  Run periodically (or once, after joining), this is
+    what keeps table quality high as the network evolves.
+
+    Returns the number of messages used (two per queried node).
+    """
+    before = network.stats.counter("messages.refine").value
+    queried = set(node.state.routing_table.entries())
+    queried |= node.state.neighborhood.members()
+    for peer_id in sorted(queried):
+        if not network.is_live(peer_id):
+            node.state.forget(peer_id)
+            continue
+        network.count_message("refine", 2)  # state request + reply
+        peer = network.nodes[peer_id]
+        for candidate in peer.state.known_nodes() | {peer_id}:
+            if candidate != node.node_id and network.is_live(candidate):
+                node.state.learn(candidate)
+    return network.stats.counter("messages.refine").value - before

@@ -1,0 +1,175 @@
+"""The leaf set: the l nodes numerically closest to a node.
+
+Each Pastry node maintains the l/2 nodes with numerically closest larger
+nodeIds and the l/2 with numerically closest smaller nodeIds (circular,
+so "larger" means clockwise).  The leaf set serves three roles:
+
+* routing termination -- if a key falls within the leaf set's range the
+  message is forwarded directly to the numerically closest member;
+* failure tolerance -- delivery is guaranteed unless floor(l/2) nodes
+  with adjacent nodeIds fail simultaneously (claim C6);
+* replica placement -- PAST stores a file on the k members closest to
+  the fileId, which the root reads off its leaf set.
+
+In a network smaller than l the two sides overlap (the same node can be
+among the closest on both sides); this is normal and handled throughout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.pastry.nodeid import IdSpace
+
+
+class LeafSet:
+    """Leaf set of one node (the *owner*)."""
+
+    def __init__(self, space: IdSpace, owner: int, capacity: int = 32) -> None:
+        if capacity < 2 or capacity % 2 != 0:
+            raise ValueError("leaf set capacity l must be an even number >= 2")
+        self.space = space
+        self.owner = space.validate(owner)
+        self.capacity = capacity
+        # Sorted by clockwise offset from the owner, nearest first.
+        self._larger: List[int] = []
+        # Sorted by counter-clockwise offset from the owner, nearest first.
+        self._smaller: List[int] = []
+
+    @property
+    def half(self) -> int:
+        return self.capacity // 2
+
+    # ------------------------------------------------------------------ #
+    # membership maintenance
+    # ------------------------------------------------------------------ #
+
+    def add(self, node_id: int) -> bool:
+        """Consider *node_id* for membership; returns True if it was
+        admitted to (or already on) either side."""
+        if node_id == self.owner:
+            return False
+        self.space.validate(node_id)
+        admitted = self._admit(self._larger, node_id, self.space.clockwise_offset)
+        admitted |= self._admit(self._smaller, node_id, self.space.counter_clockwise_offset)
+        return admitted
+
+    def _admit(self, side: List[int], node_id: int, offset_fn) -> bool:
+        if node_id in side:
+            return True
+        offset = offset_fn(self.owner, node_id)
+        position = 0
+        while position < len(side) and offset_fn(self.owner, side[position]) < offset:
+            position += 1
+        side.insert(position, node_id)
+        if len(side) > self.half:
+            evicted = side.pop()
+            return evicted != node_id
+        return True
+
+    def remove(self, node_id: int) -> bool:
+        """Drop a (failed) node from both sides; True if it was present."""
+        present = False
+        for side in (self._larger, self._smaller):
+            if node_id in side:
+                side.remove(node_id)
+                present = True
+        return present
+
+    def members(self) -> Set[int]:
+        """All distinct leaf set members (owner excluded)."""
+        return set(self._larger) | set(self._smaller)
+
+    def larger_side(self) -> List[int]:
+        """Clockwise neighbours, nearest first (copy)."""
+        return list(self._larger)
+
+    def smaller_side(self) -> List[int]:
+        """Counter-clockwise neighbours, nearest first (copy)."""
+        return list(self._smaller)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._larger or node_id in self._smaller
+
+    def __len__(self) -> int:
+        return len(self.members())
+
+    def is_side_full(self, larger: bool) -> bool:
+        side = self._larger if larger else self._smaller
+        return len(side) >= self.half
+
+    # ------------------------------------------------------------------ #
+    # routing queries
+    # ------------------------------------------------------------------ #
+
+    def covers(self, key: int) -> bool:
+        """True iff *key* falls within the leaf set's id range.
+
+        The range runs clockwise from the furthest smaller-side member to
+        the furthest larger-side member.  A side that is not full implies
+        the network holds fewer nodes than the side can, i.e. the leaf
+        set sees the whole ring, so coverage is total.
+        """
+        if not self._larger or not self._smaller:
+            return True
+        if len(self._larger) < self.half or len(self._smaller) < self.half:
+            return True
+        if set(self._larger) & set(self._smaller):
+            # A node on both sides means the two arcs overlap: the leaf
+            # set contains every other node in the network, so it covers
+            # the whole ring (possible only when N - 1 < l).
+            return True
+        low = self._smaller[-1]
+        high = self._larger[-1]
+        return self.space.is_between_clockwise(low, key, high)
+
+    def closest_to(self, key: int, include_owner: bool = True) -> int:
+        """The member (optionally including the owner) numerically
+        closest to *key*."""
+        candidates = self.members()
+        if include_owner:
+            candidates.add(self.owner)
+        return self.space.closest(key, iter(candidates))
+
+    def replica_candidates(self, key: int, k: int) -> List[int]:
+        """The k nodes numerically closest to *key* among owner + members.
+
+        This is how a PAST root node selects the k storage nodes for a
+        file: itself plus its leaf set neighbours, ranked by circular
+        distance to the fileId.  Requires k <= l/2 + 1 for correctness
+        in a large network (otherwise the leaf set may not see enough of
+        the ring); we enforce the safe bound.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > self.half + 1:
+            raise ValueError(
+                f"replication factor {k} exceeds what a leaf set of "
+                f"l={self.capacity} can place (max {self.half + 1})"
+            )
+        pool = sorted(
+            self.members() | {self.owner},
+            key=lambda n: (self.space.distance(n, key), -n),
+        )
+        return pool[:k]
+
+    def neighbours_adjacent_to_owner(self, count: int) -> List[int]:
+        """The *count* members nearest the owner on each side, interleaved
+        (used by keep-alive scheduling)."""
+        out: List[int] = []
+        for i in range(max(len(self._larger), len(self._smaller))):
+            if i < len(self._larger):
+                out.append(self._larger[i])
+            if i < len(self._smaller):
+                out.append(self._smaller[i])
+            if len(out) >= count:
+                break
+        return out[:count]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fmt = self.space.format_id
+        return (
+            f"LeafSet(owner={fmt(self.owner)}, "
+            f"smaller={[fmt(n) for n in self._smaller]}, "
+            f"larger={[fmt(n) for n in self._larger]})"
+        )

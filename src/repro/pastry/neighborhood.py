@@ -1,0 +1,70 @@
+"""The neighborhood set: proximally nearest nodes.
+
+The neighborhood set M contains the |M| nodes closest to the owner
+according to the *proximity* metric (not the nodeId space).  It is not
+normally used in routing; its role is locality maintenance -- seeding the
+routing tables of arriving nodes (the join protocol hands the new node
+the neighborhood set of the nearby contact node A) and supplying
+proximally good candidates during repair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set
+
+
+class NeighborhoodSet:
+    """Neighborhood set of one node, ordered by proximity."""
+
+    def __init__(self, owner: int, proximity: Callable[[int], float], capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("neighborhood capacity must be >= 1")
+        self.owner = owner
+        self.capacity = capacity
+        self._proximity = proximity
+        self._members: List[int] = []  # sorted nearest-first
+
+    def add(self, node_id: int) -> bool:
+        """Consider a node for membership; True if admitted/already in."""
+        if node_id == self.owner:
+            return False
+        if node_id in self._members:
+            return True
+        distance = self._proximity(node_id)
+        position = 0
+        while position < len(self._members) and self._proximity(self._members[position]) <= distance:
+            position += 1
+        self._members.insert(position, node_id)
+        if len(self._members) > self.capacity:
+            evicted = self._members.pop()
+            return evicted != node_id
+        return True
+
+    def remove(self, node_id: int) -> bool:
+        """Drop a (failed) node; True if it was present."""
+        if node_id in self._members:
+            self._members.remove(node_id)
+            return True
+        return False
+
+    def members(self) -> Set[int]:
+        return set(self._members)
+
+    def ordered_members(self) -> List[int]:
+        """Members nearest-first (copy)."""
+        return list(self._members)
+
+    def nearest(self) -> int:
+        """The proximally nearest known node."""
+        if not self._members:
+            raise ValueError("neighborhood set is empty")
+        return self._members[0]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NeighborhoodSet(owner={self.owner}, size={len(self._members)})"

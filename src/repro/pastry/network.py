@@ -1,0 +1,364 @@
+"""The simulated Pastry overlay network.
+
+The network holds the node registry and the transport: it walks messages
+from node to node by repeatedly asking the *current* node for its next
+hop.  Nodes never consult global state when routing -- the network's
+global view exists only for bookkeeping (statistics, ground-truth checks
+in tests, and the optional "oracle" bootstrap that builds a large overlay
+without running one join per node).
+
+Two bootstrap methods:
+
+* ``build(n, method="join")`` -- every node after the first joins through
+  the real arrival protocol (claim C3 is measured on this path);
+* ``build(n, method="oracle")`` -- node state is constructed directly
+  from the global membership (perfect leaf sets, proximity-chosen routing
+  tables).  Used by the large-N routing experiments where running
+  thousands of joins would dominate runtime without changing the result.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.netsim.topology import EuclideanPlaneTopology, Topology
+from repro.pastry.node import PastryNode
+from repro.pastry.nodeid import IdSpace
+from repro.pastry.routing import DeterministicRouting
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import StatsRegistry
+
+DEFAULT_LEAF_CAPACITY = 32
+DEFAULT_NEIGHBORHOOD_CAPACITY = 32
+
+# Routing tables are proximity-filled from a bounded candidate sample in
+# oracle mode; "perfect" scans every candidate, "random" models a network
+# that ignores locality entirely (the E5 ablation).
+TABLE_QUALITY_PERFECT = "perfect"
+TABLE_QUALITY_GOOD = "good"
+TABLE_QUALITY_RANDOM = "random"
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one message."""
+
+    key: int
+    path: List[int]
+    delivered: bool
+    reason: str = "delivered"
+    value: object = None
+
+    @property
+    def hops(self) -> int:
+        """Number of overlay hops taken (path length minus the origin)."""
+        return max(len(self.path) - 1, 0)
+
+    @property
+    def destination(self) -> Optional[int]:
+        return self.path[-1] if self.delivered and self.path else None
+
+
+class PastryNetwork:
+    """A collection of Pastry nodes plus the simulated transport."""
+
+    def __init__(
+        self,
+        space: Optional[IdSpace] = None,
+        topology: Optional[Topology] = None,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        neighborhood_capacity: int = DEFAULT_NEIGHBORHOOD_CAPACITY,
+        rngs: Optional[RngRegistry] = None,
+        table_quality: str = TABLE_QUALITY_GOOD,
+    ) -> None:
+        self.space = space if space is not None else IdSpace()
+        self.rngs = rngs if rngs is not None else RngRegistry(0)
+        self.topology = (
+            topology
+            if topology is not None
+            else EuclideanPlaneTopology(self.rngs.stream("topology"))
+        )
+        self.leaf_capacity = leaf_capacity
+        self.neighborhood_capacity = neighborhood_capacity
+        self.table_quality = table_quality
+        self.stats = StatsRegistry()
+        self.nodes: Dict[int, PastryNode] = {}
+        self._live_sorted: List[int] = []  # sorted live ids, for ground truth
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node_id: Optional[int] = None) -> PastryNode:
+        """Create a node (state empty; see join.join_network / build)."""
+        rng = self.rngs.stream("node-ids")
+        if node_id is None:
+            node_id = self.space.random_id(rng)
+            while node_id in self.nodes:
+                node_id = self.space.random_id(rng)
+        elif node_id in self.nodes:
+            raise ValueError(f"node id {node_id} already present")
+        self.topology.add_endpoint(node_id)
+        node = PastryNode(self, node_id, self.leaf_capacity, self.neighborhood_capacity)
+        self.nodes[node_id] = node
+        bisect.insort(self._live_sorted, node_id)
+        return node
+
+    def is_live(self, node_id: int) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.alive
+
+    def live_ids(self) -> List[int]:
+        """Sorted ids of all live nodes (copy)."""
+        return list(self._live_sorted)
+
+    def live_count(self) -> int:
+        return len(self._live_sorted)
+
+    def mark_failed(self, node_id: int) -> PastryNode:
+        """Silently kill a node (it stops responding; nothing is sent).
+
+        Other nodes discover the failure lazily (routing) or through the
+        keep-alive protocol in :mod:`repro.pastry.failure`.
+        """
+        node = self.nodes[node_id]
+        if node.alive:
+            node.alive = False
+            index = bisect.bisect_left(self._live_sorted, node_id)
+            if index < len(self._live_sorted) and self._live_sorted[index] == node_id:
+                self._live_sorted.pop(index)
+        return node
+
+    def mark_recovered(self, node_id: int) -> PastryNode:
+        """Bring a previously failed node back (state retained, possibly
+        stale -- the recovery protocol refreshes it)."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            node.alive = True
+            bisect.insort(self._live_sorted, node_id)
+        return node
+
+    def global_root(self, key: int) -> int:
+        """Ground truth: the live node numerically closest to *key*.
+
+        Used only by tests/benchmarks to verify that the decentralised
+        routing reached the correct node; never consulted while routing.
+        """
+        if not self._live_sorted:
+            raise ValueError("network has no live nodes")
+        ids = self._live_sorted
+        index = bisect.bisect_left(ids, key)
+        candidates = {ids[index % len(ids)], ids[(index - 1) % len(ids)]}
+        return self.space.closest(key, iter(candidates))
+
+    def replica_root_set(self, key: int, k: int) -> List[int]:
+        """Ground truth: the k live nodes numerically closest to *key*."""
+        if k > len(self._live_sorted):
+            raise ValueError("k exceeds live node count")
+        ids = self._live_sorted
+        index = bisect.bisect_left(ids, key)
+        window = [
+            ids[(index + offset) % len(ids)]
+            for offset in range(-k, k + 1)
+        ]
+        window = sorted(set(window), key=lambda n: (self.space.distance(n, key), -n))
+        return window[:k]
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def count_message(self, category: str, amount: int = 1) -> None:
+        """Record protocol traffic (join, repair, keep-alive, routing)."""
+        self.stats.counter(f"messages.{category}").increment(amount)
+
+    def route(
+        self,
+        key: int,
+        origin: int,
+        policy=None,
+        rng: Optional[random.Random] = None,
+        message: object = None,
+        category: str = "route",
+        max_hops: Optional[int] = None,
+    ) -> RouteResult:
+        """Walk a message from *origin* towards the live node whose id is
+        numerically closest to *key*, one local decision per hop."""
+        if policy is None:
+            policy = DeterministicRouting()
+        if max_hops is None:
+            max_hops = 4 * self.space.digits + self.leaf_capacity
+        current = self.nodes[origin]
+        if not current.alive:
+            raise ValueError("route origin is not alive")
+        path = [origin]
+        visited = {origin}
+        while True:
+            if current.malicious and current.node_id != origin:
+                # The node accepts the message and silently drops it.
+                self.count_message(category)
+                return RouteResult(key=key, path=path, delivered=False, reason="dropped")
+            # Application en-route check: a node holding the requested
+            # file answers immediately (how lookups find a nearby replica
+            # instead of always travelling to the root).
+            value = current.forward(key, message)
+            if value is not None:
+                return RouteResult(
+                    key=key, path=path, delivered=True, reason="en-route", value=value
+                )
+            hop = current.next_hop(key, policy, rng)
+            if hop is None or hop in visited:
+                # hop in visited: the prefix heuristic and the numeric
+                # leaf fallback disagree (possible only after heavy
+                # correlated failures); the paper's algorithm delivers at
+                # the current node in this rare case rather than loop.
+                value = current.deliver(key, message)
+                return RouteResult(key=key, path=path, delivered=True, value=value)
+            self.count_message(category)
+            path.append(hop)
+            visited.add(hop)
+            if len(path) - 1 > max_hops:
+                return RouteResult(key=key, path=path, delivered=False, reason="hop-limit")
+            current = self.nodes[hop]
+
+    # ------------------------------------------------------------------ #
+    # bootstrap
+    # ------------------------------------------------------------------ #
+
+    def build(self, n: int, method: str = "join") -> List[PastryNode]:
+        """Create an overlay of *n* nodes.
+
+        ``join``: each node arrives through the real protocol, contacting
+        the proximally nearest existing node -- exactly the deployment
+        story in section 2.2.  ``oracle``: state is constructed directly;
+        orders of magnitude faster and equivalent for routing experiments.
+        """
+        if n < 1:
+            raise ValueError("need at least one node")
+        if method == "join":
+            return self._build_by_join(n)
+        if method == "oracle":
+            return self._build_by_oracle(n)
+        raise ValueError(f"unknown build method: {method!r}")
+
+    def _build_by_join(self, n: int) -> List[PastryNode]:
+        from repro.pastry.join import join_network  # cycle guard
+
+        created = [self.add_node()]
+        for _ in range(n - 1):
+            node = self.add_node()
+            contact = self._nearest_live_contact(node)
+            join_network(self, node, contact)
+            created.append(node)
+        return created
+
+    def _nearest_live_contact(self, newcomer: PastryNode) -> int:
+        """The proximally nearest existing live node (models the 'nearby
+        node A' a joining node is assumed to know, e.g. from expanding-
+        ring IP multicast)."""
+        best = None
+        best_distance = None
+        for node_id in self._live_sorted:
+            if node_id == newcomer.node_id:
+                continue
+            distance = self.topology.distance(newcomer.node_id, node_id)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best = node_id
+        if best is None:
+            raise ValueError("no live contact available")
+        return best
+
+    def _build_by_oracle(self, n: int) -> List[PastryNode]:
+        created = [self.add_node() for _ in range(n)]
+        self.rebuild_state_oracle()
+        return created
+
+    def rebuild_state_oracle(self) -> None:
+        """(Re)construct every live node's state from global membership."""
+        ids = self._live_sorted
+        count = len(ids)
+        if count == 0:
+            return
+        space = self.space
+        half = self.leaf_capacity // 2
+        rng = self.rngs.stream("oracle-build")
+
+        # --- leaf sets: straight off the sorted ring ---
+        for index, node_id in enumerate(ids):
+            node = self.nodes[node_id]
+            node.state.leaf_set = type(node.state.leaf_set)(
+                space, node_id, self.leaf_capacity
+            )
+            for offset in range(1, min(half, count - 1) + 1):
+                node.state.leaf_set.add(ids[(index + offset) % count])
+                node.state.leaf_set.add(ids[(index - offset) % count])
+
+        # --- routing tables: group candidates by (row, prefix, digit) ---
+        import math
+
+        max_rows = min(
+            space.digits,
+            max(1, math.ceil(math.log(max(count, 2), space.base))) + 2,
+        )
+        groups: Dict[tuple, List[int]] = {}
+        for node_id in ids:
+            for row in range(max_rows):
+                prefix = node_id >> (space.bits - row * space.b) if row > 0 else 0
+                digit = space.digit(node_id, row)
+                groups.setdefault((row, prefix, digit), []).append(node_id)
+
+        for node_id in ids:
+            node = self.nodes[node_id]
+            node.state.routing_table = type(node.state.routing_table)(space, node_id)
+            table = node.state.routing_table
+            for row in range(max_rows):
+                prefix = node_id >> (space.bits - row * space.b) if row > 0 else 0
+                own_digit = space.digit(node_id, row)
+                for col in range(space.base):
+                    if col == own_digit:
+                        continue
+                    candidates = groups.get((row, prefix, col))
+                    if not candidates:
+                        continue
+                    choice = self._pick_table_entry(node, candidates, rng)
+                    table.add(choice)
+
+        # --- neighborhood sets: seed from leaf set + routing table ---
+        for node_id in ids:
+            node = self.nodes[node_id]
+            for known in node.state.known_nodes():
+                node.state.neighborhood.add(known)
+
+    def _pick_table_entry(self, node: PastryNode, candidates: List[int], rng: random.Random) -> int:
+        if self.table_quality == TABLE_QUALITY_RANDOM or len(candidates) == 1:
+            return candidates[rng.randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
+        if self.table_quality == TABLE_QUALITY_PERFECT:
+            pool = candidates
+        else:  # TABLE_QUALITY_GOOD: proximally best of a bounded sample
+            sample_size = min(len(candidates), 16)
+            pool = rng.sample(candidates, sample_size)
+        return min(pool, key=lambda c: (node.proximity(c), c))
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+
+    def check_all_invariants(self) -> None:
+        """Structural invariants on every live node (test support)."""
+        live: Set[int] = set(self._live_sorted)
+        for node_id in self._live_sorted:
+            self.nodes[node_id].state.check_invariants(live_nodes=None)
+            # Leaf sets must reference only live nodes after repair.
+            for member in self.nodes[node_id].state.leaf_set.members():
+                if member not in live:
+                    raise AssertionError(
+                        f"leaf set of {self.space.format_id(node_id)} references "
+                        f"dead node {self.space.format_id(member)}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PastryNetwork(nodes={len(self.nodes)}, live={self.live_count()})"

@@ -1,0 +1,151 @@
+"""The circular identifier space and its digit arithmetic.
+
+NodeIds are 128-bit unsigned integers, thought of (for routing purposes)
+as a sequence of digits with base 2^b.  The space is circular: the
+"numerically closest" relation and the leaf set wrap around 2^128 - 1 to
+0, exactly as in the Pastry paper.
+
+Ids are represented as plain Python ints for speed; :class:`IdSpace`
+carries the parameters (width in bits, digit size b) and provides all the
+arithmetic, so the rest of the code never hard-codes 128 or 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """Parameters and arithmetic of a circular id space.
+
+    ``bits`` is the identifier width (128 for nodeIds); ``b`` is the digit
+    width in bits (the paper's configuration parameter, typical value 4,
+    i.e. hexadecimal digits).
+    """
+
+    bits: int = 128
+    b: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.b <= 0:
+            raise ValueError("bits and b must be positive")
+        if self.bits % self.b != 0:
+            raise ValueError(f"bits ({self.bits}) must be a multiple of b ({self.b})")
+
+    @property
+    def size(self) -> int:
+        """Number of ids in the space: 2^bits."""
+        return 1 << self.bits
+
+    @property
+    def digits(self) -> int:
+        """Number of base-2^b digits in an id."""
+        return self.bits // self.b
+
+    @property
+    def base(self) -> int:
+        """The digit base, 2^b."""
+        return 1 << self.b
+
+    def validate(self, value: int) -> int:
+        """Check that *value* is a legal id and return it."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"id {value} out of range for a {self.bits}-bit space")
+        return value
+
+    def random_id(self, rng: random.Random) -> int:
+        """A uniformly random id (used to model hash-assigned ids)."""
+        return rng.getrandbits(self.bits)
+
+    def digit(self, value: int, index: int) -> int:
+        """The *index*-th digit of *value*, 0 being the most significant."""
+        if not 0 <= index < self.digits:
+            raise IndexError(f"digit index {index} out of range [0, {self.digits})")
+        shift = self.bits - (index + 1) * self.b
+        return (value >> shift) & (self.base - 1)
+
+    def digits_of(self, value: int) -> List[int]:
+        """All digits of *value*, most significant first."""
+        return [self.digit(value, i) for i in range(self.digits)]
+
+    def from_digits(self, digits: List[int]) -> int:
+        """Reassemble an id from its digit list."""
+        if len(digits) != self.digits:
+            raise ValueError(f"need exactly {self.digits} digits")
+        value = 0
+        for d in digits:
+            if not 0 <= d < self.base:
+                raise ValueError(f"digit {d} out of range [0, {self.base})")
+            value = (value << self.b) | d
+        return value
+
+    def shared_prefix_length(self, a: int, b_val: int) -> int:
+        """Number of leading base-2^b digits *a* and *b_val* share."""
+        diff = a ^ b_val
+        if diff == 0:
+            return self.digits
+        # Index of the most significant differing bit, then floor-divide
+        # into digit positions.
+        top_bit = diff.bit_length() - 1
+        differing_digit = (self.bits - 1 - top_bit) // self.b
+        return differing_digit
+
+    def distance(self, a: int, b_val: int) -> int:
+        """Circular distance: min(|a-b|, 2^bits - |a-b|).
+
+        This is the metric behind "numerically closest": the leaf set and
+        replica roots wrap around the end of the id space.
+        """
+        d = abs(a - b_val)
+        return min(d, self.size - d)
+
+    def clockwise_offset(self, origin: int, target: int) -> int:
+        """Distance from *origin* to *target* travelling clockwise
+        (in the direction of increasing ids, with wraparound)."""
+        return (target - origin) % self.size
+
+    def counter_clockwise_offset(self, origin: int, target: int) -> int:
+        """Distance from *origin* to *target* travelling counter-clockwise."""
+        return (origin - target) % self.size
+
+    def is_between_clockwise(self, low: int, value: int, high: int) -> bool:
+        """True iff travelling clockwise from *low* reaches *value* no
+        later than *high* (inclusive bounds)."""
+        return self.clockwise_offset(low, value) <= self.clockwise_offset(low, high)
+
+    def closest(self, target: int, candidates: Iterator[int]) -> int:
+        """The candidate with minimum circular distance to *target*.
+
+        Ties (two candidates equidistant, one on each side) are broken
+        towards the numerically larger candidate, deterministically.
+        """
+        best = None
+        best_key = None
+        for candidate in candidates:
+            key = (self.distance(candidate, target), -candidate)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        if best is None:
+            raise ValueError("closest() of empty candidate set")
+        return best
+
+    def format_id(self, value: int) -> str:
+        """Hex rendering padded to the full digit count (b=4 renders each
+        routing digit as one hex character)."""
+        hex_chars = (self.bits + 3) // 4
+        return f"{value:0{hex_chars}x}"
+
+    def truncate(self, value: int, from_bits: int) -> int:
+        """Keep the ``self.bits`` most significant bits of a wider id.
+
+        PAST stores a file on the nodes whose 128-bit nodeIds are closest
+        to the 128 *most significant* bits of the 160-bit fileId; this is
+        that projection.
+        """
+        if from_bits < self.bits:
+            raise ValueError(f"cannot truncate a {from_bits}-bit id to {self.bits} bits")
+        return value >> (from_bits - self.bits)

@@ -1,0 +1,168 @@
+"""The Pastry routing table.
+
+Row n of the table holds up to 2^b - 1 entries, each referring to a node
+whose nodeId shares the first n digits with the owner's but differs in
+digit n (one entry per possible value of that digit; the owner's own
+digit value is never used).  Only about ceil(log_2^b N) rows are populated
+in a network of N nodes, giving the per-node state bound of claim C2:
+(2^b - 1) * ceil(log_2^b N) + 2l entries.
+
+Among the potentially many nodes eligible for an entry, Pastry keeps one
+that is *proximally close* to the owner (the locality heuristic behind
+claims C4/C5).  The table therefore takes an optional proximity function;
+without one, the first eligible node seen is kept (the "random table"
+ablation in benchmark E5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.pastry.nodeid import IdSpace
+
+ProximityFn = Optional[Callable[[int], float]]
+
+
+class RoutingTable:
+    """Routing table of one node (the *owner*)."""
+
+    def __init__(self, space: IdSpace, owner: int) -> None:
+        self.space = space
+        self.owner = space.validate(owner)
+        self._rows: List[List[Optional[int]]] = [
+            [None] * space.base for _ in range(space.digits)
+        ]
+        self._index: Dict[int, Tuple[int, int]] = {}
+        self._owner_digits = space.digits_of(owner)
+
+    def slot_for(self, node_id: int) -> Optional[Tuple[int, int]]:
+        """The (row, column) a node belongs in, or None for the owner
+        itself (which has no slot)."""
+        if node_id == self.owner:
+            return None
+        row = self.space.shared_prefix_length(self.owner, node_id)
+        col = self.space.digit(node_id, row)
+        return row, col
+
+    def add(self, node_id: int, proximity: ProximityFn = None) -> bool:
+        """Offer *node_id* for its slot.
+
+        Returns True if the table now references the node.  If the slot is
+        occupied, the incumbent is replaced only when a proximity function
+        says the newcomer is strictly closer -- replacing entries with
+        proximally closer ones is how table quality improves over time.
+        """
+        self.space.validate(node_id)
+        slot = self.slot_for(node_id)
+        if slot is None:
+            return False
+        row, col = slot
+        incumbent = self._rows[row][col]
+        if incumbent == node_id:
+            return True
+        if incumbent is None:
+            self._set(row, col, node_id)
+            return True
+        if proximity is not None and proximity(node_id) < proximity(incumbent):
+            self._drop_index(incumbent)
+            self._set(row, col, node_id)
+            return True
+        return False
+
+    def _set(self, row: int, col: int, node_id: int) -> None:
+        self._rows[row][col] = node_id
+        self._index[node_id] = (row, col)
+
+    def _drop_index(self, node_id: int) -> None:
+        self._index.pop(node_id, None)
+
+    def remove(self, node_id: int) -> bool:
+        """Drop a (failed) node; True if it was referenced."""
+        slot = self._index.pop(node_id, None)
+        if slot is None:
+            return False
+        row, col = slot
+        if self._rows[row][col] == node_id:
+            self._rows[row][col] = None
+        return True
+
+    def lookup(self, row: int, col: int) -> Optional[int]:
+        """The entry at (row, col), or None if vacant."""
+        return self._rows[row][col]
+
+    def next_hop_for(self, key: int) -> Optional[int]:
+        """The standard prefix-routing entry for *key*: row = length of
+        the prefix the key shares with the owner, column = the key's next
+        digit.  None when the slot is vacant (the rare case)."""
+        row = self.space.shared_prefix_length(self.owner, key)
+        if row >= self.space.digits:
+            return None  # key == owner
+        col = self.space.digit(key, row)
+        return self._rows[row][col]
+
+    def row(self, index: int) -> List[Optional[int]]:
+        """A copy of row *index* (used by the join protocol, where the
+        i-th node along the route contributes its row i)."""
+        return list(self._rows[index])
+
+    def install_row(self, index: int, entries: List[Optional[int]], proximity: ProximityFn = None) -> int:
+        """Bulk-offer a row received during join; returns how many entries
+        were taken.  Entries that would not belong in that row of *this*
+        table (different shared-prefix relationship) are re-slotted
+        correctly rather than installed blindly."""
+        taken = 0
+        for entry in entries:
+            if entry is not None and entry != self.owner:
+                if self.add(entry, proximity):
+                    taken += 1
+        return taken
+
+    def entries(self) -> Iterator[int]:
+        """All node ids currently referenced."""
+        return iter(list(self._index))
+
+    def row_entries(self, index: int) -> List[int]:
+        """Non-empty entries of row *index*."""
+        return [n for n in self._rows[index] if n is not None]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def populated_rows(self) -> int:
+        """Number of rows with at least one entry (should be about
+        ceil(log_2^b N) -- measured by benchmark E3)."""
+        return sum(1 for row in self._rows if any(e is not None for e in row))
+
+    def occupancy(self) -> List[int]:
+        """Entries per row, for table-quality diagnostics."""
+        return [sum(1 for e in row if e is not None) for row in self._rows]
+
+    def check_invariants(self) -> None:
+        """Verify every entry sits in its correct slot (test support)."""
+        for row_index, row in enumerate(self._rows):
+            for col, entry in enumerate(row):
+                if entry is None:
+                    continue
+                prefix = self.space.shared_prefix_length(self.owner, entry)
+                if prefix != row_index:
+                    raise AssertionError(
+                        f"entry {self.space.format_id(entry)} in row {row_index} "
+                        f"shares a {prefix}-digit prefix with the owner"
+                    )
+                if self.space.digit(entry, row_index) != col:
+                    raise AssertionError(
+                        f"entry {self.space.format_id(entry)} in wrong column"
+                    )
+                if col == self._owner_digits[row_index]:
+                    raise AssertionError(
+                        "entry occupies the owner's own digit column"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutingTable(owner={self.space.format_id(self.owner)}, "
+            f"entries={len(self._index)}, rows={self.populated_rows()})"
+        )

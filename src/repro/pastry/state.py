@@ -1,0 +1,87 @@
+"""The bundle of per-node Pastry state, with invariant checks.
+
+Groups the three structures every Pastry node maintains -- routing table,
+leaf set, neighborhood set -- and offers whole-state operations: the total
+entry count (claim C2 measures this), discovery of every node id the
+state references, and consistency checks the test suite runs after joins
+and failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.pastry.leaf_set import LeafSet
+from repro.pastry.neighborhood import NeighborhoodSet
+from repro.pastry.nodeid import IdSpace
+from repro.pastry.routing_table import RoutingTable
+
+
+class NodeState:
+    """All routing state owned by one Pastry node."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        node_id: int,
+        leaf_capacity: int,
+        neighborhood_capacity: int,
+        proximity: Callable[[int], float],
+    ) -> None:
+        self.space = space
+        self.node_id = space.validate(node_id)
+        self.proximity = proximity
+        self.routing_table = RoutingTable(space, node_id)
+        self.leaf_set = LeafSet(space, node_id, leaf_capacity)
+        self.neighborhood = NeighborhoodSet(node_id, proximity, neighborhood_capacity)
+
+    def learn(self, node_id: int, use_proximity: bool = True) -> None:
+        """Offer a newly discovered node to every structure it may belong
+        in.  This is the single entry point through which nodes absorb
+        knowledge of each other, so all structures stay consistent."""
+        if node_id == self.node_id:
+            return
+        self.routing_table.add(node_id, self.proximity if use_proximity else None)
+        self.leaf_set.add(node_id)
+        self.neighborhood.add(node_id)
+
+    def forget(self, node_id: int) -> bool:
+        """Remove a failed node from every structure; True if any held it."""
+        removed = self.routing_table.remove(node_id)
+        removed |= self.leaf_set.remove(node_id)
+        removed |= self.neighborhood.remove(node_id)
+        return removed
+
+    def known_nodes(self) -> Set[int]:
+        """Every node id this state references anywhere."""
+        known = set(self.routing_table.entries())
+        known |= self.leaf_set.members()
+        known |= self.neighborhood.members()
+        known.discard(self.node_id)
+        return known
+
+    def total_entries(self) -> int:
+        """Total state size in entries, the quantity bounded by
+        (2^b - 1) * ceil(log_2^b N) + 2l in claim C2.  Counts the routing
+        table and leaf set (the neighborhood set is reported separately by
+        the benchmark because the paper's formula excludes it)."""
+        return len(self.routing_table) + len(self.leaf_set)
+
+    def check_invariants(self, live_nodes: Optional[Set[int]] = None) -> None:
+        """Structural invariants; with *live_nodes*, also checks that no
+        structure references a dead node."""
+        self.routing_table.check_invariants()
+        if live_nodes is not None:
+            for referenced in self.known_nodes():
+                if referenced not in live_nodes:
+                    raise AssertionError(
+                        f"node {self.space.format_id(self.node_id)} references "
+                        f"dead node {self.space.format_id(referenced)}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeState(id={self.space.format_id(self.node_id)}, "
+            f"rt={len(self.routing_table)}, ls={len(self.leaf_set)}, "
+            f"nh={len(self.neighborhood)})"
+        )

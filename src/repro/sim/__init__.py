@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+This package provides the three services every other subsystem builds on:
+
+* :mod:`repro.sim.rng` -- named, seeded random-number streams so that every
+  experiment is reproducible bit-for-bit regardless of the order in which
+  components draw randomness.
+* :mod:`repro.sim.engine` -- a classic discrete-event engine (priority queue
+  of timestamped events) used by the protocols that need a notion of time:
+  keep-alives, failure detection, audits.
+* :mod:`repro.sim.trace` -- lightweight counters and histograms used to
+  collect the statistics the benchmarks report.
+"""
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.rng import RngRegistry, stable_seed
+from repro.sim.trace import Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "RngRegistry",
+    "stable_seed",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+]

@@ -1,0 +1,68 @@
+"""Deterministic, named random-number streams.
+
+Large simulations are only debuggable if they are reproducible.  A single
+shared ``random.Random`` makes reproducibility fragile: adding one draw in
+one component perturbs every draw that follows it everywhere else.  The
+registry below gives each component its *own* stream, derived from a master
+seed and the stream's name, so streams are mutually independent and adding
+draws to one never disturbs another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterator
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a 64-bit seed deterministically from arbitrary parts.
+
+    Unlike ``hash()``, this is stable across processes and Python versions
+    (``PYTHONHASHSEED`` does not affect it), which is what experiment
+    reproducibility requires.
+    """
+    digest = hashlib.sha256("\x1f".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A family of independent ``random.Random`` streams under one master seed.
+
+    >>> rngs = RngRegistry(42)
+    >>> a = rngs.stream("workload")
+    >>> b = rngs.stream("topology")
+    >>> a is rngs.stream("workload")
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(stable_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Create a child registry whose master seed depends on *name*.
+
+        Useful to give each simulated node its own registry without the
+        per-node streams colliding.
+        """
+        return RngRegistry(stable_seed(self.master_seed, "fork", name))
+
+    def reset(self) -> None:
+        """Drop all streams so the next access re-creates them from scratch."""
+        self._streams.clear()
+
+    def names(self) -> Iterator[str]:
+        """Iterate over the names of streams created so far."""
+        return iter(sorted(self._streams))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(master_seed={self.master_seed}, streams={len(self._streams)})"

@@ -1,0 +1,40 @@
+"""Synthetic workload generators.
+
+The SOSP'01 companion evaluation drives PAST with real web-proxy and
+filesystem traces; those are not redistributable, so this package
+generates synthetic equivalents with the distributional properties the
+results depend on:
+
+* heavy-tailed file sizes (lognormal / Pareto mixtures,
+  :mod:`repro.workloads.filesizes`);
+* heterogeneous node storage capacities
+  (:mod:`repro.workloads.capacities`);
+* skewed request popularity (Zipf, :mod:`repro.workloads.popularity`);
+* node churn schedules (:mod:`repro.workloads.churn`).
+"""
+
+from repro.workloads.capacities import (
+    bounded_normal_capacities,
+    uniform_capacities,
+)
+from repro.workloads.churn import ChurnEvent, poisson_churn_schedule
+from repro.workloads.filesizes import (
+    FileSizeDistribution,
+    LognormalSizes,
+    ParetoSizes,
+    TraceLikeSizes,
+)
+from repro.workloads.popularity import ZipfPopularity, request_stream
+
+__all__ = [
+    "FileSizeDistribution",
+    "LognormalSizes",
+    "ParetoSizes",
+    "TraceLikeSizes",
+    "uniform_capacities",
+    "bounded_normal_capacities",
+    "ZipfPopularity",
+    "request_stream",
+    "ChurnEvent",
+    "poisson_churn_schedule",
+]

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Networks are expensive to build, so the commonly reused ones are session
+scoped; tests that mutate network state build their own (the fixtures
+note which is which).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.network import PastNetwork
+from repro.core.storage_manager import StoragePolicy
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture()
+def space() -> IdSpace:
+    return IdSpace(128, 4)
+
+
+@pytest.fixture()
+def small_space() -> IdSpace:
+    """A 16-bit space with 4-bit digits: small enough to reason about
+    exhaustively in unit tests."""
+    return IdSpace(16, 4)
+
+
+@pytest.fixture(scope="session")
+def pastry_200() -> PastryNetwork:
+    """A 200-node overlay built by real joins.  Read-only: tests must not
+    kill nodes or mutate state in this fixture."""
+    network = PastryNetwork(rngs=RngRegistry(1001))
+    network.build(200, method="join")
+    return network
+
+
+@pytest.fixture()
+def pastry_small() -> PastryNetwork:
+    """A fresh 60-node overlay per test; safe to mutate."""
+    network = PastryNetwork(rngs=RngRegistry(2002))
+    network.build(60, method="join")
+    return network
+
+
+@pytest.fixture()
+def past_net() -> PastNetwork:
+    """A fresh 50-node PAST deployment (fast key backend); safe to mutate."""
+    network = PastNetwork(rngs=RngRegistry(3003))
+    network.build(50, method="join", capacity_fn=lambda r: 1_000_000)
+    return network
+
+
+@pytest.fixture()
+def past_net_rsa() -> PastNetwork:
+    """A small deployment with *real* RSA signatures for security tests."""
+    network = PastNetwork(rngs=RngRegistry(4004), key_backend="rsa")
+    network.build(16, method="join", capacity_fn=lambda r: 1_000_000)
+    return network
+
+
+@pytest.fixture()
+def tight_policy() -> StoragePolicy:
+    return StoragePolicy(t_pri=0.1, t_div=0.05, max_file_diversions=3)

@@ -1,0 +1,210 @@
+"""Unit tests for the baseline location schemes."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.can_routing import (
+    CanNetwork,
+    Zone,
+    zone_distance,
+    zones_adjacent,
+)
+from repro.baselines.central_index import CentralIndexNetwork, IndexUnavailableError
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.flooding import FloodingNetwork
+
+
+class TestChord:
+    @pytest.fixture()
+    def ring(self):
+        net = ChordNetwork(bits=32)
+        net.build(100, random.Random(1))
+        return net
+
+    def test_all_lookups_reach_owner(self, ring):
+        rng = random.Random(2)
+        ids = list(ring.nodes)
+        for _ in range(200):
+            key = rng.getrandbits(32)
+            result = ring.route(key, rng.choice(ids))
+            assert result.delivered
+            assert result.destination == ring.owner_of(key)
+
+    def test_hops_logarithmic(self, ring):
+        rng = random.Random(3)
+        ids = list(ring.nodes)
+        hops = [
+            ring.route(rng.getrandbits(32), rng.choice(ids)).hops for _ in range(200)
+        ]
+        # Expected ~ 0.5 log2(100) ~ 3.3; allow generous headroom.
+        assert sum(hops) / len(hops) < math.log2(100)
+
+    def test_owner_of_wraps(self, ring):
+        top = max(ring.nodes)
+        key = top + 1  # beyond the last node: wraps to the smallest id
+        if key < ring.size:
+            assert ring.owner_of(key) == min(ring.nodes)
+
+    def test_successor_lists_sorted_clockwise(self, ring):
+        node = ring.nodes[min(ring.nodes)]
+        offsets = [(s - node.node_id) % ring.size for s in node.successors]
+        assert offsets == sorted(offsets)
+
+    def test_route_from_unknown_origin(self, ring):
+        with pytest.raises(ValueError):
+            ring.route(1, origin=999999999)
+
+    def test_state_size_reported(self, ring):
+        assert ring.average_state_size() > 0
+
+
+class TestCanZones:
+    def test_split_partitions(self):
+        zone = Zone((0.0, 0.0), (1.0, 1.0))
+        kept, given = zone.split(0)
+        assert kept.highs[0] == 0.5 and given.lows[0] == 0.5
+        assert kept.contains((0.25, 0.5))
+        assert given.contains((0.75, 0.5))
+
+    def test_adjacency_shared_face(self):
+        a = Zone((0.0, 0.0), (0.5, 1.0))
+        b = Zone((0.5, 0.0), (1.0, 1.0))
+        assert zones_adjacent(a, b)
+
+    def test_adjacency_corner_only_is_not_adjacent(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.5), (1.0, 1.0))
+        assert not zones_adjacent(a, b)
+
+    def test_adjacency_wraps_torus(self):
+        a = Zone((0.0, 0.0), (0.25, 1.0))
+        b = Zone((0.75, 0.0), (1.0, 1.0))
+        assert zones_adjacent(a, b)
+
+    def test_zone_distance_zero_inside(self):
+        zone = Zone((0.0, 0.0), (0.5, 0.5))
+        assert zone_distance(zone, (0.25, 0.25)) == 0.0
+        assert zone_distance(zone, (0.75, 0.25)) > 0.0
+
+
+class TestCanNetwork:
+    @pytest.fixture()
+    def can(self):
+        net = CanNetwork(dimensions=2)
+        net.build(80, random.Random(4))
+        return net
+
+    def test_zones_tile_the_torus(self, can):
+        """Every random point belongs to exactly one zone."""
+        rng = random.Random(5)
+        for _ in range(200):
+            point = (rng.random(), rng.random())
+            owners = [
+                n.node_id for n in can.nodes.values() if n.zone.contains(point)
+            ]
+            assert len(owners) == 1
+
+    def test_all_routes_deliver(self, can):
+        rng = random.Random(6)
+        ids = list(can.nodes)
+        for _ in range(200):
+            point = (rng.random(), rng.random())
+            result = can.route(point, rng.choice(ids))
+            assert result.delivered
+            assert result.destination == can.owner_of(point)
+
+    def test_state_constant_ish(self):
+        """CAN's defining property: neighbour count does not grow with N
+        the way log-structured schemes do."""
+        rng = random.Random(7)
+        small = CanNetwork(2)
+        small.build(30, rng)
+        large = CanNetwork(2)
+        large.build(300, rng)
+        assert large.average_state_size() < small.average_state_size() * 3
+
+    def test_hops_grow_faster_than_log(self):
+        rng = random.Random(8)
+        def avg_hops(n):
+            net = CanNetwork(2)
+            net.build(n, rng)
+            ids = list(net.nodes)
+            samples = [
+                net.route((rng.random(), rng.random()), rng.choice(ids)).hops
+                for _ in range(150)
+            ]
+            return sum(samples) / len(samples)
+        # O(sqrt N): quadrupling N should roughly double hops.
+        h1, h4 = avg_hops(50), avg_hops(200)
+        assert h4 > h1 * 1.4
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            CanNetwork(0)
+
+
+class TestFlooding:
+    @pytest.fixture()
+    def net(self):
+        net = FloodingNetwork(degree=4)
+        net.build(150, random.Random(9))
+        return net
+
+    def test_high_ttl_finds_file(self, net):
+        net.place_file(1, 10)
+        result = net.query(1, origin=100, ttl=10)
+        assert result.found
+
+    def test_zero_ttl_only_local(self, net):
+        net.place_file(2, 10)
+        assert not net.query(2, origin=100, ttl=0).found
+        assert net.query(2, origin=10, ttl=0).found
+
+    def test_messages_grow_with_ttl(self, net):
+        net.place_file(3, 10)
+        m2 = net.query(3, origin=100, ttl=2).messages
+        m5 = net.query(3, origin=100, ttl=5).messages
+        assert m5 > m2
+
+    def test_replicas_improve_hit_distance(self, net):
+        rng = random.Random(10)
+        net.place_file(4, 10, replicas=10, rng=rng)
+        result = net.query(4, origin=100, ttl=10)
+        assert result.found
+
+    def test_graph_connected(self, net):
+        result = net.query(999999, origin=0, ttl=50)  # nonexistent file
+        assert not result.found
+        assert result.nodes_reached == 150
+
+
+class TestCentralIndex:
+    def test_publish_lookup(self):
+        net = CentralIndexNetwork()
+        net.build(20)
+        net.publish(5, 3)
+        result = net.lookup(5, origin=10, rng=random.Random(1))
+        assert result.found and result.holder == 3
+        assert result.messages == 4
+
+    def test_missing_file(self):
+        net = CentralIndexNetwork()
+        net.build(20)
+        result = net.lookup(5, origin=10, rng=random.Random(1))
+        assert not result.found
+        assert result.messages == 2
+
+    def test_single_point_of_failure(self):
+        """The availability cliff: kill the server, everything fails."""
+        net = CentralIndexNetwork()
+        net.build(20)
+        net.publish(5, 3)
+        net.kill_server()
+        with pytest.raises(IndexUnavailableError):
+            net.lookup(5, origin=10, rng=random.Random(1))
+        with pytest.raises(IndexUnavailableError):
+            net.publish(6, 4)
+        net.restore_server()
+        assert net.lookup(5, origin=10, rng=random.Random(1)).found

@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_contains_all_markers(self):
+        text = line_chart(
+            [("a", [(0, 0), (1, 1)]), ("b", [(0, 1), (1, 0)])],
+            width=20, height=8,
+        )
+        assert "*" in text and "o" in text
+        assert "* a" in text and "o b" in text  # legend
+
+    def test_title_and_labels(self):
+        text = line_chart(
+            [("s", [(0, 0), (10, 5)])],
+            title="my chart", x_label="N", y_label="hops",
+        )
+        assert text.splitlines()[0] == "my chart"
+        assert "x: N" in text and "y: hops" in text
+
+    def test_y_extent_labels(self):
+        text = line_chart([("s", [(0, 2.0), (1, 8.0)])], width=20, height=6)
+        assert "8.00" in text
+        assert "2.00" in text
+
+    def test_monotone_series_renders_monotone(self):
+        """A rising series must place later points on higher rows."""
+        points = [(x, x) for x in range(10)]
+        text = line_chart([("s", points)], width=30, height=10)
+        rows_with_marker = [
+            index for index, line in enumerate(text.splitlines())
+            if "*" in line
+        ]
+        # First marker row (top of chart) corresponds to the largest y.
+        assert rows_with_marker == sorted(rows_with_marker)
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart([("s", [(0, 5.0), (1, 5.0)])])
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([("s", [])])
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = bar_chart([("small", 1.0), ("large", 10.0)], width=40)
+        lines = text.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_values_printed(self):
+        text = bar_chart([("a", 42.0)], unit="%")
+        assert "42" in text and "%" in text
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in text and "b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_labels_aligned(self):
+        text = bar_chart([("x", 1.0), ("longer-label", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.nodes == 64
+        assert args.seed == 0
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "9", "route"])
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "--nodes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "inserted fileId" in out
+        assert "reclaimed" in out
+
+    def test_route(self, capsys):
+        assert main(["route", "--nodes", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered at the root" in out
+        assert "shared prefix" in out
+
+    def test_hops(self, capsys):
+        assert main(["hops", "--sizes", "64", "128", "--lookups", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "routing hops vs N" in out
+        assert "64" in out and "128" in out
+
+    def test_fill(self, capsys):
+        assert main(["fill", "--nodes", "20", "--capacity", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "final utilization" in out
+
+    def test_churn(self, capsys):
+        assert main([
+            "--seed", "5", "churn", "--nodes", "30", "--files", "10",
+            "--duration", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+    def test_demo_deterministic(self, capsys):
+        main(["--seed", "7", "demo", "--nodes", "20"])
+        first = capsys.readouterr().out
+        main(["--seed", "7", "demo", "--nodes", "20"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,206 @@
+"""Security tests for certificates and receipts.
+
+These exercise the *real* verification semantics: every field of every
+certificate is forged in turn and the verification must fail.  The fast
+key backend is used (its verify is behaviourally identical); a subset is
+repeated with real RSA in test_core_security_rsa.py.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.certificates import (
+    FileCertificate,
+    ReclaimCertificate,
+    ReclaimReceipt,
+    StoreReceipt,
+)
+from repro.core.files import RealData
+from repro.core.ids import make_file_id
+from repro.crypto.keys import generate_keypair
+from repro.crypto.signatures import SignedEnvelope
+
+
+@pytest.fixture()
+def owner_keys():
+    return generate_keypair(random.Random(1), backend="insecure_fast")
+
+
+@pytest.fixture()
+def node_keys():
+    return generate_keypair(random.Random(2), backend="insecure_fast")
+
+
+@pytest.fixture()
+def certificate(owner_keys):
+    data = RealData(b"the file body")
+    file_id = make_file_id("report.pdf", owner_keys.public, 99)
+    return FileCertificate.issue(
+        owner_keys,
+        name="report.pdf",
+        file_id=file_id,
+        content_hash=data.content_hash(),
+        size=data.size,
+        replication_factor=3,
+        salt=99,
+        insertion_date=10,
+    )
+
+
+def forge_field(cert_like, field_name, new_value):
+    """Return a copy of a certificate with one envelope field replaced
+    (signature unchanged) -- the canonical forgery."""
+    env = cert_like.envelope
+    fields = dict(env.fields)
+    fields[field_name] = new_value
+    forged_env = SignedEnvelope(
+        kind=env.kind, fields=fields, signer=env.signer, signature=env.signature
+    )
+    return dataclasses.replace(cert_like, envelope=forged_env)
+
+
+class TestFileCertificate:
+    def test_valid_certificate_verifies(self, certificate):
+        assert certificate.verify()
+
+    def test_accessors(self, certificate):
+        assert certificate.name == "report.pdf"
+        assert certificate.replication_factor == 3
+        assert certificate.salt == 99
+        assert certificate.insertion_date == 10
+        assert certificate.size == len(b"the file body")
+
+    def test_storage_key_is_128_bits(self, certificate):
+        assert 0 <= certificate.storage_key() < (1 << 128)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("name", "other.pdf"),
+            ("file_id", 12345),
+            ("content_hash", 999),
+            ("size", 1),
+            ("k", 1),
+            ("salt", 98),
+            ("date", 11),
+        ],
+    )
+    def test_forging_any_field_breaks_verification(self, certificate, field, value):
+        assert not forge_field(certificate, field, value).verify()
+
+    def test_wrong_signer_rejected(self, certificate, node_keys):
+        env = certificate.envelope
+        substituted = SignedEnvelope(
+            kind=env.kind,
+            fields=env.fields,
+            signer=node_keys.public,
+            signature=env.signature,
+        )
+        assert not FileCertificate(substituted).verify()
+
+    def test_inauthentic_file_id_rejected(self, owner_keys):
+        """A certificate whose fileId does not hash from (name, owner,
+        salt) is rejected even with a valid signature -- the chosen-fileId
+        DoS defence."""
+        data = RealData(b"x")
+        cert = FileCertificate.issue(
+            owner_keys,
+            name="a",
+            file_id=42,  # not the real hash
+            content_hash=data.content_hash(),
+            size=1,
+            replication_factor=3,
+            salt=0,
+            insertion_date=0,
+        )
+        assert cert.envelope.verify()  # signature itself is fine
+        assert not cert.verify()  # but the fileId check fails
+
+    def test_replication_factor_validated(self, owner_keys):
+        with pytest.raises(ValueError):
+            FileCertificate.issue(
+                owner_keys, name="a", file_id=1, content_hash=1, size=1,
+                replication_factor=0, salt=0, insertion_date=0,
+            )
+
+
+class TestStoreReceipt:
+    def test_valid_receipt_verifies(self, certificate, node_keys):
+        receipt = StoreReceipt.issue(node_keys, node_id=777, certificate=certificate)
+        assert receipt.verify(certificate)
+        assert receipt.node_id == 777
+        assert not receipt.diverted
+
+    def test_diverted_flag_carried(self, certificate, node_keys):
+        receipt = StoreReceipt.issue(node_keys, 777, certificate, diverted=True)
+        assert receipt.diverted
+        assert receipt.verify(certificate)
+
+    def test_receipt_bound_to_certificate(self, certificate, node_keys, owner_keys):
+        receipt = StoreReceipt.issue(node_keys, 777, certificate)
+        other_data = RealData(b"other")
+        other = FileCertificate.issue(
+            owner_keys,
+            name="other",
+            file_id=make_file_id("other", owner_keys.public, 1),
+            content_hash=other_data.content_hash(),
+            size=other_data.size,
+            replication_factor=3,
+            salt=1,
+            insertion_date=0,
+        )
+        assert not receipt.verify(other)
+
+    @pytest.mark.parametrize("field,value", [("file_id", 5), ("node_id", 5), ("size", 5)])
+    def test_forged_receipt_rejected(self, certificate, node_keys, field, value):
+        receipt = StoreReceipt.issue(node_keys, 777, certificate)
+        assert not forge_field(receipt, field, value).verify(certificate)
+
+
+class TestReclaimCertificate:
+    def test_owner_reclaim_accepted(self, certificate, owner_keys):
+        reclaim = ReclaimCertificate.issue(owner_keys, certificate.file_id)
+        assert reclaim.verify_against(certificate)
+
+    def test_non_owner_reclaim_rejected(self, certificate, node_keys):
+        """Only the owner may reclaim (section 2.1): a reclaim signed by
+        any other card fails the signer-match check."""
+        reclaim = ReclaimCertificate.issue(node_keys, certificate.file_id)
+        assert not reclaim.verify_against(certificate)
+
+    def test_wrong_file_id_rejected(self, certificate, owner_keys):
+        reclaim = ReclaimCertificate.issue(owner_keys, certificate.file_id + 1)
+        assert not reclaim.verify_against(certificate)
+
+    def test_forged_file_id_rejected(self, certificate, owner_keys):
+        reclaim = ReclaimCertificate.issue(owner_keys, certificate.file_id)
+        assert not forge_field(reclaim, "file_id", 1).verify_against(certificate)
+
+
+class TestReclaimReceipt:
+    def test_round_trip(self, certificate, owner_keys, node_keys):
+        reclaim = ReclaimCertificate.issue(owner_keys, certificate.file_id)
+        receipt = ReclaimReceipt.issue(node_keys, 777, reclaim, amount_reclaimed=1024)
+        assert receipt.verify(reclaim)
+        assert receipt.amount == 1024
+        assert receipt.node_id == 777
+
+    def test_bound_to_reclaim_request(self, certificate, owner_keys, node_keys):
+        """A receipt cannot be replayed against a different reclaim
+        certificate (it embeds the request's signature)."""
+        reclaim_a = ReclaimCertificate.issue(owner_keys, certificate.file_id)
+        reclaim_b = ReclaimCertificate.issue(owner_keys, certificate.file_id + 1)
+        receipt = ReclaimReceipt.issue(node_keys, 777, reclaim_a, 10)
+        assert not receipt.verify(reclaim_b)
+
+    def test_negative_amount_rejected(self, certificate, owner_keys, node_keys):
+        reclaim = ReclaimCertificate.issue(owner_keys, certificate.file_id)
+        with pytest.raises(ValueError):
+            ReclaimReceipt.issue(node_keys, 777, reclaim, -1)
+
+    def test_forged_amount_rejected(self, certificate, owner_keys, node_keys):
+        reclaim = ReclaimCertificate.issue(owner_keys, certificate.file_id)
+        receipt = ReclaimReceipt.issue(node_keys, 777, reclaim, 10)
+        assert not forge_field(receipt, "amount", 10**9).verify(reclaim)

@@ -1,0 +1,130 @@
+"""Unit tests for fileId construction and file content abstractions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.files import RealData, SyntheticData
+from repro.core.ids import SALT_BITS, make_file_id, make_salt, storage_key, verify_file_id
+from repro.crypto.hashing import FILE_ID_BITS, NODE_ID_BITS
+from repro.crypto.keys import generate_keypair
+
+
+@pytest.fixture()
+def owner():
+    return generate_keypair(random.Random(1), backend="insecure_fast").public
+
+
+class TestFileIds:
+    def test_width(self, owner):
+        fid = make_file_id("a.txt", owner, 1)
+        assert 0 <= fid < (1 << FILE_ID_BITS)
+
+    def test_deterministic(self, owner):
+        assert make_file_id("a.txt", owner, 1) == make_file_id("a.txt", owner, 1)
+
+    def test_salt_changes_id(self, owner):
+        assert make_file_id("a.txt", owner, 1) != make_file_id("a.txt", owner, 2)
+
+    def test_name_changes_id(self, owner):
+        assert make_file_id("a.txt", owner, 1) != make_file_id("b.txt", owner, 1)
+
+    def test_owner_changes_id(self, owner):
+        other = generate_keypair(random.Random(2), backend="insecure_fast").public
+        assert make_file_id("a.txt", owner, 1) != make_file_id("a.txt", other, 1)
+
+    def test_salt_range_enforced(self, owner):
+        with pytest.raises(ValueError):
+            make_file_id("a", owner, 1 << SALT_BITS)
+        with pytest.raises(ValueError):
+            make_file_id("a", owner, -1)
+
+    def test_verify_file_id(self, owner):
+        fid = make_file_id("a.txt", owner, 7)
+        assert verify_file_id(fid, "a.txt", owner, 7)
+        assert not verify_file_id(fid, "a.txt", owner, 8)
+        assert not verify_file_id(fid + 1, "a.txt", owner, 7)
+
+    def test_make_salt_in_range(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            assert 0 <= make_salt(rng) < (1 << SALT_BITS)
+
+
+class TestStorageKey:
+    def test_keeps_128_msbs(self):
+        fid = 0xF << (FILE_ID_BITS - 4)
+        key = storage_key(fid)
+        assert key >> (NODE_ID_BITS - 4) == 0xF
+        assert 0 <= key < (1 << NODE_ID_BITS)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            storage_key(1 << FILE_ID_BITS)
+
+    @given(st.integers(min_value=0, max_value=(1 << FILE_ID_BITS) - 1))
+    @settings(max_examples=50)
+    def test_always_node_id_width(self, fid):
+        assert 0 <= storage_key(fid) < (1 << NODE_ID_BITS)
+
+
+class TestRealData:
+    def test_size(self):
+        assert RealData(b"hello").size == 5
+
+    def test_hash_depends_on_content(self):
+        assert RealData(b"a").content_hash() != RealData(b"b").content_hash()
+
+    def test_round_trip(self):
+        assert RealData(b"payload").to_bytes() == b"payload"
+
+    def test_equality(self):
+        assert RealData(b"x") == RealData(b"x")
+        assert RealData(b"x") != RealData(b"y")
+
+    def test_prefix_bytes(self):
+        assert RealData(b"abcdef").prefix_bytes(3) == b"abc"
+
+
+class TestSyntheticData:
+    def test_size_is_virtual(self):
+        data = SyntheticData(seed=1, size=10**12)  # a terabyte, instantly
+        assert data.size == 10**12
+
+    def test_hash_differs_by_seed(self):
+        assert SyntheticData(1, 100).content_hash() != SyntheticData(2, 100).content_hash()
+
+    def test_hash_differs_by_size(self):
+        assert SyntheticData(1, 100).content_hash() != SyntheticData(1, 101).content_hash()
+
+    def test_hash_deterministic(self):
+        assert SyntheticData(1, 100).content_hash() == SyntheticData(1, 100).content_hash()
+
+    def test_to_bytes_length_and_determinism(self):
+        data = SyntheticData(5, 100)
+        materialised = data.to_bytes()
+        assert len(materialised) == 100
+        assert materialised == SyntheticData(5, 100).to_bytes()
+
+    def test_prefix_is_prefix_of_full(self):
+        data = SyntheticData(5, 100)
+        assert data.to_bytes()[:10] == data.prefix_bytes(10)
+
+    def test_prefix_does_not_over_materialise(self):
+        huge = SyntheticData(5, 10**9)
+        assert len(huge.prefix_bytes(64)) == 64
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticData(1, -1)
+
+    def test_equality(self):
+        assert SyntheticData(1, 2) == SyntheticData(1, 2)
+        assert SyntheticData(1, 2) != SyntheticData(1, 3)
+
+    @given(st.integers(min_value=0, max_value=1 << 64), st.integers(min_value=0, max_value=4096))
+    @settings(max_examples=25)
+    def test_to_bytes_always_size(self, seed, size):
+        assert len(SyntheticData(seed, size).to_bytes()) == size

@@ -1,0 +1,143 @@
+"""Tests for replica restoration after failures, and random audits."""
+
+import pytest
+
+from repro.core.audit import Auditor
+from repro.core.files import RealData, SyntheticData
+from repro.core.maintenance import replication_census, restore_replication
+from repro.core.network import PastNetwork
+from repro.pastry.failure import notify_leafset_of_failure
+from repro.sim.rng import RngRegistry
+
+
+def build_net(seed=606, n=40):
+    net = PastNetwork(rngs=RngRegistry(seed))
+    net.build(n, method="join", capacity_fn=lambda r: 1_000_000)
+    return net
+
+
+class TestRestoreReplication:
+    def test_failure_then_restore_regains_k(self):
+        net = build_net()
+        client = net.create_client(usage_quota=1 << 40)
+        handles = [
+            client.insert(f"f{i}", SyntheticData(i, 500), replication_factor=3)
+            for i in range(30)
+        ]
+        # Kill one replica holder of the first file.
+        victim = handles[0].receipts[0].node_id
+        net.pastry.mark_failed(victim)
+        notify_leafset_of_failure(net.pastry, victim)
+        census = replication_census(net)
+        assert census["under"] >= 1
+        report = restore_replication(net)
+        assert report.replicas_restored >= 1
+        assert report.files_lost == 0
+        census_after = replication_census(net)
+        assert census_after["under"] == 0
+        assert census_after["full"] == 30
+
+    def test_restored_file_still_retrievable(self):
+        net = build_net(seed=607)
+        client = net.create_client(usage_quota=1 << 40)
+        handle = client.insert("precious", RealData(b"do not lose me"), replication_factor=3)
+        for receipt in handle.receipts[:2]:  # kill 2 of 3 holders
+            net.pastry.mark_failed(receipt.node_id)
+            notify_leafset_of_failure(net.pastry, receipt.node_id)
+        restore_replication(net)
+        reader = net.create_client(usage_quota=0)
+        assert reader.lookup(handle.file_id).to_bytes() == b"do not lose me"
+        assert replication_census(net)["full"] >= 1
+
+    def test_all_replicas_dead_file_lost(self):
+        net = build_net(seed=608)
+        client = net.create_client(usage_quota=1 << 40)
+        handle = client.insert("doomed", SyntheticData(1, 500), replication_factor=3)
+        for receipt in handle.receipts:
+            net.pastry.mark_failed(receipt.node_id)
+            notify_leafset_of_failure(net.pastry, receipt.node_id)
+        report = restore_replication(net)
+        assert handle.file_id in report.lost_file_ids
+        assert replication_census(net)["lost"] == 1
+
+    def test_restore_skips_reclaimed_files(self):
+        net = build_net(seed=609)
+        client = net.create_client(usage_quota=1 << 40)
+        handle = client.insert("gone", SyntheticData(1, 500))
+        client.reclaim(handle)
+        report = restore_replication(net)
+        assert report.files_checked == 0
+
+    def test_restore_places_on_current_k_closest(self):
+        net = build_net(seed=610)
+        client = net.create_client(usage_quota=1 << 40)
+        handle = client.insert("f", SyntheticData(1, 500), replication_factor=3)
+        victim = handle.receipts[0].node_id
+        net.pastry.mark_failed(victim)
+        notify_leafset_of_failure(net.pastry, victim)
+        restore_replication(net)
+        key = handle.certificate.storage_key()
+        expected = set(net.pastry.replica_root_set(key, 3))
+        record = net.files[handle.file_id]
+        assert record.holders == expected
+
+    def test_transfer_bytes_accounted(self):
+        net = build_net(seed=611)
+        client = net.create_client(usage_quota=1 << 40)
+        handle = client.insert("f", SyntheticData(1, 700), replication_factor=3)
+        victim = handle.receipts[0].node_id
+        net.pastry.mark_failed(victim)
+        notify_leafset_of_failure(net.pastry, victim)
+        report = restore_replication(net)
+        assert report.transfer_bytes == 700 * report.replicas_restored
+
+
+class TestAudits:
+    def test_honest_network_passes(self):
+        net = build_net(seed=612)
+        client = net.create_client(usage_quota=1 << 40)
+        for i in range(20):
+            client.insert(f"f{i}", SyntheticData(i, 400), replication_factor=3)
+        report = Auditor(net).audit_round(node_fraction=1.0, samples=3)
+        assert report.challenges > 0
+        assert report.failed == 0
+        assert report.exposed_nodes == set()
+
+    def test_cheating_node_exposed(self):
+        net = build_net(seed=613)
+        client = net.create_client(usage_quota=1 << 40)
+        handles = [
+            client.insert(f"f{i}", SyntheticData(i, 400), replication_factor=3)
+            for i in range(20)
+        ]
+        # Pick a holder and make it discard everything it stores.
+        cheat_id = handles[0].receipts[0].node_id
+        cheat = net.past_node(cheat_id)
+        cheat.cheats_storage = True
+        for file_id in cheat.store.file_ids():
+            cheat.store.discard_content(file_id)
+        report = Auditor(net).audit_round(node_fraction=1.0, samples=4)
+        assert cheat_id in report.exposed_nodes
+        assert report.failed > 0
+
+    def test_audit_node_without_files_is_empty(self):
+        net = build_net(seed=614)
+        node_id = net.pastry.live_ids()[0]
+        report = Auditor(net).audit_node(node_id)
+        assert report.challenges == 0
+
+    def test_audit_fraction_validated(self):
+        net = build_net(seed=615)
+        with pytest.raises(ValueError):
+            Auditor(net).audit_round(node_fraction=0.0)
+
+    def test_audit_uses_fresh_nonce(self):
+        """Two audits of the same file produce different challenges, so a
+        cheat cannot replay a recorded answer."""
+        net = build_net(seed=616)
+        client = net.create_client(usage_quota=1 << 40)
+        handle = client.insert("f", SyntheticData(1, 400), replication_factor=3)
+        holder = net.past_node(handle.receipts[0].node_id)
+        a = holder.audit_challenge(handle.file_id, nonce=1)
+        b = holder.audit_challenge(handle.file_id, nonce=2)
+        assert a is not None and b is not None and a != b

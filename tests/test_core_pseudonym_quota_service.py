@@ -1,0 +1,156 @@
+"""Tests for pseudonym management, private storage, and the on-line
+quota-service alternative."""
+
+import pytest
+
+from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.pseudonym import ShareToken, UserAgent
+from repro.core.quota_service import OnlineQuotaService, create_online_client
+from repro.crypto.symmetric import DecryptionError, SealedBox, decrypt, generate_key
+from repro.core.files import RealData
+
+
+class TestUserAgent:
+    def test_private_round_trip(self, past_net):
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("alpha", usage_quota=100_000)
+        token = agent.store_private("diary.txt", b"nobody reads this")
+        assert UserAgent.retrieve(past_net, token) == b"nobody reads this"
+
+    def test_storage_nodes_see_only_ciphertext(self, past_net):
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("alpha", usage_quota=100_000)
+        plaintext = b"very secret plaintext bytes"
+        token = agent.store_private("secret.txt", plaintext)
+        for node in past_net.live_past_nodes():
+            replica = node.store.get(token.file_id)
+            if replica is not None and replica.data is not None:
+                stored = replica.data.to_bytes()
+                assert plaintext not in stored
+
+    def test_wrong_key_cannot_read(self, past_net):
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("alpha", usage_quota=100_000)
+        token = agent.store_private("secret.txt", b"hands off")
+        stolen = ShareToken(
+            file_id=token.file_id,
+            replication_factor=token.replication_factor,
+            key=generate_key(past_net.rngs.stream("attacker")),
+        )
+        with pytest.raises(DecryptionError):
+            UserAgent.retrieve(past_net, stolen)
+
+    def test_token_without_key_returns_ciphertext_only(self, past_net):
+        """Knowing the fileId alone retrieves the sealed blob, not the
+        plaintext (section 1's sharing model)."""
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("alpha", usage_quota=100_000)
+        token = agent.store_private("secret.txt", b"plaintext!")
+        blind = ShareToken(token.file_id, token.replication_factor, key=None)
+        blob = UserAgent.retrieve(past_net, blind)
+        assert blob != b"plaintext!"
+        assert decrypt(token.key, SealedBox.from_bytes(blob)) == b"plaintext!"
+
+    def test_public_storage_is_plaintext(self, past_net):
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("alpha", usage_quota=100_000)
+        token = agent.store_public("announce.txt", b"read me")
+        assert token.key is None
+        assert UserAgent.retrieve(past_net, token) == b"read me"
+
+    def test_pseudonyms_unlinkable_by_signer(self, past_net):
+        """Files stored under different pseudonyms carry different,
+        unrelated signer fingerprints."""
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("work", usage_quota=100_000)
+        agent.create_pseudonym("home", usage_quota=100_000)
+        token_a = agent.store_public("a.txt", b"a", pseudonym="work")
+        token_b = agent.store_public("b.txt", b"b", pseudonym="home")
+        cert_a = past_net.files[token_a.file_id].certificate
+        cert_b = past_net.files[token_b.file_id].certificate
+        assert cert_a.owner != cert_b.owner
+        fingerprints = agent.signer_fingerprints()
+        assert fingerprints["work"] != fingerprints["home"]
+
+    def test_duplicate_label_rejected(self, past_net):
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("x", usage_quota=100)
+        with pytest.raises(ValueError):
+            agent.create_pseudonym("x", usage_quota=100)
+
+    def test_store_without_pseudonym_rejected(self, past_net):
+        agent = UserAgent(past_net)
+        with pytest.raises(ValueError):
+            agent.store_public("a", b"a")
+
+    def test_each_pseudonym_has_own_quota(self, past_net):
+        agent = UserAgent(past_net)
+        agent.create_pseudonym("small", usage_quota=30)
+        agent.create_pseudonym("large", usage_quota=100_000)
+        with pytest.raises(QuotaExceededError):
+            agent.store_public("big.bin", b"x" * 100, pseudonym="small")
+        agent.store_public("big.bin", b"x" * 100, pseudonym="large")
+
+
+class TestOnlineQuotaService:
+    @pytest.fixture()
+    def service(self, past_net):
+        return OnlineQuotaService(past_net)
+
+    def test_insert_lookup_reclaim(self, past_net, service):
+        client = create_online_client(service, usage_quota=10_000)
+        handle = client.insert("doc", RealData(b"service-backed"), 3)
+        reader = past_net.create_client(usage_quota=0)
+        assert reader.lookup(handle.file_id).to_bytes() == b"service-backed"
+        assert client.reclaim(handle) == 3 * len(b"service-backed")
+
+    def test_quota_enforced_at_service(self, service):
+        client = create_online_client(service, usage_quota=100)
+        with pytest.raises(QuotaExceededError):
+            client.insert("big", RealData(b"x" * 50), replication_factor=3)
+        assert service.account(client.card.account_id).quota_used == 0
+
+    def test_non_owner_cannot_obtain_reclaim_certificate(self, service):
+        owner = create_online_client(service, usage_quota=10_000)
+        thief = create_online_client(service, usage_quota=10_000)
+        handle = owner.insert("mine", RealData(b"y" * 20), 3)
+        with pytest.raises(CertificateError):
+            service.issue_reclaim_certificate(thief.card.account_id, handle.file_id)
+
+    def test_receipt_replay_rejected(self, past_net, service):
+        client = create_online_client(service, usage_quota=10_000)
+        handle = client.insert("doc", RealData(b"z" * 20), 3)
+        reclaim = service.issue_reclaim_certificate(client.card.account_id, handle.file_id)
+        holder = past_net.past_node(handle.receipts[0].node_id)
+        receipt = holder.card.issue_reclaim_receipt(reclaim, 20)
+        service.credit_reclaim_receipt(client.card.account_id, receipt, reclaim)
+        with pytest.raises(CertificateError):
+            service.credit_reclaim_receipt(client.card.account_id, receipt, reclaim)
+
+    def test_operations_are_counted(self, past_net, service):
+        before = past_net.pastry.stats.counter("messages.quota-service").value
+        client = create_online_client(service, usage_quota=10_000)
+        client.insert("doc", RealData(b"q"), 3)
+        after = past_net.pastry.stats.counter("messages.quota-service").value
+        # open_account + issue certificate, two messages each.
+        assert after - before >= 4
+        assert service.operations >= 2
+
+    def test_unknown_account_rejected(self, service):
+        with pytest.raises(CertificateError):
+            service.issue_file_certificate(999, "a", RealData(b"a"), 3, salt=1)
+
+    def test_smartcard_vs_service_message_overhead(self, past_net, service):
+        """The trade-off the paper describes: smartcard clients generate
+        no quota traffic; service clients pay round trips per operation."""
+        counter = past_net.pastry.stats.counter("messages.quota-service")
+        card_client = past_net.create_client(usage_quota=10_000)
+        before = counter.value
+        handle = card_client.insert("a", RealData(b"1234"), 3)
+        card_client.reclaim(handle)
+        assert counter.value == before  # smartcard: zero on-line traffic
+        online = create_online_client(service, usage_quota=10_000)
+        before = counter.value
+        handle = online.insert("b", RealData(b"1234"), 3)
+        online.reclaim(handle)
+        assert counter.value > before

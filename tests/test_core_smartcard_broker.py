@@ -1,0 +1,153 @@
+"""Unit tests for smartcards (quota bookkeeping) and the broker."""
+
+import random
+
+import pytest
+
+from repro.core.broker import Broker
+from repro.core.certificates import ReclaimCertificate
+from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.files import RealData
+from repro.core.smartcard import SmartCard, make_uncertified_card
+from repro.crypto.keys import generate_keypair
+
+
+@pytest.fixture()
+def broker():
+    return Broker(random.Random(5), key_backend="insecure_fast")
+
+
+@pytest.fixture()
+def user_card(broker):
+    return broker.issue_card(usage_quota=10_000, enforce_balance=False)
+
+
+@pytest.fixture()
+def node_card(broker):
+    return broker.issue_card(usage_quota=0, contributed_storage=100_000)
+
+
+class TestQuota:
+    def test_issue_debits_size_times_k(self, user_card):
+        data = RealData(b"x" * 100)
+        user_card.issue_file_certificate("f", data, replication_factor=3, salt=1, insertion_date=0)
+        assert user_card.quota_used == 300
+        assert user_card.quota_remaining == 9_700
+
+    def test_over_quota_refused(self, user_card):
+        data = RealData(b"x" * 4000)
+        with pytest.raises(QuotaExceededError):
+            user_card.issue_file_certificate("f", data, 3, salt=1, insertion_date=0)
+        # Refusal must not consume quota.
+        assert user_card.quota_used == 0
+
+    def test_exactly_full_quota_allowed(self, user_card):
+        data = RealData(b"x" * 2500)
+        user_card.issue_file_certificate("f", data, 4, salt=1, insertion_date=0)
+        assert user_card.quota_remaining == 0
+
+    def test_refund_failed_insert(self, user_card):
+        data = RealData(b"x" * 100)
+        cert = user_card.issue_file_certificate("f", data, 3, salt=1, insertion_date=0)
+        user_card.refund_failed_insert(cert)
+        assert user_card.quota_used == 0
+
+    def test_reclaim_receipt_credits(self, user_card, node_card):
+        data = RealData(b"x" * 100)
+        cert = user_card.issue_file_certificate("f", data, 3, salt=1, insertion_date=0)
+        reclaim = user_card.issue_reclaim_certificate(cert.file_id)
+        receipt = node_card.issue_reclaim_receipt(reclaim, amount=100)
+        credited = user_card.credit_reclaim_receipt(receipt, reclaim)
+        assert credited == 100
+        assert user_card.quota_used == 200
+
+    def test_reclaim_receipt_replay_rejected(self, user_card, node_card):
+        data = RealData(b"x" * 100)
+        cert = user_card.issue_file_certificate("f", data, 3, salt=1, insertion_date=0)
+        reclaim = user_card.issue_reclaim_certificate(cert.file_id)
+        receipt = node_card.issue_reclaim_receipt(reclaim, amount=100)
+        user_card.credit_reclaim_receipt(receipt, reclaim)
+        with pytest.raises(CertificateError):
+            user_card.credit_reclaim_receipt(receipt, reclaim)
+
+    def test_invalid_receipt_rejected(self, user_card, node_card):
+        reclaim_a = user_card.issue_reclaim_certificate(1)
+        reclaim_b = user_card.issue_reclaim_certificate(2)
+        receipt = node_card.issue_reclaim_receipt(reclaim_a, amount=100)
+        with pytest.raises(CertificateError):
+            user_card.credit_reclaim_receipt(receipt, reclaim_b)
+
+    def test_negative_quota_rejected(self):
+        keys = generate_keypair(random.Random(1), backend="insecure_fast")
+        with pytest.raises(ValueError):
+            SmartCard(keys, usage_quota=-1)
+
+
+class TestNodeIdDerivation:
+    def test_node_id_is_128_bits(self, node_card):
+        assert 0 <= node_card.node_id() < (1 << 128)
+
+    def test_node_id_deterministic(self, node_card):
+        assert node_card.node_id() == node_card.node_id()
+
+    def test_distinct_cards_distinct_ids(self, broker):
+        ids = {broker.issue_card(0, 1).node_id() for _ in range(30)}
+        assert len(ids) == 30
+
+
+class TestCardCertification:
+    def test_broker_issued_card_verifies(self, broker, user_card):
+        assert user_card.verify_certified_by(broker.public_key, now=0)
+
+    def test_uncertified_card_rejected(self, broker):
+        rogue = make_uncertified_card(random.Random(9), usage_quota=10**9,
+                                      backend="insecure_fast")
+        assert not rogue.verify_certified_by(broker.public_key, now=0)
+
+    def test_card_from_other_broker_rejected(self, broker):
+        other = Broker(random.Random(6), key_backend="insecure_fast")
+        card = other.issue_card(usage_quota=100, enforce_balance=False)
+        assert not card.verify_certified_by(broker.public_key, now=0)
+
+    def test_expired_card_rejected(self, broker):
+        card = broker.issue_card(usage_quota=100, now=0, lifetime=10, enforce_balance=False)
+        assert card.verify_certified_by(broker.public_key, now=9)
+        assert not card.verify_certified_by(broker.public_key, now=10)
+
+    def test_certificate_binds_key(self, broker, user_card, node_card):
+        """A card cannot present another card's certificate."""
+        assert not SmartCard(
+            user_card._keypair, usage_quota=100, certificate=node_card.certificate
+        ).verify_certified_by(broker.public_key, now=0)
+
+
+class TestBrokerSupplyDemand:
+    def test_tracks_aggregates_only(self, broker):
+        broker.issue_card(usage_quota=100, contributed_storage=500)
+        broker.issue_card(usage_quota=50, contributed_storage=0, enforce_balance=False)
+        assert broker.cards_issued == 2
+        assert broker.total_quota_issued == 150
+        assert broker.total_contribution == 500
+
+    def test_supply_demand_ratio(self, broker):
+        broker.issue_card(usage_quota=100, contributed_storage=200)
+        assert broker.supply_demand_ratio() == 2.0
+
+    def test_ratio_infinite_without_demand(self, broker):
+        assert broker.supply_demand_ratio() == float("inf")
+
+    def test_contribute_as_much_as_you_use_always_allowed(self, broker):
+        assert broker.can_issue_quota(100, 100)
+
+    def test_unbalancing_card_refused(self, broker):
+        broker.issue_card(usage_quota=0, contributed_storage=100)
+        with pytest.raises(ValueError):
+            broker.issue_card(usage_quota=1_000_000, contributed_storage=0)
+
+    def test_enforce_balance_off_allows(self, broker):
+        card = broker.issue_card(usage_quota=10**9, enforce_balance=False)
+        assert card.usage_quota == 10**9
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            Broker(random.Random(0), key_backend="insecure_fast", target_supply_margin=0)

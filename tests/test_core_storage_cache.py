@@ -1,0 +1,291 @@
+"""Unit tests for per-node storage, caches, and the acceptance policy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import GreedyDualSizeCache, LruCache, NoCache, make_cache
+from repro.core.certificates import FileCertificate
+from repro.core.errors import DuplicateFileError, PastError
+from repro.core.files import RealData, SyntheticData
+from repro.core.ids import make_file_id
+from repro.core.storage import FileStore
+from repro.core.storage_manager import StoragePolicy
+from repro.crypto.keys import generate_keypair
+
+KEYS = generate_keypair(random.Random(1), backend="insecure_fast")
+
+
+def make_cert(name: str, size: int, k: int = 3):
+    data = SyntheticData(seed=hash(name) & 0xFFFF, size=size)
+    return FileCertificate.issue(
+        KEYS,
+        name=name,
+        file_id=make_file_id(name, KEYS.public, 1),
+        content_hash=data.content_hash(),
+        size=size,
+        replication_factor=k,
+        salt=1,
+        insertion_date=0,
+    ), data
+
+
+class TestFileStore:
+    def test_store_accounts_space(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        store.store(cert, data)
+        assert store.used == 300
+        assert store.free_space == 700
+        assert store.utilization == pytest.approx(0.3)
+
+    def test_duplicate_rejected(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        store.store(cert, data)
+        with pytest.raises(DuplicateFileError):
+            store.store(cert, data)
+
+    def test_oversize_rejected(self):
+        store = FileStore(100)
+        cert, data = make_cert("a", 300)
+        with pytest.raises(PastError):
+            store.store(cert, data)
+
+    def test_remove_frees_space(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        store.store(cert, data)
+        assert store.remove(cert.file_id) == 300
+        assert store.used == 0
+        assert store.remove(cert.file_id) == 0  # idempotent
+
+    def test_get_and_contains(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        store.store(cert, data)
+        assert cert.file_id in store
+        assert store.get(cert.file_id).certificate is cert
+        assert store.get(12345) is None
+
+    def test_diverted_flag(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        replica = store.store(cert, data, diverted=True)
+        assert replica.diverted
+
+    def test_pointer_lifecycle(self):
+        store = FileStore(1000)
+        store.install_pointer(42, holder_node_id=7)
+        assert store.pointer(42) == 7
+        assert store.pointer_count() == 1
+        assert store.remove_pointer(42)
+        assert store.pointer(42) is None
+
+    def test_pointer_refused_for_local_replica(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        store.store(cert, data)
+        with pytest.raises(PastError):
+            store.install_pointer(cert.file_id, 7)
+
+    def test_discard_content_keeps_metadata(self):
+        store = FileStore(1000)
+        cert, data = make_cert("a", 300)
+        store.store(cert, data)
+        assert store.discard_content(cert.file_id)
+        replica = store.get(cert.file_id)
+        assert replica is not None and replica.data is None
+        assert store.used == 300  # the cheat still "advertises" the space
+        assert not store.discard_content(cert.file_id)
+
+    def test_zero_capacity_store(self):
+        store = FileStore(0)
+        assert store.utilization == 1.0
+        assert store.free_space == 0
+
+
+class TestStoragePolicy:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            StoragePolicy(t_pri=0.05, t_div=0.1)
+
+    def test_threshold_ranges(self):
+        with pytest.raises(ValueError):
+            StoragePolicy(t_pri=0.0)
+        with pytest.raises(ValueError):
+            StoragePolicy(t_pri=0.5, t_div=1.5)
+
+    def test_accepts_small_file(self):
+        policy = StoragePolicy(t_pri=0.1, t_div=0.05)
+        store = FileStore(100_000)
+        assert policy.accepts(store, 5_000, diverted=False)
+
+    def test_rejects_file_over_threshold(self):
+        """size/free > t_pri -> reject even though the file would fit."""
+        policy = StoragePolicy(t_pri=0.1, t_div=0.05)
+        store = FileStore(100_000)
+        assert not policy.accepts(store, 20_000, diverted=False)
+
+    def test_diverted_threshold_stricter(self):
+        policy = StoragePolicy(t_pri=0.1, t_div=0.05)
+        store = FileStore(100_000)
+        assert policy.accepts(store, 8_000, diverted=False)
+        assert not policy.accepts(store, 8_000, diverted=True)
+
+    def test_rejects_when_full(self):
+        policy = StoragePolicy()
+        store = FileStore(100)
+        cert, data = make_cert("a", 100)
+        store.store(cert, data)
+        assert not policy.accepts(store, 1, diverted=False)
+
+    def test_acceptance_tightens_as_store_fills(self):
+        policy = StoragePolicy(t_pri=0.1, t_div=0.05)
+        store = FileStore(100_000)
+        size = 6_000
+        assert policy.accepts(store, size, diverted=False)
+        cert, data = make_cert("fill", 50_000, k=1)
+        store.store(cert, data)
+        assert not policy.accepts(store, size, diverted=False)
+
+
+class TestGreedyDualSize:
+    def test_admit_and_hit(self):
+        cache = GreedyDualSizeCache()
+        cert, data = make_cert("a", 100)
+        assert cache.admit(cert, data, budget=1000)
+        assert cache.get(cert.file_id) is not None
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = GreedyDualSizeCache()
+        assert cache.get(1) is None
+        assert cache.misses == 1
+        assert cache.hit_ratio == 0.0
+
+    def test_rejects_over_budget_single_file(self):
+        cache = GreedyDualSizeCache()
+        cert, data = make_cert("a", 2000)
+        assert not cache.admit(cert, data, budget=1000)
+
+    def test_max_fraction_cap(self):
+        cache = GreedyDualSizeCache(max_fraction=0.5)
+        cert, data = make_cert("a", 600)
+        assert not cache.admit(cert, data, budget=1000)
+
+    def test_evicts_to_make_room(self):
+        cache = GreedyDualSizeCache()
+        a, da = make_cert("a", 600)
+        b, db = make_cert("b", 600)
+        cache.admit(a, da, budget=1000)
+        assert cache.admit(b, db, budget=1000)
+        assert a.file_id not in cache
+        assert b.file_id in cache
+        assert cache.used == 600
+
+    def test_prefers_evicting_large_cold_files(self):
+        """GD-S with uniform cost: small files have higher credit; a large
+        cold file goes first."""
+        cache = GreedyDualSizeCache()
+        small, ds = make_cert("small", 10)
+        large, dl = make_cert("large", 500)
+        cache.admit(small, ds, budget=1000)
+        cache.admit(large, dl, budget=1000)
+        newcomer, dn = make_cert("new", 600)
+        cache.admit(newcomer, dn, budget=1000)
+        assert small.file_id in cache
+        assert large.file_id not in cache
+
+    def test_hit_refreshes_credit(self):
+        """A recently hit large file outlives an unhit small-but-stale one
+        once inflation has grown past the small file's credit."""
+        cache = GreedyDualSizeCache()
+        victim, dv = make_cert("victim", 400)
+        survivor, ds = make_cert("survivor", 400)
+        cache.admit(victim, dv, budget=900)
+        cache.admit(survivor, ds, budget=900)
+        cache.get(survivor.file_id)
+        filler, df = make_cert("filler", 400)
+        cache.admit(filler, df, budget=900)
+        assert survivor.file_id in cache
+        assert victim.file_id not in cache
+
+    def test_evict_bytes(self):
+        cache = GreedyDualSizeCache()
+        for name in ("a", "b", "c"):
+            cert, data = make_cert(name, 100)
+            cache.admit(cert, data, budget=1000)
+        freed = cache.evict_bytes(150)
+        assert freed >= 150
+        assert cache.used <= 150
+
+    def test_readmit_existing_is_noop(self):
+        cache = GreedyDualSizeCache()
+        cert, data = make_cert("a", 100)
+        cache.admit(cert, data, budget=1000)
+        assert cache.admit(cert, data, budget=1000)
+        assert cache.used == 100
+
+
+class TestLruCache:
+    def test_evicts_least_recently_used(self):
+        cache = LruCache()
+        a, da = make_cert("a", 400)
+        b, db = make_cert("b", 400)
+        cache.admit(a, da, budget=1000)
+        cache.admit(b, db, budget=1000)
+        cache.get(a.file_id)  # a is now most recent
+        c, dc = make_cert("c", 400)
+        cache.admit(c, dc, budget=1000)
+        assert a.file_id in cache
+        assert b.file_id not in cache
+
+    def test_evict_bytes(self):
+        cache = LruCache()
+        a, da = make_cert("a", 400)
+        cache.admit(a, da, budget=1000)
+        assert cache.evict_bytes(100) == 400
+        assert len(cache) == 0
+
+
+class TestNoCache:
+    def test_never_caches(self):
+        cache = NoCache()
+        cert, data = make_cert("a", 10)
+        assert not cache.admit(cert, data, budget=10**9)
+        assert cache.get(cert.file_id) is None
+        assert len(cache) == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("gds", GreedyDualSizeCache),
+                                          ("lru", LruCache), ("none", NoCache)])
+    def test_make_cache(self, name, cls):
+        assert isinstance(make_cache(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_cache("arc")
+
+
+class TestCacheProperty:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 300)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_used_never_exceeds_budget(self, operations):
+        """Invariant: whatever the admit sequence, cache.used <= budget."""
+        budget = 1000
+        cache = GreedyDualSizeCache()
+        for name_seed, size in operations:
+            data = SyntheticData(seed=name_seed, size=size)
+            cert = FileCertificate.issue(
+                KEYS, name=f"f{name_seed}-{size}",
+                file_id=make_file_id(f"f{name_seed}-{size}", KEYS.public, 1),
+                content_hash=data.content_hash(), size=size,
+                replication_factor=1, salt=1, insertion_date=0,
+            )
+            cache.admit(cert, data, budget=budget)
+            assert cache.used <= budget

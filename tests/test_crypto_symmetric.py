@@ -1,0 +1,111 @@
+"""Unit tests for the client-side symmetric cryptosystem."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import (
+    DecryptionError,
+    SealedBox,
+    decrypt,
+    encrypt,
+    generate_key,
+)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(11)
+
+
+@pytest.fixture()
+def key(rng):
+    return generate_key(rng)
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self, key, rng):
+        box = encrypt(key, b"secret payload", rng)
+        assert decrypt(key, box) == b"secret payload"
+
+    def test_empty_plaintext(self, key, rng):
+        box = encrypt(key, b"", rng)
+        assert decrypt(key, box) == b""
+
+    def test_long_plaintext(self, key, rng):
+        plaintext = bytes(range(256)) * 64  # multi-block
+        assert decrypt(key, encrypt(key, plaintext, rng)) == plaintext
+
+    def test_ciphertext_differs_from_plaintext(self, key, rng):
+        plaintext = b"not so hidden" * 4
+        box = encrypt(key, plaintext, rng)
+        assert box.ciphertext != plaintext
+
+    def test_nonce_fresh_per_encryption(self, key, rng):
+        a = encrypt(key, b"same", rng)
+        b = encrypt(key, b"same", rng)
+        assert a.nonce != b.nonce
+        assert a.ciphertext != b.ciphertext
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=30)
+    def test_round_trip_any_bytes(self, plaintext):
+        rng = random.Random(5)
+        key = generate_key(rng)
+        assert decrypt(key, encrypt(key, plaintext, rng)) == plaintext
+
+
+class TestTamperDetection:
+    def test_wrong_key_rejected(self, key, rng):
+        box = encrypt(key, b"secret", rng)
+        other = generate_key(rng)
+        with pytest.raises(DecryptionError):
+            decrypt(other, box)
+
+    def test_flipped_ciphertext_bit_rejected(self, key, rng):
+        box = encrypt(key, b"secret", rng)
+        tampered = SealedBox(
+            nonce=box.nonce,
+            ciphertext=bytes([box.ciphertext[0] ^ 1]) + box.ciphertext[1:],
+            tag=box.tag,
+        )
+        with pytest.raises(DecryptionError):
+            decrypt(key, tampered)
+
+    def test_flipped_nonce_rejected(self, key, rng):
+        box = encrypt(key, b"secret", rng)
+        tampered = SealedBox(
+            nonce=bytes([box.nonce[0] ^ 1]) + box.nonce[1:],
+            ciphertext=box.ciphertext,
+            tag=box.tag,
+        )
+        with pytest.raises(DecryptionError):
+            decrypt(key, tampered)
+
+    def test_flipped_tag_rejected(self, key, rng):
+        box = encrypt(key, b"secret", rng)
+        tampered = SealedBox(
+            nonce=box.nonce,
+            ciphertext=box.ciphertext,
+            tag=bytes([box.tag[0] ^ 1]) + box.tag[1:],
+        )
+        with pytest.raises(DecryptionError):
+            decrypt(key, tampered)
+
+
+class TestSerialization:
+    def test_blob_round_trip(self, key, rng):
+        box = encrypt(key, b"wire format", rng)
+        assert decrypt(key, SealedBox.from_bytes(box.to_bytes())) == b"wire format"
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(DecryptionError):
+            SealedBox.from_bytes(b"short")
+
+    def test_key_length_enforced(self, rng):
+        with pytest.raises(ValueError):
+            encrypt(b"short-key", b"x", rng)
+        with pytest.raises(ValueError):
+            decrypt(b"short-key", encrypt(generate_key(rng), b"x", rng))

@@ -1,0 +1,29 @@
+"""Run the doctests embedded in module/class docstrings.
+
+A handful of modules carry usage examples in their docstrings; this
+keeps them honest -- if an API changes, the example in its documentation
+fails here.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.tables
+import repro.sim.engine
+import repro.sim.rng
+
+MODULES_WITH_DOCTESTS = [
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.analysis.tables,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert failures == 0

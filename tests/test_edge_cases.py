@@ -1,0 +1,191 @@
+"""Edge-case hardening: the paths a happy-path suite misses."""
+
+import pytest
+
+from repro.core.certificates import StoreReceipt
+from repro.core.errors import CertificateError, InsertRejectedError, LookupFailedError
+from repro.core.files import RealData, SyntheticData
+from repro.core.network import PastNetwork
+from repro.core.messages import InsertRequest, ReclaimRequest
+from repro.sim.rng import RngRegistry
+
+
+def build(seed=7070, n=30, capacity=1_000_000, **kwargs):
+    network = PastNetwork(rngs=RngRegistry(seed), **kwargs)
+    network.build(n, method="join", capacity_fn=lambda r: capacity)
+    return network
+
+
+class TestCardExpiry:
+    def test_expired_user_card_insert_rejected(self):
+        """Cards must be replaced periodically (section 2.1); an expired
+        certification no longer authorizes inserts."""
+        network = build()
+        client = network.create_client(usage_quota=1 << 20)
+        client.insert("before.txt", RealData(b"fresh card"), 3)
+        network.advance_time(days=400)  # past the 365-day lifetime
+        with pytest.raises(InsertRejectedError):
+            client.insert("after.txt", RealData(b"stale card"), 3)
+
+    def test_time_only_moves_forward(self):
+        network = build()
+        with pytest.raises(ValueError):
+            network.advance_time(days=-1)
+
+    def test_old_files_still_readable_after_expiry(self):
+        """Read operations involve no smartcard (section 2.1), so an
+        expired card does not affect already-stored files."""
+        network = build(seed=7071)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("keep.txt", RealData(b"still here"), 3)
+        network.advance_time(days=400)
+        reader = network.create_client(usage_quota=0)
+        assert reader.lookup(handle.file_id).to_bytes() == b"still here"
+
+
+class TestReceiptForgeryAtClient:
+    def test_wrong_receipt_count_rejected(self):
+        network = build(seed=7072)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("a.txt", RealData(b"x"), 3)
+        with pytest.raises(CertificateError):
+            client._verify_receipts(handle.certificate, handle.receipts[:2])
+
+    def test_duplicate_node_receipts_rejected(self):
+        network = build(seed=7073)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("a.txt", RealData(b"x"), 3)
+        forged = [handle.receipts[0]] * 3
+        with pytest.raises(CertificateError):
+            client._verify_receipts(handle.certificate, forged)
+
+    def test_receipt_for_other_file_rejected(self):
+        network = build(seed=7074)
+        client = network.create_client(usage_quota=1 << 20)
+        first = client.insert("a.txt", RealData(b"x"), 3)
+        second = client.insert("b.txt", RealData(b"y"), 3)
+        mixed = [second.receipts[0]] + first.receipts[1:]
+        with pytest.raises(CertificateError):
+            client._verify_receipts(first.certificate, mixed)
+
+
+class TestSmallNetworks:
+    def test_insert_with_k_exceeding_network(self):
+        """k larger than the live node count cannot be satisfied."""
+        network = build(seed=7075, n=2)
+        client = network.create_client(usage_quota=1 << 20)
+        with pytest.raises(InsertRejectedError):
+            client.insert("a.txt", RealData(b"x"), replication_factor=5)
+
+    def test_two_node_network_operates(self):
+        network = build(seed=7076, n=2)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("a.txt", RealData(b"pair"), replication_factor=2)
+        reader = network.create_client(usage_quota=0)
+        assert reader.lookup(handle.file_id).to_bytes() == b"pair"
+
+    def test_single_node_network_operates(self):
+        network = PastNetwork(rngs=RngRegistry(7077))
+        network.build(1, capacity_fn=lambda r: 1_000_000)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("solo.txt", RealData(b"alone"), replication_factor=1)
+        assert client.lookup(handle.file_id).to_bytes() == b"alone"
+
+
+class TestReclaimEdges:
+    def test_reclaim_of_diverted_replica_frees_holder(self):
+        """Reclaiming a file whose replica was diverted releases the
+        space on the node actually holding the bytes."""
+        network = build(seed=7078, n=25, capacity=400_000)
+        client = network.create_client(usage_quota=1 << 40)
+        diverted_handle = None
+        for i in range(2000):
+            try:
+                handle = client.insert(f"f{i}", SyntheticData(i, 3000), 3)
+            except InsertRejectedError:
+                break
+            holders = {r.node_id for r in handle.receipts}
+            if any(network.past_node(h).store.pointer(handle.file_id) is not None
+                   for h in holders):
+                diverted_handle = handle
+                break
+        assert diverted_handle is not None, "diversion never happened"
+        pointer_node = next(
+            network.past_node(h) for h in
+            {r.node_id for r in diverted_handle.receipts}
+            if network.past_node(h).store.pointer(diverted_handle.file_id) is not None
+        )
+        holder = network.past_node(
+            pointer_node.store.pointer(diverted_handle.file_id)
+        )
+        used_before = holder.store.used
+        client.reclaim(diverted_handle)
+        assert holder.store.used < used_before
+        assert pointer_node.store.pointer(diverted_handle.file_id) is None
+
+    def test_double_reclaim_yields_nothing(self):
+        network = build(seed=7079)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("once.txt", RealData(b"x" * 40), 3)
+        assert client.reclaim(handle) == 120
+        second = client.reclaim(handle)
+        assert second == 0  # nothing left to release, nothing credited
+
+    def test_reclaim_request_without_stored_file(self):
+        network = build(seed=7080)
+        client = network.create_client(usage_quota=1 << 20)
+        handle = client.insert("real.txt", RealData(b"x" * 10), 3)
+        # Build a reclaim for a fileId nobody stores.
+        fake_reclaim = client.card.issue_reclaim_certificate(12345)
+        node = network.live_past_nodes()[0]
+        request = ReclaimRequest(
+            reclaim_certificate=fake_reclaim,
+            file_certificate=handle.certificate,  # mismatched on purpose
+        )
+        assert node.handle_reclaim(request) is None
+
+
+class TestStoreRollback:
+    def test_rollback_releases_diverted_bytes(self):
+        """If replication aborts after one replica was *diverted*, the
+        diverted holder's space must be released too."""
+        network = build(seed=7081, n=20, capacity=200_000)
+        client = network.create_client(usage_quota=1 << 40)
+        # Fill until inserts start failing, then check global accounting:
+        # every byte used must belong to a successfully inserted file.
+        inserted_bytes = 0
+        for i in range(3000):
+            size = 2500
+            try:
+                client.insert(f"f{i}", SyntheticData(i, size), 3)
+                inserted_bytes += size * 3
+            except InsertRejectedError:
+                break
+        total_used = sum(n.store.used for n in network.live_past_nodes())
+        assert total_used == inserted_bytes
+
+
+class TestDefaultsAndRepr:
+    def test_default_capacity_used_without_fn(self):
+        network = PastNetwork(rngs=RngRegistry(7082))
+        nodes = network.build(3)
+        from repro.core.network import DEFAULT_NODE_CAPACITY
+
+        assert all(n.store.capacity == DEFAULT_NODE_CAPACITY for n in nodes)
+
+    def test_reprs_do_not_crash(self):
+        network = build(seed=7083, n=5)
+        client = network.create_client(usage_quota=100)
+        for obj in (network, network.pastry, client, client.card,
+                    network.live_past_nodes()[0],
+                    network.live_past_nodes()[0].store,
+                    network.live_past_nodes()[0].pastry.state):
+            assert repr(obj)
+
+    def test_files_per_node_excludes_dead(self):
+        network = build(seed=7084)
+        client = network.create_client(usage_quota=1 << 30)
+        client.insert("a.txt", RealData(b"x" * 10), 3)
+        victim = network.pastry.live_ids()[0]
+        network.pastry.mark_failed(victim)
+        assert len(network.files_per_node()) == network.pastry.live_count()

@@ -1,0 +1,108 @@
+"""Exhaustive verification in a small id space.
+
+With a 16-bit id space the entire key space can be enumerated, so these
+tests verify routing correctness for *every possible key* from multiple
+origins -- no sampling, no luck.  This is the strongest correctness
+statement the suite makes about the routing algorithm.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.sim.rng import RngRegistry
+
+BITS = 16
+STEP = 97  # enumerate every 97th key: 676 keys, coprime to 2^16
+
+
+def build_small(n, seed, leaf_capacity=8):
+    network = PastryNetwork(
+        space=IdSpace(BITS, 4),
+        rngs=RngRegistry(seed),
+        leaf_capacity=leaf_capacity,
+        neighborhood_capacity=8,
+    )
+    network.build(n, method="join")
+    return network
+
+
+class TestExhaustiveRouting:
+    @pytest.mark.parametrize("n,seed", [(10, 1), (40, 2), (120, 3)])
+    def test_every_key_routes_to_true_root(self, n, seed):
+        network = build_small(n, seed)
+        origins = network.live_ids()[:: max(len(network.live_ids()) // 5, 1)]
+        for key in range(0, 1 << BITS, STEP):
+            root = network.global_root(key)
+            for origin in origins:
+                result = network.route(key, origin)
+                assert result.delivered
+                assert result.destination == root, (
+                    f"key {key:04x} from {origin:04x}: "
+                    f"got {result.destination:04x}, want {root:04x}"
+                )
+
+    def test_every_key_after_failures(self):
+        """Exhaustive again after killing a third of the nodes (with
+        repair)."""
+        from repro.pastry.failure import notify_leafset_of_failure
+
+        network = build_small(60, seed=4)
+        rng = network.rngs.stream("kill")
+        for victim in rng.sample(network.live_ids(), 20):
+            network.mark_failed(victim)
+            notify_leafset_of_failure(network, victim)
+        origins = network.live_ids()[::7]
+        for key in range(0, 1 << BITS, STEP):
+            root = network.global_root(key)
+            for origin in origins:
+                result = network.route(key, origin)
+                assert result.delivered
+                assert result.destination == root
+
+    @given(st.integers(min_value=0, max_value=(1 << BITS) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_hypothesis_keys_route_correctly(self, key):
+        network = _CACHED.network
+        origin = _CACHED.origins[key % len(_CACHED.origins)]
+        result = network.route(key, origin)
+        assert result.delivered
+        assert result.destination == network.global_root(key)
+
+
+class _Cached:
+    """One shared network for the hypothesis strategy (building a
+    network per example would dominate runtime)."""
+
+    def __init__(self):
+        self.network = build_small(80, seed=5)
+        self.origins = self.network.live_ids()
+
+
+_CACHED = _Cached()
+
+
+class TestExhaustiveReplicaPlacement:
+    def test_replica_candidates_match_ground_truth_everywhere(self):
+        """The root's leaf-set-derived replica set equals the global
+        k-closest set for every key (k <= l/2)."""
+        network = build_small(50, seed=6, leaf_capacity=16)
+        k = 4
+        for key in range(0, 1 << BITS, STEP * 3):
+            root_id = network.global_root(key)
+            local = network.nodes[root_id].state.leaf_set.replica_candidates(key, k)
+            truth = network.replica_root_set(key, k)
+            assert set(local) == set(truth), f"key {key:04x}"
+
+    def test_leafset_coverage_is_sound_everywhere(self):
+        """If a node's leaf set claims to cover a key, the numerically
+        closest member it picks is the true global root."""
+        network = build_small(50, seed=7)
+        for node_id in network.live_ids()[::5]:
+            node = network.nodes[node_id]
+            for key in range(0, 1 << BITS, STEP * 5):
+                if node.state.leaf_set.covers(key):
+                    picked = node.state.leaf_set.closest_to(key)
+                    assert picked == network.global_root(key)

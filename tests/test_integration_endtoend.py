@@ -1,0 +1,173 @@
+"""End-to-end scenario tests: the whole system under combined stress.
+
+These are the "does the utility actually behave like the paper promises"
+tests: churn with ongoing traffic, persistence across failures with
+maintenance, caching under skewed load, and the malicious-node retry
+story -- each exercising several subsystems at once.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import InsertRejectedError, LookupFailedError
+from repro.core.files import SyntheticData
+from repro.core.maintenance import replication_census, restore_replication
+from repro.core.network import PastNetwork
+from repro.pastry.failure import notify_leafset_of_failure, recover_node
+from repro.pastry.join import join_network
+from repro.pastry.routing import RandomizedRouting
+from repro.sim.rng import RngRegistry
+
+
+class TestChurnScenario:
+    def test_storage_survives_sustained_churn(self):
+        """Nodes continuously arrive and fail while clients insert and
+        read; with maintenance passes, no file is ever lost and every
+        lookup of a maintained file succeeds."""
+        net = PastNetwork(rngs=RngRegistry(71))
+        net.build(60, method="join", capacity_fn=lambda r: 2_000_000)
+        rng = random.Random(99)
+        client = net.create_client(usage_quota=1 << 40)
+
+        handles = []
+        for i in range(40):
+            handles.append(
+                client.insert(f"file-{i}", SyntheticData(i, 2_000), replication_factor=3)
+            )
+
+        for round_number in range(8):
+            # One node fails silently; one new node arrives.
+            victim = rng.choice([
+                n for n in net.pastry.live_ids() if n != client.access_node
+            ])
+            net.pastry.mark_failed(victim)
+            notify_leafset_of_failure(net.pastry, victim)
+            newcomer = net.add_storage_node(2_000_000, join=True)
+            # Maintenance restores replication after the membership change.
+            report = restore_replication(net)
+            assert report.files_lost == 0
+            # Every file remains retrievable from a random access point.
+            reader = net.create_client(usage_quota=0)
+            for handle in rng.sample(handles, 10):
+                assert reader.lookup(handle.file_id).size == 2_000
+
+        census = replication_census(net)
+        assert census["lost"] == 0
+        assert census["under"] == 0
+        net.pastry.check_all_invariants()
+
+    def test_node_recovery_rejoins_storage(self):
+        """A node that fails and recovers serves its (retained) files
+        again after the recovery protocol runs."""
+        net = PastNetwork(rngs=RngRegistry(72))
+        net.build(40, method="join", capacity_fn=lambda r: 1_000_000)
+        client = net.create_client(usage_quota=1 << 30)
+        handle = client.insert("f", SyntheticData(1, 1_000), replication_factor=3)
+        victim = handle.receipts[0].node_id
+        net.pastry.mark_failed(victim)
+        notify_leafset_of_failure(net.pastry, victim)
+        recover_node(net.pastry, victim)
+        # The recovered node still holds the replica and can serve it.
+        assert handle.file_id in net.past_node(victim).store
+        reader = net.create_client(usage_quota=0, access_node=victim)
+        assert reader.lookup_verbose(handle.file_id).hops == 0
+
+
+class TestMaliciousScenario:
+    def test_randomized_retries_beat_malicious_nodes(self):
+        """Claim C7 end-to-end: with 15% malicious (message-dropping)
+        nodes, deterministic lookups fail persistently for some keys but
+        randomized retries eventually succeed for every key whose root
+        and origin are honest."""
+        net = PastNetwork(rngs=RngRegistry(73))
+        net.build(80, method="join", capacity_fn=lambda r: 1_000_000)
+        rng = random.Random(5)
+        client = net.create_client(usage_quota=1 << 30)
+        handles = [
+            client.insert(f"f{i}", SyntheticData(i, 500), replication_factor=3)
+            for i in range(20)
+        ]
+        for node_id in rng.sample(net.pastry.live_ids(), 12):
+            net.pastry.nodes[node_id].malicious = True
+
+        honest = [n for n in net.pastry.live_ids() if not net.pastry.nodes[n].malicious]
+        policy = RandomizedRouting(bias=0.3)
+        for handle in handles:
+            key = handle.certificate.storage_key()
+            if net.pastry.nodes[net.pastry.global_root(key)].malicious:
+                # A malicious *root* swallows every message addressed to
+                # it; that attack is answered by the k replicas and
+                # en-route serving (PAST layer), not by routing retries.
+                continue
+            origin = rng.choice(honest)
+            delivered = False
+            for _ in range(25):
+                result = net.pastry.route(
+                    handle.certificate.storage_key(),
+                    origin=origin,
+                    policy=policy,
+                    rng=rng,
+                    message=None,
+                    category="retry",
+                )
+                if result.delivered:
+                    delivered = True
+                    break
+            assert delivered, "randomized retries never got around the bad nodes"
+
+
+class TestCachingScenario:
+    def test_popular_file_lookups_get_shorter(self):
+        """Claim C11 end-to-end: repeated lookups of a hot file from many
+        clients drive the average hop count down as caches populate."""
+        net = PastNetwork(rngs=RngRegistry(74), cache_policy="gds")
+        net.build(80, method="join", capacity_fn=lambda r: 5_000_000)
+        rng = random.Random(6)
+        owner = net.create_client(usage_quota=1 << 30)
+        handle = owner.insert("hot", SyntheticData(1, 10_000), replication_factor=3)
+
+        first_wave = []
+        second_wave = []
+        readers = [net.create_client(usage_quota=0) for _ in range(30)]
+        for reader in readers:
+            first_wave.append(reader.lookup_verbose(handle.file_id).hops)
+        for reader in readers:
+            second_wave.append(reader.lookup_verbose(handle.file_id).hops)
+        assert sum(second_wave) <= sum(first_wave)
+        cached_copies = sum(
+            1 for node in net.live_past_nodes() if handle.file_id in node.cache
+        )
+        assert cached_copies > 0
+
+    def test_no_cache_control_condition(self):
+        net = PastNetwork(rngs=RngRegistry(74), cache_policy="none")
+        net.build(40, method="join", capacity_fn=lambda r: 5_000_000)
+        owner = net.create_client(usage_quota=1 << 30)
+        handle = owner.insert("hot", SyntheticData(1, 10_000), replication_factor=3)
+        reader = net.create_client(usage_quota=0)
+        reader.lookup(handle.file_id)
+        assert all(
+            handle.file_id not in node.cache for node in net.live_past_nodes()
+        )
+
+
+class TestGrowthScenario:
+    def test_network_grows_under_load(self):
+        """Insert, grow the network by 50%, and confirm old files are
+        still found through the new topology (the new nodes now sit on
+        some routes and between some replica roots)."""
+        net = PastNetwork(rngs=RngRegistry(75))
+        net.build(40, method="join", capacity_fn=lambda r: 1_000_000)
+        client = net.create_client(usage_quota=1 << 30)
+        handles = [
+            client.insert(f"f{i}", SyntheticData(i, 800), replication_factor=3)
+            for i in range(25)
+        ]
+        for _ in range(20):
+            net.add_storage_node(1_000_000, join=True)
+        restore_replication(net)  # re-align replicas with the grown ring
+        reader = net.create_client(usage_quota=0)
+        for handle in handles:
+            assert reader.lookup(handle.file_id).size == 800
+        net.pastry.check_all_invariants()

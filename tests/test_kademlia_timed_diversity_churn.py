@@ -1,0 +1,200 @@
+"""Tests for the Kademlia baseline, timed routing, diversity analysis,
+and the churn scenario driver."""
+
+import random
+
+import pytest
+
+from repro.analysis.diversity import (
+    assign_domains,
+    distinct_domains,
+    mean_pairwise_distance,
+    measure_diversity,
+)
+from repro.baselines.kademlia import KademliaNetwork
+from repro.core.churn_sim import ChurnSimulation
+from repro.core.files import SyntheticData
+from repro.core.network import PastNetwork
+from repro.netsim.latency import UniformLatency
+from repro.pastry.network import PastryNetwork
+from repro.pastry.timed_routing import timed_route
+from repro.sim.rng import RngRegistry
+
+
+class TestKademlia:
+    @pytest.fixture()
+    def kad(self):
+        network = KademliaNetwork(bits=64, bucket_size=20)
+        network.build(250, random.Random(1))
+        return network
+
+    def test_lookups_find_xor_closest(self, kad):
+        rng = random.Random(2)
+        ids = list(kad.nodes)
+        for _ in range(150):
+            target = rng.getrandbits(64)
+            result = kad.lookup(target, rng.choice(ids))
+            assert result.found == kad.owner_of(target)
+
+    def test_iterations_logarithmic(self, kad):
+        rng = random.Random(3)
+        ids = list(kad.nodes)
+        iterations = [
+            kad.lookup(rng.getrandbits(64), rng.choice(ids)).iterations
+            for _ in range(150)
+        ]
+        assert sum(iterations) / len(iterations) < 8  # ~log2(250)/something small
+
+    def test_bucket_index(self, kad):
+        assert kad._bucket_index(0b1000, 0b1001) == 0
+        assert kad._bucket_index(0b1000, 0b0000) == 3
+
+    def test_messages_counted(self, kad):
+        rng = random.Random(4)
+        result = kad.lookup(rng.getrandbits(64), list(kad.nodes)[0])
+        assert result.messages >= 2 * result.iterations
+
+    def test_state_bounded_by_buckets(self, kad):
+        for node in kad.nodes.values():
+            assert all(len(bucket) <= kad.bucket_size for bucket in node.buckets)
+
+    def test_unknown_origin_rejected(self, kad):
+        with pytest.raises(ValueError):
+            kad.lookup(1, origin=10**30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KademliaNetwork(bits=4)
+        with pytest.raises(ValueError):
+            KademliaNetwork(bucket_size=0)
+
+
+class TestTimedRouting:
+    @pytest.fixture()
+    def net(self):
+        network = PastryNetwork(rngs=RngRegistry(9))
+        network.build(150, method="oracle")
+        return network
+
+    def test_same_path_as_untimed(self, net):
+        rng = net.rngs.stream("tt")
+        for _ in range(50):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            plain = net.route(key, origin)
+            timed = timed_route(net, key, origin)
+            assert timed.path == plain.path
+            assert timed.delivered == plain.delivered
+
+    def test_latency_sums_per_hop(self, net):
+        rng = net.rngs.stream("tt2")
+        key = net.space.random_id(rng)
+        origin = rng.choice(net.live_ids())
+        result = timed_route(net, key, origin)
+        assert result.latency == pytest.approx(sum(result.per_hop_delays))
+        assert len(result.per_hop_delays) == result.hops
+
+    def test_uniform_latency_counts_hops(self, net):
+        rng = net.rngs.stream("tt3")
+        key = net.space.random_id(rng)
+        origin = rng.choice(net.live_ids())
+        result = timed_route(net, key, origin, latency=UniformLatency(base=2.0))
+        assert result.latency == pytest.approx(2.0 * result.hops)
+
+    def test_dead_origin_rejected(self, net):
+        victim = net.live_ids()[0]
+        net.mark_failed(victim)
+        with pytest.raises(ValueError):
+            timed_route(net, 123, victim)
+
+
+class TestDiversity:
+    @pytest.fixture()
+    def net(self):
+        network = PastryNetwork(rngs=RngRegistry(10))
+        network.build(200, method="oracle")
+        return network
+
+    def test_mean_pairwise_distance_degenerate(self, net):
+        assert mean_pairwise_distance(net.topology, [net.live_ids()[0]]) == 0.0
+
+    def test_domains_assignment(self, net):
+        rng = random.Random(5)
+        domain_of = assign_domains(net.live_ids(), 10, rng)
+        assert set(domain_of.values()) <= set(range(10))
+        assert distinct_domains(domain_of, net.live_ids()[:30]) >= 2
+
+    def test_replica_sets_as_diverse_as_random(self, net):
+        """The paper's diversity claim: replica sets (adjacent nodeIds)
+        are as spread out as random sets, and far more spread out than
+        proximity-clustered sets."""
+        rng = random.Random(6)
+        sets = [net.replica_root_set(net.space.random_id(rng), 5) for _ in range(40)]
+        report = measure_diversity(net.topology, net.live_ids(), sets, rng)
+        assert 0.8 < report.spread_vs_random < 1.2
+        assert report.clustered_spread < report.replica_spread * 0.5
+        assert report.replica_domains == pytest.approx(report.random_domains, rel=0.25)
+
+    def test_empty_sets_rejected(self, net):
+        with pytest.raises(ValueError):
+            measure_diversity(net.topology, net.live_ids(), [], random.Random(0))
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            assign_domains([1, 2], 0, random.Random(0))
+
+
+class TestChurnSimulation:
+    def _build(self, seed):
+        network = PastNetwork(rngs=RngRegistry(seed))
+        network.build(50, method="join", capacity_fn=lambda r: 1 << 22)
+        client = network.create_client(usage_quota=1 << 40)
+        handles = [
+            client.insert(f"f{i}", SyntheticData(i, 1500), replication_factor=3)
+            for i in range(25)
+        ]
+        return network, handles
+
+    def test_with_maintenance_nothing_is_lost(self):
+        network, handles = self._build(21)
+        sim = ChurnSimulation(
+            network, handles, arrival_rate=0.05, departure_rate=0.05,
+            maintenance_interval=40.0, lookup_interval=2.0,
+        )
+        report = sim.run(400.0)
+        assert report.departures > 0 and report.arrivals > 0
+        assert report.files_lost == 0
+        assert report.availability > 0.99
+        assert report.replicas_restored > 0
+
+    def test_without_maintenance_availability_degrades(self):
+        """The ablation behind the paper's failure-recovery procedure:
+        churn without restoration eventually loses replicas."""
+        network, handles = self._build(22)
+        sim = ChurnSimulation(
+            network, handles, arrival_rate=0.05, departure_rate=0.05,
+            maintenance_interval=None, lookup_interval=2.0,
+        )
+        report = sim.run(900.0)
+        degraded = ChurnSimulation(
+            *self._build(23),
+            arrival_rate=0.05, departure_rate=0.05,
+            maintenance_interval=40.0, lookup_interval=2.0,
+        ).run(900.0)
+        # Without maintenance, replica counts only decay; the census must
+        # show under-replication or loss that the maintained run avoids.
+        from repro.core.maintenance import replication_census
+
+        census = replication_census(network)
+        assert census["under"] + census["lost"] > 0
+        assert degraded.files_lost == 0
+
+    def test_min_live_nodes_respected(self):
+        network, handles = self._build(24)
+        sim = ChurnSimulation(
+            network, handles, arrival_rate=0.0, departure_rate=1.0,
+            maintenance_interval=None, lookup_interval=1000.0,
+            min_live_nodes=40,
+        )
+        sim.run(200.0)
+        assert network.pastry.live_count() >= 40

@@ -1,0 +1,168 @@
+"""Tests for PAST storage over the live asyncio overlay."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.files import SyntheticData
+from repro.core.smartcard import make_uncertified_card
+from repro.live.storage import LiveStorageCluster
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_certs(count, k=3, size=1500, seed=1):
+    rng = random.Random(seed)
+    card = make_uncertified_card(rng, usage_quota=1 << 40, backend="insecure_fast")
+    pairs = []
+    for i in range(count):
+        data = SyntheticData(i, size)
+        certificate = card.issue_file_certificate(
+            f"f{i}", data, k, salt=i, insertion_date=0
+        )
+        pairs.append((certificate, data))
+    return pairs
+
+
+class TestLiveInsert:
+    def test_concurrent_inserts_all_succeed_and_place_correctly(self):
+        async def scenario():
+            cluster = LiveStorageCluster(seed=41)
+            await cluster.start(35, join_concurrency=7)
+            rng = random.Random(2)
+            pairs = make_certs(25)
+            results = await asyncio.gather(*(
+                cluster.insert(certificate, data, rng.choice(cluster.live_ids()))
+                for certificate, data in pairs
+            ))
+            mistakes = 0
+            for (certificate, _), result in zip(pairs, results):
+                if not result["success"]:
+                    mistakes += 1
+                    continue
+                key = certificate.storage_key()
+                expected = set(sorted(
+                    cluster.live_ids(),
+                    key=lambda n: cluster.space.distance(n, key),
+                )[:3])
+                if set(result["holders"]) != expected:
+                    mistakes += 1
+            await cluster.shutdown()
+            return mistakes
+
+        assert run(scenario()) == 0
+
+    def test_duplicate_insert_refused(self):
+        async def scenario():
+            cluster = LiveStorageCluster(seed=42)
+            await cluster.start(20, join_concurrency=5)
+            (certificate, data), = make_certs(1)
+            origin = cluster.live_ids()[0]
+            first = await cluster.insert(certificate, data, origin)
+            second = await cluster.insert(certificate, data, origin)
+            await cluster.shutdown()
+            return first, second
+
+        first, second = run(scenario())
+        assert first["success"]
+        assert not second["success"]
+
+    def test_corrupted_content_refused(self):
+        async def scenario():
+            cluster = LiveStorageCluster(seed=43)
+            await cluster.start(20, join_concurrency=5)
+            (certificate, _), = make_certs(1)
+            wrong = SyntheticData(999, 1500)  # hash will not match
+            result = await cluster.insert(certificate, wrong, cluster.live_ids()[0])
+            await cluster.shutdown()
+            return result
+
+        assert not run(scenario())["success"]
+
+
+class TestLiveLookup:
+    def test_lookup_round_trip(self):
+        async def scenario():
+            cluster = LiveStorageCluster(seed=44)
+            await cluster.start(30, join_concurrency=6)
+            rng = random.Random(3)
+            pairs = make_certs(15)
+            for certificate, data in pairs:
+                await cluster.insert(certificate, data, rng.choice(cluster.live_ids()))
+            lookups = await asyncio.gather(*(
+                cluster.lookup(certificate.file_id, rng.choice(cluster.live_ids()))
+                for certificate, _ in pairs
+            ))
+            await cluster.shutdown()
+            return pairs, lookups
+
+        pairs, lookups = run(scenario())
+        for (certificate, data), result in zip(pairs, lookups):
+            assert result["data"] is not None
+            assert result["data"].content_hash() == certificate.content_hash
+
+    def test_missing_file_returns_none(self):
+        async def scenario():
+            cluster = LiveStorageCluster(seed=45)
+            await cluster.start(15, join_concurrency=5)
+            result = await cluster.lookup(123456, cluster.live_ids()[0])
+            await cluster.shutdown()
+            return result
+
+        assert run(scenario())["data"] is None
+
+    def test_lookup_survives_root_death(self):
+        """k replicas answer even after the file's root silently dies."""
+
+        async def scenario():
+            cluster = LiveStorageCluster(seed=46)
+            await cluster.start(30, join_concurrency=6)
+            rng = random.Random(4)
+            (certificate, data), = make_certs(1)
+            insert = await cluster.insert(
+                certificate, data, rng.choice(cluster.live_ids())
+            )
+            key = certificate.storage_key()
+            root = min(cluster.live_ids(),
+                       key=lambda n: cluster.space.distance(n, key))
+            assert root in insert["holders"]
+            cluster.kill(root)
+            result = await cluster.lookup(
+                certificate.file_id, rng.choice(cluster.live_ids())
+            )
+            await cluster.shutdown()
+            return result, root
+
+        result, root = run(scenario())
+        assert result["data"] is not None
+        assert result["serving_node"] != root
+
+    def test_interleaved_inserts_and_lookups(self):
+        """Lookups racing the inserts that store their files either find
+        the file (insert finished first) or miss -- but never corrupt
+        anything; a second wave after the inserts finds everything."""
+
+        async def scenario():
+            cluster = LiveStorageCluster(seed=47)
+            await cluster.start(25, join_concurrency=5)
+            rng = random.Random(5)
+            pairs = make_certs(10)
+
+            async def insert_then_confirm(certificate, data):
+                await cluster.insert(certificate, data,
+                                     rng.choice(cluster.live_ids()))
+                return await cluster.lookup(certificate.file_id,
+                                            rng.choice(cluster.live_ids()))
+
+            confirmations = await asyncio.gather(*(
+                insert_then_confirm(certificate, data)
+                for certificate, data in pairs
+            ))
+            await cluster.shutdown()
+            return confirmations
+
+        confirmations = run(scenario())
+        assert all(result["data"] is not None for result in confirmations)

@@ -1,0 +1,227 @@
+"""Integration tests for node arrival, failure detection, and repair."""
+
+import math
+
+import pytest
+
+from repro.pastry.failure import (
+    KeepAliveProtocol,
+    notify_leafset_of_failure,
+    recover_node,
+    repair_routing_entry,
+)
+from repro.pastry.join import join_network
+from repro.pastry.network import PastryNetwork
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+
+
+def build(n, seed=31):
+    net = PastryNetwork(rngs=RngRegistry(seed))
+    net.build(n, method="join")
+    return net
+
+
+class TestJoin:
+    def test_new_node_becomes_routable(self):
+        net = build(60)
+        newcomer = net.add_node()
+        contact = net._nearest_live_contact(newcomer)
+        join_network(net, newcomer, contact)
+        # Routing to the newcomer's own id must reach it from anywhere.
+        rng = net.rngs.stream("j")
+        for origin in rng.sample([i for i in net.live_ids() if i != newcomer.node_id], 10):
+            result = net.route(newcomer.node_id, origin)
+            assert result.delivered
+            assert result.destination == newcomer.node_id
+
+    def test_new_node_state_nonempty(self):
+        net = build(60)
+        newcomer = net.add_node()
+        join_network(net, newcomer, net._nearest_live_contact(newcomer))
+        assert len(newcomer.state.leaf_set) > 0
+        assert len(newcomer.state.routing_table) > 0
+        assert len(newcomer.state.neighborhood) > 0
+
+    def test_neighbours_learn_newcomer(self):
+        """After the join, the numerically adjacent nodes hold the
+        newcomer in their leaf sets (invariant restoration)."""
+        net = build(60)
+        newcomer = net.add_node()
+        join_network(net, newcomer, net._nearest_live_contact(newcomer))
+        others = [i for i in net.live_ids() if i != newcomer.node_id]
+        nearest = min(others, key=lambda n: net.space.distance(n, newcomer.node_id))
+        assert newcomer.node_id in net.nodes[nearest].state.leaf_set
+
+    def test_join_message_cost_logarithmic(self):
+        """Claim C3: per-join messages grow ~ log N, not ~ N."""
+        costs = {}
+        for n in (30, 300):
+            net = build(n, seed=47)
+            newcomer = net.add_node()
+            cost = join_network(net, newcomer, net._nearest_live_contact(newcomer))
+            costs[n] = cost
+        # 10x more nodes must cost far less than 10x more messages.
+        assert costs[300] < 4 * costs[30]
+
+    def test_join_rejects_dead_contact(self):
+        net = build(20)
+        victim = net.live_ids()[0]
+        net.mark_failed(victim)
+        newcomer = net.add_node()
+        with pytest.raises(ValueError):
+            join_network(net, newcomer, victim)
+
+    def test_join_rejects_self_contact(self):
+        net = build(20)
+        newcomer = net.add_node()
+        with pytest.raises(ValueError):
+            join_network(net, newcomer, newcomer.node_id)
+
+    def test_invariants_after_many_joins(self):
+        net = build(40)
+        for _ in range(20):
+            newcomer = net.add_node()
+            join_network(net, newcomer, net._nearest_live_contact(newcomer))
+        net.check_all_invariants()
+
+
+class TestFailureRepair:
+    def test_routing_survives_single_failure(self):
+        net = build(80)
+        rng = net.rngs.stream("f")
+        victim = rng.choice(net.live_ids())
+        net.mark_failed(victim)
+        notify_leafset_of_failure(net, victim)
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            result = net.route(key, origin)
+            assert result.delivered
+            assert result.destination == net.global_root(key)
+
+    def test_leafsets_repaired_after_failure(self):
+        net = build(80)
+        rng = net.rngs.stream("f2")
+        victim = rng.choice(net.live_ids())
+        net.mark_failed(victim)
+        notify_leafset_of_failure(net, victim)
+        half = net.leaf_capacity // 2
+        for node_id in net.live_ids():
+            leaf = net.nodes[node_id].state.leaf_set
+            assert victim not in leaf
+            # Sides stay full (enough nodes remain).
+            assert len(leaf.larger_side()) == half
+            assert len(leaf.smaller_side()) == half
+
+    def test_routing_survives_massive_failure(self):
+        """30% of nodes die; repair restores full routability."""
+        net = build(120)
+        rng = net.rngs.stream("f3")
+        victims = rng.sample(net.live_ids(), 36)
+        for victim in victims:
+            net.mark_failed(victim)
+            notify_leafset_of_failure(net, victim)
+        for _ in range(150):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            result = net.route(key, origin)
+            assert result.delivered
+            assert result.destination == net.global_root(key)
+
+    def test_adjacent_failures_below_threshold_survivable(self):
+        """Claim C6: fewer than floor(l/2) simultaneous adjacent failures
+        never prevent delivery."""
+        net = build(100)
+        rng = net.rngs.stream("f4")
+        ids = net.live_ids()
+        start = rng.randrange(len(ids))
+        # Kill l/2 - 1 adjacent nodes simultaneously (silently).
+        count = net.leaf_capacity // 2 - 1
+        victims = [ids[(start + i) % len(ids)] for i in range(count)]
+        for victim in victims:
+            net.mark_failed(victim)
+        # No repair at all: routing must still deliver correctly.
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            result = net.route(key, origin)
+            assert result.delivered
+            assert result.destination == net.global_root(key)
+
+    def test_repair_routing_entry_finds_replacement(self):
+        net = build(100)
+        rng = net.rngs.stream("f5")
+        # Find a node with a row-0 entry that has living alternatives.
+        for node_id in net.live_ids():
+            node = net.nodes[node_id]
+            table = node.state.routing_table
+            entry = next(iter(table.row_entries(0)), None)
+            if entry is None:
+                continue
+            row, col = table.slot_for(entry)
+            alternatives = [
+                other for other in net.live_ids()
+                if other not in (node_id, entry) and table.slot_for(other) == (row, col)
+            ]
+            if not alternatives:
+                continue
+            net.mark_failed(entry)
+            node.state.forget(entry)
+            repair_routing_entry(net, node, row, col)
+            replacement = table.lookup(row, col)
+            if replacement is not None:
+                assert replacement in alternatives
+                return
+            net.mark_recovered(entry)
+        pytest.fail("no repairable entry found")
+
+    def test_recover_node_rejoins(self):
+        net = build(60)
+        rng = net.rngs.stream("f6")
+        victim = rng.choice(net.live_ids())
+        net.mark_failed(victim)
+        notify_leafset_of_failure(net, victim)
+        recover_node(net, victim)
+        assert net.is_live(victim)
+        # Recovered node routes correctly again and is found by others.
+        for _ in range(30):
+            key = net.space.random_id(rng)
+            result = net.route(key, victim)
+            assert result.delivered
+            assert result.destination == net.global_root(key)
+        origin = rng.choice([i for i in net.live_ids() if i != victim])
+        assert net.route(victim, origin).destination == victim
+
+
+class TestKeepAlive:
+    def test_detects_and_repairs_failure(self):
+        net = build(50)
+        engine = SimulationEngine()
+        protocol = KeepAliveProtocol(net, engine, interval=5.0, timeout=12.0)
+        protocol.start()
+        engine.run(until=6.0)  # one probe round while everyone lives
+        victim = net.live_ids()[7]
+        watchers = [
+            i for i in net.live_ids()
+            if victim in net.nodes[i].state.leaf_set and i != victim
+        ]
+        net.mark_failed(victim)
+        engine.run(until=40.0)
+        protocol.stop()
+        for watcher in watchers:
+            assert victim not in net.nodes[watcher].state.leaf_set
+
+    def test_timeout_validation(self):
+        net = build(5)
+        with pytest.raises(ValueError):
+            KeepAliveProtocol(net, SimulationEngine(), interval=10.0, timeout=5.0)
+
+    def test_keepalive_messages_counted(self):
+        net = build(20)
+        engine = SimulationEngine()
+        protocol = KeepAliveProtocol(net, engine, interval=2.0, timeout=6.0)
+        protocol.start()
+        engine.run(until=3.0)
+        protocol.stop()
+        assert net.stats.counter("messages.keepalive").value > 0

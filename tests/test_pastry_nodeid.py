@@ -1,0 +1,180 @@
+"""Unit and property tests for the circular id space."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastry.nodeid import IdSpace
+
+SPACE = IdSpace(128, 4)
+SMALL = IdSpace(16, 4)
+
+ids_128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+ids_16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        space = IdSpace()
+        assert space.bits == 128
+        assert space.b == 4
+        assert space.digits == 32
+        assert space.base == 16
+
+    def test_bits_must_divide(self):
+        with pytest.raises(ValueError):
+            IdSpace(bits=10, b=4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            IdSpace(bits=0, b=4)
+        with pytest.raises(ValueError):
+            IdSpace(bits=128, b=0)
+
+    def test_validate(self):
+        assert SMALL.validate(0) == 0
+        assert SMALL.validate(65535) == 65535
+        with pytest.raises(ValueError):
+            SMALL.validate(65536)
+        with pytest.raises(ValueError):
+            SMALL.validate(-1)
+
+
+class TestDigits:
+    def test_digit_extraction(self):
+        # 0xABCD in a 16-bit space: digits are A, B, C, D.
+        assert [SMALL.digit(0xABCD, i) for i in range(4)] == [0xA, 0xB, 0xC, 0xD]
+
+    def test_digit_index_bounds(self):
+        with pytest.raises(IndexError):
+            SMALL.digit(0, 4)
+        with pytest.raises(IndexError):
+            SMALL.digit(0, -1)
+
+    def test_digits_round_trip(self):
+        value = 0x1F2E
+        assert SMALL.from_digits(SMALL.digits_of(value)) == value
+
+    def test_from_digits_validates(self):
+        with pytest.raises(ValueError):
+            SMALL.from_digits([16, 0, 0, 0])
+        with pytest.raises(ValueError):
+            SMALL.from_digits([0, 0, 0])
+
+    @given(ids_16)
+    def test_round_trip_property(self, value):
+        assert SMALL.from_digits(SMALL.digits_of(value)) == value
+
+
+class TestSharedPrefix:
+    def test_identical_full_length(self):
+        assert SMALL.shared_prefix_length(0xABCD, 0xABCD) == 4
+
+    def test_first_digit_differs(self):
+        assert SMALL.shared_prefix_length(0xABCD, 0x1BCD) == 0
+
+    def test_partial(self):
+        assert SMALL.shared_prefix_length(0xABCD, 0xAB00) == 2
+        assert SMALL.shared_prefix_length(0xABCD, 0xABC0) == 3
+
+    @given(ids_16, ids_16)
+    def test_matches_digit_scan(self, a, b):
+        expected = 0
+        for i in range(SMALL.digits):
+            if SMALL.digit(a, i) != SMALL.digit(b, i):
+                break
+            expected += 1
+        assert SMALL.shared_prefix_length(a, b) == expected
+
+    @given(ids_128, ids_128)
+    @settings(max_examples=50)
+    def test_symmetric(self, a, b):
+        assert SPACE.shared_prefix_length(a, b) == SPACE.shared_prefix_length(b, a)
+
+
+class TestCircularDistance:
+    def test_wraps(self):
+        assert SMALL.distance(0, 65535) == 1
+
+    def test_halfway(self):
+        assert SMALL.distance(0, 1 << 15) == 1 << 15
+
+    def test_zero(self):
+        assert SMALL.distance(42, 42) == 0
+
+    @given(ids_16, ids_16)
+    def test_symmetric(self, a, b):
+        assert SMALL.distance(a, b) == SMALL.distance(b, a)
+
+    @given(ids_16, ids_16)
+    def test_bounded_by_half(self, a, b):
+        assert SMALL.distance(a, b) <= SMALL.size // 2
+
+    @given(ids_16, ids_16, ids_16)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, a, b, c):
+        assert SMALL.distance(a, c) <= SMALL.distance(a, b) + SMALL.distance(b, c)
+
+
+class TestOffsets:
+    def test_clockwise(self):
+        assert SMALL.clockwise_offset(10, 15) == 5
+        assert SMALL.clockwise_offset(15, 10) == SMALL.size - 5
+
+    def test_counter_clockwise(self):
+        assert SMALL.counter_clockwise_offset(15, 10) == 5
+
+    @given(ids_16, ids_16)
+    def test_offsets_complement(self, a, b):
+        if a != b:
+            assert (
+                SMALL.clockwise_offset(a, b) + SMALL.counter_clockwise_offset(a, b)
+                == SMALL.size
+            )
+
+    def test_is_between_clockwise(self):
+        assert SMALL.is_between_clockwise(10, 12, 20)
+        assert not SMALL.is_between_clockwise(10, 25, 20)
+        # Wrapping interval.
+        assert SMALL.is_between_clockwise(65000, 5, 100)
+
+
+class TestClosest:
+    def test_picks_minimum_distance(self):
+        assert SMALL.closest(100, iter([90, 105, 2000])) == 105
+
+    def test_tie_breaks_to_larger(self):
+        # 95 and 105 are equidistant from 100; the larger wins.
+        assert SMALL.closest(100, iter([95, 105])) == 105
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SMALL.closest(0, iter([]))
+
+    @given(ids_16, st.lists(ids_16, min_size=1, max_size=10))
+    def test_result_is_from_candidates(self, target, candidates):
+        assert SMALL.closest(target, iter(candidates)) in candidates
+
+
+class TestFormatting:
+    def test_format_padded(self):
+        assert SMALL.format_id(0xA) == "000a"
+        assert len(SPACE.format_id(1)) == 32
+
+    def test_random_id_in_range(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            assert 0 <= SMALL.random_id(rng) < SMALL.size
+
+
+class TestTruncate:
+    def test_keeps_msbs(self):
+        # A 160-bit value whose top 128 bits we want.
+        value = (0xABC << 148) | 0xFFFF
+        assert SPACE.truncate(value, 160) == value >> 32
+
+    def test_rejects_narrower_source(self):
+        with pytest.raises(ValueError):
+            SPACE.truncate(1, 64)

@@ -1,0 +1,131 @@
+"""Unit tests for next-hop policies and per-node routing decisions."""
+
+import random
+
+import pytest
+
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.pastry.routing import DeterministicRouting, RandomizedRouting
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture()
+def net():
+    network = PastryNetwork(rngs=RngRegistry(77))
+    network.build(80, method="join")
+    return network
+
+
+class TestDeterministicPolicy:
+    def test_delivers_at_own_key(self, net):
+        node = net.nodes[net.live_ids()[0]]
+        assert DeterministicRouting().next_hop(node.state, node.node_id) is None
+
+    def test_progress_invariant(self, net):
+        """Every hop either lengthens the shared prefix or (in the leaf
+        set) strictly reduces circular distance to the key."""
+        policy = DeterministicRouting()
+        rng = net.rngs.stream("t")
+        space = net.space
+        for _ in range(200):
+            key = space.random_id(rng)
+            node = net.nodes[rng.choice(net.live_ids())]
+            hop = policy.next_hop(node.state, key)
+            if hop is None:
+                continue
+            own_prefix = space.shared_prefix_length(node.node_id, key)
+            hop_prefix = space.shared_prefix_length(hop, key)
+            closer = space.distance(hop, key) < space.distance(node.node_id, key)
+            assert hop_prefix > own_prefix or closer
+
+    def test_deterministic_is_repeatable(self, net):
+        policy = DeterministicRouting()
+        rng = net.rngs.stream("t2")
+        key = net.space.random_id(rng)
+        node = net.nodes[net.live_ids()[3]]
+        assert policy.next_hop(node.state, key) == policy.next_hop(node.state, key)
+
+    def test_delivery_only_at_closest_known(self, net):
+        """When the policy says deliver, the node is the numerically
+        closest live node (ground truth) -- no premature delivery."""
+        policy = DeterministicRouting()
+        rng = net.rngs.stream("t3")
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            node = net.nodes[rng.choice(net.live_ids())]
+            if policy.next_hop(node.state, key) is None:
+                assert node.node_id == net.global_root(key)
+
+
+class TestRandomizedPolicy:
+    def test_requires_rng(self, net):
+        node = net.nodes[net.live_ids()[0]]
+        with pytest.raises(ValueError):
+            RandomizedRouting().next_hop(node.state, 12345, rng=None)
+
+    def test_bias_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedRouting(bias=0.0)
+        with pytest.raises(ValueError):
+            RandomizedRouting(bias=1.0)
+
+    def test_candidates_all_loop_free(self, net):
+        policy = RandomizedRouting()
+        rng = net.rngs.stream("t4")
+        space = net.space
+        for _ in range(100):
+            key = space.random_id(rng)
+            node = net.nodes[rng.choice(net.live_ids())]
+            own_prefix = space.shared_prefix_length(node.node_id, key)
+            own_distance = space.distance(node.node_id, key)
+            for candidate in policy.candidates(node.state, key):
+                assert space.shared_prefix_length(candidate, key) >= own_prefix
+                assert space.distance(candidate, key) < own_distance
+
+    def test_explores_multiple_hops(self, net):
+        """With several suitable candidates the policy must not always
+        pick the same one."""
+        policy = RandomizedRouting(bias=0.5)
+        rng = random.Random(0)
+        space = net.space
+        # Find a state with >= 3 candidates for some key.
+        for _ in range(500):
+            key = space.random_id(rng)
+            node = net.nodes[rng.choice(net.live_ids())]
+            if len(policy.candidates(node.state, key)) >= 3:
+                hops = {policy.next_hop(node.state, key, rng) for _ in range(64)}
+                assert len(hops) >= 2
+                return
+        pytest.fail("never found a state with 3+ candidates")
+
+    def test_routes_correctly(self, net):
+        policy = RandomizedRouting()
+        rng = net.rngs.stream("t5")
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            result = net.route(key, origin, policy=policy, rng=rng)
+            assert result.delivered
+            assert result.destination == net.global_root(key)
+
+
+class TestNodeNextHop:
+    def test_dead_entry_pruned_on_the_fly(self, net):
+        """Routing through a node whose chosen hop died prunes the dead
+        entry and still makes a decision."""
+        rng = net.rngs.stream("t6")
+        space = net.space
+        # Find origin whose routing-table next hop for some key is killable.
+        for _ in range(300):
+            key = space.random_id(rng)
+            origin = net.nodes[rng.choice(net.live_ids())]
+            hop = origin.state.routing_table.next_hop_for(key)
+            if hop is not None and hop != net.global_root(key):
+                net.mark_failed(hop)
+                new_hop = origin.next_hop(key)
+                assert new_hop != hop
+                assert hop not in origin.state.known_nodes()
+                net.mark_recovered(hop)
+                return
+        pytest.fail("no suitable (origin, key) pair found")

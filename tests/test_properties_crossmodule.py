@@ -1,0 +1,185 @@
+"""Cross-module property-based tests.
+
+Hypothesis drives random *operation sequences* against whole subsystems
+and asserts the invariants that must survive any interleaving:
+
+* storage accounting: bytes used always equals bytes of resident
+  replicas; capacity is never exceeded even with caching in play;
+* quota conservation: a card's quota_used equals the net of issued minus
+  refunded/reclaimed charges, and never goes negative;
+* leaf set: after any add/remove sequence, each side holds exactly the
+  closest live offers, sorted;
+* network membership: mark_failed/mark_recovered sequences keep the
+  live-id index consistent with node flags.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.broker import Broker
+from repro.core.errors import PastError, QuotaExceededError
+from repro.core.files import SyntheticData
+from repro.core.smartcard import SmartCard
+from repro.core.storage import FileStore
+from repro.core.certificates import FileCertificate
+from repro.core.ids import make_file_id
+from repro.crypto.keys import generate_keypair
+from repro.pastry.leaf_set import LeafSet
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.sim.rng import RngRegistry
+
+SMALL = IdSpace(16, 4)
+KEYS = generate_keypair(random.Random(0), backend="insecure_fast")
+
+
+def _cert(serial: int, size: int) -> FileCertificate:
+    data = SyntheticData(serial, size)
+    name = f"p{serial}"
+    return FileCertificate.issue(
+        KEYS, name=name, file_id=make_file_id(name, KEYS.public, serial % 100),
+        content_hash=data.content_hash(), size=size,
+        replication_factor=1, salt=serial % 100, insertion_date=0,
+    )
+
+
+class TestStorageAccounting:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["store", "remove"]), st.integers(0, 15),
+                  st.integers(1, 400)),
+        max_size=40,
+    ))
+    @settings(max_examples=50)
+    def test_used_equals_resident_bytes(self, operations):
+        store = FileStore(2000)
+        resident = {}
+        for op, serial, size in operations:
+            certificate = _cert(serial, size)
+            if op == "store" and certificate.file_id not in resident:
+                try:
+                    store.store(certificate, None)
+                    resident[certificate.file_id] = size
+                except PastError:
+                    pass  # full or duplicate: fine, must not corrupt state
+            elif op == "remove":
+                freed = store.remove(certificate.file_id)
+                if certificate.file_id in resident:
+                    assert freed == resident.pop(certificate.file_id)
+            assert store.used == sum(resident.values())
+            assert 0 <= store.used <= store.capacity
+            assert store.replica_count() == len(resident)
+
+
+class TestQuotaConservation:
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(1, 4)), max_size=20))
+    @settings(max_examples=50)
+    def test_quota_never_negative_and_conserved(self, inserts):
+        card = SmartCard(KEYS, usage_quota=1000)
+        outstanding = []
+        for serial, (size, k) in enumerate(inserts):
+            data = SyntheticData(serial + 10_000, size)
+            try:
+                certificate = card.issue_file_certificate(
+                    f"q{serial}", data, k, salt=serial, insertion_date=0
+                )
+                outstanding.append(certificate)
+            except QuotaExceededError:
+                pass
+            expected = sum(c.size * c.replication_factor for c in outstanding)
+            assert card.quota_used == expected
+            assert 0 <= card.quota_used <= card.usage_quota
+        # Refund everything: usage returns exactly to zero.
+        for certificate in outstanding:
+            card.refund_failed_insert(certificate)
+        assert card.quota_used == 0
+
+
+class TestLeafSetSequences:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]),
+                  st.integers(0, (1 << 16) - 1)),
+        max_size=60,
+    ))
+    @settings(max_examples=50)
+    def test_sides_always_sorted_and_truthful(self, operations):
+        owner = 0x8000
+        leaf = LeafSet(SMALL, owner, capacity=8)
+        alive = set()
+        for op, node in operations:
+            if node == owner:
+                continue
+            if op == "add":
+                leaf.add(node)
+                alive.add(node)
+            else:
+                leaf.remove(node)
+                alive.discard(node)
+            larger = leaf.larger_side()
+            smaller = leaf.smaller_side()
+            # Sorted nearest-first on each side.
+            cw = [SMALL.clockwise_offset(owner, n) for n in larger]
+            ccw = [SMALL.counter_clockwise_offset(owner, n) for n in smaller]
+            assert cw == sorted(cw)
+            assert ccw == sorted(ccw)
+            # Only ever references offered-and-not-removed nodes.
+            assert leaf.members() <= alive
+
+
+class TestMembershipIndex:
+    @given(st.lists(st.tuples(st.sampled_from(["fail", "recover"]),
+                              st.integers(0, 19)), max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_live_index_matches_flags(self, operations):
+        network = PastryNetwork(rngs=RngRegistry(123))
+        network.build(20, method="oracle")
+        ids = sorted(network.nodes)
+        for op, index in operations:
+            node_id = ids[index]
+            if op == "fail":
+                # Never kill the last node (route() needs one origin).
+                if network.live_count() > 1 or not network.nodes[node_id].alive:
+                    network.mark_failed(node_id)
+            else:
+                network.mark_recovered(node_id)
+            live = network.live_ids()
+            assert live == sorted(live)
+            assert set(live) == {
+                n for n in network.nodes if network.nodes[n].alive
+            }
+
+    def test_double_fail_and_recover_idempotent(self):
+        network = PastryNetwork(rngs=RngRegistry(124))
+        network.build(5, method="oracle")
+        victim = network.live_ids()[0]
+        network.mark_failed(victim)
+        network.mark_failed(victim)
+        assert victim not in network.live_ids()
+        network.mark_recovered(victim)
+        network.mark_recovered(victim)
+        assert network.live_ids().count(victim) == 1
+
+
+class TestBrokerLedgerProperty:
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 500)), max_size=20))
+    @settings(max_examples=30)
+    def test_aggregates_match_issued_cards(self, cards):
+        broker = Broker(random.Random(1), key_backend="insecure_fast")
+        expected_quota = expected_contribution = issued = 0
+        for quota, contribution in cards:
+            try:
+                broker.issue_card(quota, contribution)
+            except ValueError:
+                continue  # balance refused: ledger must be unchanged
+            issued += 1
+            expected_quota += quota
+            expected_contribution += contribution
+            assert broker.cards_issued == issued
+            assert broker.total_quota_issued == expected_quota
+            assert broker.total_contribution == expected_contribution
+            if expected_quota:
+                assert broker.supply_demand_ratio() == pytest.approx(
+                    expected_contribution / expected_quota
+                )

@@ -1,0 +1,74 @@
+"""Property tests on the full 128-bit production id space.
+
+The 16-bit exhaustive tests cover algorithmic corners; these confirm the
+same algebra at production width, where Python's big-int arithmetic is
+doing real work.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastry.nodeid import IdSpace
+
+SPACE = IdSpace(128, 4)
+ids = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestIdSpace128:
+    @given(ids)
+    def test_digits_round_trip(self, value):
+        assert SPACE.from_digits(SPACE.digits_of(value)) == value
+
+    @given(ids, ids)
+    @settings(max_examples=100)
+    def test_distance_symmetric_and_bounded(self, a, b):
+        assert SPACE.distance(a, b) == SPACE.distance(b, a)
+        assert SPACE.distance(a, b) <= SPACE.size // 2
+
+    @given(ids, ids)
+    @settings(max_examples=100)
+    def test_offsets_partition_the_ring(self, a, b):
+        if a != b:
+            assert (
+                SPACE.clockwise_offset(a, b) + SPACE.counter_clockwise_offset(a, b)
+                == SPACE.size
+            )
+        else:
+            assert SPACE.clockwise_offset(a, b) == 0
+
+    @given(ids, ids)
+    @settings(max_examples=100)
+    def test_prefix_zero_iff_first_digit_differs(self, a, b):
+        prefix = SPACE.shared_prefix_length(a, b)
+        if prefix == 0:
+            assert SPACE.digit(a, 0) != SPACE.digit(b, 0)
+        else:
+            assert SPACE.digit(a, 0) == SPACE.digit(b, 0)
+
+    @given(ids, ids, ids)
+    @settings(max_examples=100)
+    def test_shared_prefix_ultrametric(self, a, b, c):
+        """Prefix length satisfies the ultrametric-like inequality:
+        shl(a,c) >= min(shl(a,b), shl(b,c))."""
+        assert SPACE.shared_prefix_length(a, c) >= min(
+            SPACE.shared_prefix_length(a, b), SPACE.shared_prefix_length(b, c)
+        )
+
+    @given(ids, st.lists(ids, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_closest_is_argmin(self, target, candidates):
+        best = SPACE.closest(target, iter(candidates))
+        best_distance = SPACE.distance(best, target)
+        assert all(SPACE.distance(c, target) >= best_distance for c in candidates)
+
+    @given(ids)
+    @settings(max_examples=50)
+    def test_format_parses_back(self, value):
+        assert int(SPACE.format_id(value), 16) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 160) - 1))
+    @settings(max_examples=100)
+    def test_truncate_is_msb_projection(self, wide):
+        narrow = SPACE.truncate(wide, 160)
+        assert narrow == wide >> 32
+        assert 0 <= narrow < SPACE.size

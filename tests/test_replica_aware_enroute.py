@@ -1,0 +1,135 @@
+"""Tests for the nearest-among-k heuristic and en-route lookup serving."""
+
+import random
+
+import pytest
+
+from repro.core.files import SyntheticData
+from repro.core.network import PastNetwork
+from repro.netsim.proximity import rank_by_proximity
+from repro.pastry.routing import DeterministicRouting, ReplicaAwareRouting
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def loaded_net():
+    network = PastNetwork(rngs=RngRegistry(4040), cache_policy="none")
+    network.build(150, method="join", capacity_fn=lambda r: 1 << 30)
+    client = network.create_client(usage_quota=1 << 60)
+    handles = [
+        client.insert(f"f{i}", SyntheticData(i, 800), replication_factor=5)
+        for i in range(40)
+    ]
+    return network, handles
+
+
+class TestReplicaAwareRouting:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaAwareRouting(0)
+
+    def test_terminates_on_a_replica_holder(self, loaded_net):
+        """With the heuristic, routes terminate at one of the k true
+        holders (or serve en route from one) for the vast majority of
+        lookups."""
+        network, handles = loaded_net
+        rng = random.Random(1)
+        policy = ReplicaAwareRouting(5)
+        on_holder = total = 0
+        for _ in range(200):
+            handle = rng.choice(handles)
+            holders = {r.node_id for r in handle.receipts}
+            origin = rng.choice(network.pastry.live_ids())
+            result = network.pastry.route(
+                handle.certificate.storage_key(), origin, policy=policy
+            )
+            assert result.delivered
+            total += 1
+            if result.destination in holders or any(
+                node in holders for node in result.path
+            ):
+                on_holder += 1
+        assert on_holder / total > 0.95
+
+    def test_beats_plain_routing_on_proximity(self, loaded_net):
+        """The heuristic's terminal node is proximally closer to the
+        client (on average) than plain routing's root."""
+        network, handles = loaded_net
+        rng = random.Random(2)
+        topo = network.pastry.topology
+        plain_distances = []
+        aware_distances = []
+        for _ in range(200):
+            handle = rng.choice(handles)
+            key = handle.certificate.storage_key()
+            origin = rng.choice(network.pastry.live_ids())
+            plain = network.pastry.route(key, origin)
+            aware = network.pastry.route(key, origin, policy=ReplicaAwareRouting(5))
+            plain_distances.append(topo.distance(origin, plain.destination))
+            aware_distances.append(topo.distance(origin, aware.destination))
+        assert sum(aware_distances) < sum(plain_distances)
+
+    def test_falls_back_to_plain_when_k_too_large(self, loaded_net):
+        """A k beyond the leaf set's horizon degrades to plain routing,
+        never to an error."""
+        network, _ = loaded_net
+        rng = random.Random(3)
+        policy = ReplicaAwareRouting(10**6)
+        key = network.space.random_id(rng)
+        origin = rng.choice(network.pastry.live_ids())
+        result = network.pastry.route(key, origin, policy=policy)
+        assert result.delivered
+
+    def test_deterministic_and_aware_agree_for_k1(self, loaded_net):
+        """k=1 reduces to 'route to the numerically closest' (delivery
+        node equality with the plain policy)."""
+        network, _ = loaded_net
+        rng = random.Random(4)
+        for _ in range(50):
+            key = network.space.random_id(rng)
+            origin = rng.choice(network.pastry.live_ids())
+            plain = network.pastry.route(key, origin, policy=DeterministicRouting())
+            aware = network.pastry.route(key, origin, policy=ReplicaAwareRouting(1))
+            assert plain.destination == aware.destination
+
+
+class TestEnRouteServing:
+    def test_intermediate_holder_short_circuits(self, loaded_net):
+        """A lookup whose route passes a replica holder stops there
+        instead of continuing to the root."""
+        network, handles = loaded_net
+        rng = random.Random(5)
+        served_early = 0
+        checked = 0
+        for _ in range(300):
+            handle = rng.choice(handles)
+            holders = {r.node_id for r in handle.receipts}
+            origin = rng.choice(network.pastry.live_ids())
+            reader = network.create_client(usage_quota=0, access_node=origin)
+            result = reader.lookup_verbose(handle.file_id)
+            root = network.pastry.global_root(handle.certificate.storage_key())
+            checked += 1
+            if result.response.serving_node != root:
+                served_early += 1
+                assert result.response.serving_node in holders or (
+                    result.response.source in ("cache", "diverted")
+                )
+        assert served_early > 0, "no lookup was ever served before the root"
+
+    def test_origin_holder_serves_in_zero_hops(self, loaded_net):
+        network, handles = loaded_net
+        handle = handles[0]
+        for receipt in handle.receipts:
+            reader = network.create_client(usage_quota=0, access_node=receipt.node_id)
+            result = reader.lookup_verbose(handle.file_id)
+            assert result.hops == 0
+            assert result.response.serving_node == receipt.node_id
+
+    def test_insert_requests_are_not_satisfied_en_route(self, loaded_net):
+        """Only lookups short-circuit; inserts always reach the root."""
+        network, _ = loaded_net
+        client = network.create_client(usage_quota=1 << 30)
+        handle = client.insert("fresh", SyntheticData(999, 700), replication_factor=3)
+        key = handle.certificate.storage_key()
+        expected = set(network.pastry.replica_root_set(key, 3))
+        assert {r.node_id for r in handle.receipts} == expected

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule(5.0, lambda: fired.append("late"))
+        eng.schedule(1.0, lambda: fired.append("early"))
+        eng.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_fifo(self):
+        eng = SimulationEngine()
+        fired = []
+        for i in range(5):
+            eng.schedule(1.0, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(3.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [3.5]
+        assert eng.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        eng = SimulationEngine()
+        with pytest.raises(ValueError):
+            eng.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        eng = SimulationEngine()
+        eng.schedule(2.0, lambda: None)
+        eng.run()
+        seen = []
+        eng.schedule_at(7.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [7.0]
+
+    def test_events_scheduled_during_run_fire(self):
+        eng = SimulationEngine()
+        fired = []
+
+        def chain():
+            fired.append(eng.now)
+            if len(fired) < 3:
+                eng.schedule(1.0, chain)
+
+        eng.schedule(1.0, chain)
+        eng.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = SimulationEngine()
+        fired = []
+        event = eng.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        eng = SimulationEngine()
+        event = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending() == 2
+        event.cancel()
+        assert eng.pending() == 1
+
+
+class TestRunBounds:
+    def test_run_until_stops_the_clock_there(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        assert fired == [1]
+        assert eng.now == 5.0
+
+    def test_run_until_leaves_future_events_queued(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        eng.run()
+        assert fired == [10]
+
+    def test_max_events_bound(self):
+        eng = SimulationEngine()
+        fired = []
+        for i in range(10):
+            eng.schedule(float(i + 1), lambda i=i: fired.append(i))
+        processed = eng.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_returns_processed_count(self):
+        eng = SimulationEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.run() == 2
+
+
+class TestPeriodic:
+    def test_periodic_repeats_until_cancelled(self):
+        eng = SimulationEngine()
+        fired = []
+        handle = eng.schedule_periodic(1.0, lambda: fired.append(eng.now))
+        eng.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        handle.cancel()
+        eng.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_periodic_with_jitter(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_periodic(1.0, lambda: fired.append(eng.now), jitter=lambda: 0.25)
+        eng.run(until=4.0)
+        assert fired == [1.25, 2.5, 3.75]
+
+    def test_zero_interval_rejected(self):
+        eng = SimulationEngine()
+        with pytest.raises(ValueError):
+            eng.schedule_periodic(0.0, lambda: None)

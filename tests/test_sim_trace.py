@@ -1,0 +1,127 @@
+"""Unit tests for counters, histograms and the stats registry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.trace import Counter, Histogram, StatsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_increment(self):
+        c = Counter("c")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("c")
+        c.increment(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram()
+        h.extend([1, 2, 3, 4])
+        assert h.mean == 2.5
+
+    def test_empty_statistics_are_zero(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.stddev == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_stddev_matches_manual(self):
+        h = Histogram()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        h.extend(values)
+        mean = sum(values) / len(values)
+        expected = math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+        assert h.stddev == pytest.approx(expected)
+
+    def test_min_max(self):
+        h = Histogram()
+        h.extend([5, -2, 9])
+        assert h.minimum == -2
+        assert h.maximum == 9
+
+    def test_percentile_endpoints(self):
+        h = Histogram()
+        h.extend(range(1, 101))
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+
+    def test_percentile_interpolates(self):
+        h = Histogram()
+        h.extend([10.0, 20.0])
+        assert h.percentile(50) == pytest.approx(15.0)
+
+    def test_percentile_out_of_range_rejected(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_bucketize(self):
+        h = Histogram()
+        h.extend([0.1, 0.9, 1.5, 2.2])
+        assert h.bucketize(1.0) == {0.0: 2, 1.0: 1, 2.0: 1}
+
+    def test_bucketize_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            Histogram().bucketize(0)
+
+    def test_frequency(self):
+        h = Histogram()
+        h.extend([1, 1, 2])
+        assert h.frequency() == {1: 2, 2: 1}
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.extend([1, 2, 3])
+        summary = h.summary()
+        assert set(summary) == {"count", "mean", "stddev", "min", "p50", "p95", "p99", "max"}
+        assert summary["count"] == 3
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_mean_within_min_max(self, values):
+        h = Histogram()
+        h.extend(values)
+        assert h.minimum - 1e-6 <= h.mean <= h.maximum + 1e-6
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_percentiles_monotone(self, values):
+        h = Histogram()
+        h.extend(values)
+        assert h.percentile(25) <= h.percentile(50) <= h.percentile(75)
+
+
+class TestStatsRegistry:
+    def test_counter_identity(self):
+        reg = StatsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_histogram_identity(self):
+        reg = StatsRegistry()
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_counters_listing_sorted(self):
+        reg = StatsRegistry()
+        reg.counter("b").increment(2)
+        reg.counter("a").increment(1)
+        assert reg.counters() == [("a", 1), ("b", 2)]
+
+    def test_reset_clears_everything(self):
+        reg = StatsRegistry()
+        reg.counter("a").increment()
+        reg.histogram("h").add(1)
+        reg.reset()
+        assert reg.counters() == []
+        assert reg.histograms() == []

@@ -1,0 +1,95 @@
+"""Tests for route explanation and the progress invariant."""
+
+import pytest
+
+from repro.analysis.tracing import (
+    RULE_DELIVER_SELF,
+    RULE_LEAF,
+    RULE_TABLE,
+    check_progress,
+    explain_route,
+    render_route,
+)
+from repro.pastry.network import PastryNetwork
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def net():
+    network = PastryNetwork(rngs=RngRegistry(6060))
+    network.build(200, method="join")
+    return network
+
+
+class TestExplainRoute:
+    def test_last_hop_is_delivery(self, net):
+        rng = net.rngs.stream("tr")
+        key = net.space.random_id(rng)
+        origin = rng.choice(net.live_ids())
+        explanations = explain_route(net, key, origin)
+        assert explanations[-1].next_node is None
+        assert explanations[-1].rule == RULE_DELIVER_SELF
+
+    def test_path_matches_plain_route(self, net):
+        rng = net.rngs.stream("tr2")
+        key = net.space.random_id(rng)
+        origin = rng.choice(net.live_ids())
+        explanations = explain_route(net, key, origin)
+        plain = net.route(key, origin)
+        assert [h.node_id for h in explanations] == plain.path
+
+    def test_rules_are_recognised(self, net):
+        """Across many routes, both the table rule and the leaf rule
+        appear (a healthy network routes by prefix and finishes in the
+        leaf set)."""
+        rng = net.rngs.stream("tr3")
+        rules = set()
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            for hop in explain_route(net, key, origin):
+                rules.add(hop.rule)
+        assert RULE_TABLE in rules
+        assert RULE_LEAF in rules
+        assert RULE_DELIVER_SELF in rules
+
+    def test_progress_invariant_holds(self, net):
+        rng = net.rngs.stream("tr4")
+        for _ in range(150):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            explanations = explain_route(net, key, origin)
+            assert check_progress(explanations), render_route(net, explanations)
+
+    def test_prefix_grows_on_table_hops(self, net):
+        rng = net.rngs.stream("tr5")
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            origin = rng.choice(net.live_ids())
+            explanations = explain_route(net, key, origin)
+            for previous, current in zip(explanations, explanations[1:]):
+                if previous.rule == RULE_TABLE:
+                    assert current.shared_prefix > previous.shared_prefix
+
+    def test_render_shape(self, net):
+        rng = net.rngs.stream("tr6")
+        key = net.space.random_id(rng)
+        origin = rng.choice(net.live_ids())
+        explanations = explain_route(net, key, origin)
+        text = render_route(net, explanations)
+        assert text.count("\n") == len(explanations) - 1
+        assert "prefix=" in text
+
+
+class TestCheckProgress:
+    def test_empty_and_single(self):
+        assert check_progress([])
+
+    def test_detects_regression(self, net):
+        from repro.analysis.tracing import HopExplanation
+
+        bad = [
+            HopExplanation(1, shared_prefix=3, distance_to_key=10, rule="x", next_node=2),
+            HopExplanation(2, shared_prefix=2, distance_to_key=20, rule="x", next_node=None),
+        ]
+        assert not check_progress(bad)
