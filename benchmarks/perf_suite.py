@@ -1,0 +1,229 @@
+"""Perf-regression suite: time the simulator's canonical hot paths.
+
+Five workloads, chosen because every experiment in EXPERIMENTS.md spends
+most of its wall-clock in one of them:
+
+* ``oracle_build``  -- oracle bootstrap of a large overlay (every E* run);
+* ``join_build``    -- arrival-protocol bootstrap (claim C3 path);
+* ``routes_deterministic`` -- plain prefix routing (C1/C2/C4);
+* ``routes_randomized``    -- randomized routing (C7);
+* ``lookups_replica_aware`` -- replica-aware lookups (C5).
+
+Each workload is built deterministically from fixed seeds, run once as
+warm-up, then repeated; the *minimum* wall-clock over the repetitions is
+recorded (minimum, not mean: scheduling noise only ever adds time).
+Results print as a table and are merged into ``BENCH_perf.json`` at the
+repo root under ``--label``, giving future PRs a perf trajectory to
+regress against (see ``repro.analysis.perfjson``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_suite.py                # full
+    PYTHONPATH=src python benchmarks/perf_suite.py --smoke        # CI
+    PYTHONPATH=src python benchmarks/perf_suite.py --label seed \
+        --compare-against seed                                    # history
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import perfjson
+from repro.analysis.tables import print_table
+from repro.pastry.network import PastryNetwork
+from repro.pastry.routing import RandomizedRouting, ReplicaAwareRouting
+from repro.sim.rng import RngRegistry
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+# Full-size and smoke-size workload parameters.
+FULL = {
+    "oracle_n": 4096,
+    "join_n": 512,
+    "deterministic_routes": 10_000,
+    "randomized_routes": 5_000,
+    "replica_lookups": 2_000,
+    "repeats": 3,
+}
+SMOKE = {
+    "oracle_n": 512,
+    "join_n": 96,
+    "deterministic_routes": 1_000,
+    "randomized_routes": 500,
+    "replica_lookups": 250,
+    "repeats": 2,
+}
+
+
+def _timed(workload: Callable[[], None], repeats: int) -> float:
+    """Best-of-*repeats* wall-clock for one workload, after a warm-up."""
+    workload()  # warm-up: caches, allocator, bytecode specialisation
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        workload()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _fresh_network(seed: int = 0) -> PastryNetwork:
+    return PastryNetwork(rngs=RngRegistry(seed))
+
+
+def _routing_fixture(n: int) -> Tuple[PastryNetwork, List[Tuple[int, int]]]:
+    """An oracle-built overlay plus a deterministic (key, origin) stream."""
+    network = _fresh_network(0)
+    network.build(n, method="oracle")
+    rng = random.Random(7)
+    ids = network.live_ids()
+    pairs = [
+        (network.space.random_id(rng), ids[rng.randrange(len(ids))])
+        for _ in range(max(FULL["deterministic_routes"], FULL["randomized_routes"]))
+    ]
+    return network, pairs
+
+
+def run_suite(params: Dict[str, int]) -> Dict[str, float]:
+    repeats = params["repeats"]
+    results: Dict[str, float] = {}
+
+    oracle_n = params["oracle_n"]
+    results[f"oracle_build_{oracle_n}_s"] = _timed(
+        lambda: _fresh_network(0).build(oracle_n, method="oracle"), repeats
+    )
+
+    join_n = params["join_n"]
+    results[f"join_build_{join_n}_s"] = _timed(
+        lambda: _fresh_network(0).build(join_n, method="join"), repeats
+    )
+
+    network, pairs = _routing_fixture(oracle_n)
+
+    route_count = params["deterministic_routes"]
+    route_pairs = pairs[:route_count]
+
+    def deterministic() -> None:
+        route = network.route
+        for key, origin in route_pairs:
+            route(key, origin)
+
+    results[f"routes_deterministic_{route_count}_s"] = _timed(deterministic, repeats)
+
+    randomized_count = params["randomized_routes"]
+    randomized_pairs = pairs[:randomized_count]
+    randomized_policy = RandomizedRouting(bias=0.25)
+
+    def randomized() -> None:
+        route = network.route
+        rng = random.Random(11)  # re-seeded so every repetition is identical
+        for key, origin in randomized_pairs:
+            route(key, origin, policy=randomized_policy, rng=rng)
+
+    results[f"routes_randomized_{randomized_count}_s"] = _timed(randomized, repeats)
+
+    lookup_count = params["replica_lookups"]
+    lookup_pairs = pairs[:lookup_count]
+    replica_policy = ReplicaAwareRouting(k=5)
+
+    def replica_lookups() -> None:
+        route = network.route
+        for key, origin in lookup_pairs:
+            route(key, origin, policy=replica_policy)
+
+    results[f"lookups_replica_aware_{lookup_count}_s"] = _timed(replica_lookups, repeats)
+
+    return results
+
+
+def _print_results(results: Dict[str, float], label: str) -> None:
+    rows = []
+    for metric, seconds in sorted(results.items()):
+        ops = _ops_of(metric)
+        throughput = f"{ops / seconds:,.0f}/s" if ops and seconds > 0 else "-"
+        rows.append([metric, seconds, throughput])
+    print_table(["metric", "seconds", "throughput"], rows, title=f"perf suite [{label}]")
+
+
+def _ops_of(metric: str) -> int:
+    """The workload size embedded in a metric name (0 if not meaningful)."""
+    if metric.startswith(("routes_", "lookups_")):
+        return int(metric.rsplit("_", 2)[-2])
+    return 0
+
+
+def _print_comparison(history: dict, baseline: str, current: str) -> None:
+    rows = [
+        [metric, base, cur, f"{speedup:.2f}x"]
+        for metric, base, cur, speedup in perfjson.compare(history, baseline, current)
+    ]
+    print_table(
+        ["metric", f"{baseline} (s)", f"{current} (s)", "speedup"],
+        rows,
+        title=f"perf trajectory: {baseline} -> {current}",
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workloads for CI: exercises every path in seconds",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="record results in the history file under this label "
+        "(default: 'smoke' with --smoke, else 'current')",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"history file to merge into (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="print timings without touching the history file",
+    )
+    parser.add_argument(
+        "--compare-against",
+        default=None,
+        metavar="LABEL",
+        help="also print a speedup table against this recorded label",
+    )
+    args = parser.parse_args(argv)
+
+    params = SMOKE if args.smoke else FULL
+    label = args.label or ("smoke" if args.smoke else "current")
+
+    results = run_suite(params)
+    _print_results(results, label)
+
+    if not args.no_record:
+        history = perfjson.record_run(args.output, label, results)
+        print(f"\nrecorded run '{label}' in {args.output}")
+    else:
+        history = perfjson.load_history(args.output)
+
+    if args.compare_against:
+        try:
+            _print_comparison(history, args.compare_against, label)
+        except KeyError as error:
+            print(f"comparison skipped: {error}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

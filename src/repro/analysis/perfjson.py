@@ -1,0 +1,142 @@
+"""Machine-readable performance trajectory (``BENCH_perf.json``).
+
+``benchmarks/perf_suite.py`` times the canonical hot paths and records
+the numbers here, one labelled run per code revision, so successive PRs
+have a perf history to regress against.  The file lives at the repo root
+and is committed: a future change can compare itself against any
+recorded label without rebuilding old revisions.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "runs": [
+        {
+          "label": "seed",
+          "timestamp": 1754500000.0,
+          "python": "3.11.9",
+          "results": {
+            "join_build_512_s": 1.215,
+            "routes_deterministic_10000_s": 0.54,
+            ...
+          }
+        },
+        ...
+      ]
+    }
+
+Every metric is "seconds for the whole workload, best of R repetitions
+after a warm-up" -- lower is better.  Throughput and speedup views are
+derived, never stored, so the file stays free of redundant numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def load_history(path: PathLike) -> dict:
+    """Read a history file; an absent file yields an empty history."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "runs": []}
+    with path.open("r", encoding="utf-8") as handle:
+        history = json.load(handle)
+    if history.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported BENCH_perf schema {history.get('schema')!r} in {path}"
+        )
+    return history
+
+
+def record_run(
+    path: PathLike,
+    label: str,
+    results: Dict[str, float],
+    timestamp: Optional[float] = None,
+) -> dict:
+    """Append (or replace) the run *label* and write the file back.
+
+    Re-recording an existing label overwrites it in place, so re-running
+    the suite on the same revision never accumulates duplicates.
+    """
+    if not label:
+        raise ValueError("run label must be non-empty")
+    history = load_history(path)
+    run = {
+        "label": label,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "python": platform.python_version(),
+        "results": dict(sorted(results.items())),
+    }
+    runs: List[dict] = history["runs"]
+    for index, existing in enumerate(runs):
+        if existing["label"] == label:
+            runs[index] = run
+            break
+    else:
+        runs.append(run)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return history
+
+
+def get_run(history: dict, label: str) -> Optional[dict]:
+    for run in history["runs"]:
+        if run["label"] == label:
+            return run
+    return None
+
+
+def compare(
+    history: dict, baseline_label: str, current_label: str
+) -> List[Tuple[str, float, float, float]]:
+    """Per-metric ``(name, baseline_s, current_s, speedup)`` rows for the
+    metrics the two runs share.  Speedup > 1 means *current* is faster.
+    """
+    baseline = get_run(history, baseline_label)
+    current = get_run(history, current_label)
+    if baseline is None:
+        raise KeyError(f"no run labelled {baseline_label!r}")
+    if current is None:
+        raise KeyError(f"no run labelled {current_label!r}")
+    rows = []
+    for metric, base_value in baseline["results"].items():
+        cur_value = current["results"].get(metric)
+        if cur_value is None:
+            continue
+        speedup = base_value / cur_value if cur_value > 0 else float("inf")
+        rows.append((metric, base_value, cur_value, speedup))
+    return rows
+
+
+def regressions(
+    history: dict,
+    baseline_label: str,
+    current_label: str,
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Metrics where *current* is slower than *baseline* by more than
+    *tolerance* (fractional -- 0.25 allows 25% noise headroom).  Empty
+    list means no regression.
+    """
+    failing = []
+    for metric, base_value, cur_value, _ in compare(
+        history, baseline_label, current_label
+    ):
+        if cur_value > base_value * (1.0 + tolerance):
+            failing.append(
+                f"{metric}: {cur_value:.3f}s vs baseline {base_value:.3f}s"
+            )
+    return failing

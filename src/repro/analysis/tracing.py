@@ -37,7 +37,6 @@ def _classify_hop(network: PastryNetwork, node_id: int, key: int,
                   next_node: Optional[int]) -> str:
     """Re-derive which routing rule links node_id -> next_node."""
     state = network.nodes[node_id].state
-    space = network.space
     if next_node is None:
         return RULE_DELIVER_SELF
     if state.leaf_set.covers(key) and next_node in state.leaf_set.members():

@@ -11,6 +11,11 @@ metrics over synthetic topologies:
   a sparse connected graph.
 """
 
+from repro.netsim.index import (
+    GridProximityIndex,
+    LinearProximityIndex,
+    ProximityIndex,
+)
 from repro.netsim.topology import (
     EuclideanPlaneTopology,
     SphereTopology,
@@ -24,6 +29,9 @@ __all__ = [
     "EuclideanPlaneTopology",
     "SphereTopology",
     "RandomGraphTopology",
+    "ProximityIndex",
+    "GridProximityIndex",
+    "LinearProximityIndex",
     "LatencyModel",
     "UniformLatency",
     "ProximityLatency",

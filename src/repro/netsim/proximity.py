@@ -7,25 +7,49 @@ distance from a reference endpoint, measure route stretch.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.netsim.topology import Topology
 
 
-def nearest(topology: Topology, origin: int, candidates: Iterable[int]) -> Optional[int]:
+def nearest(
+    topology: Topology, origin: int, candidates: Optional[Iterable[int]] = None
+) -> Optional[int]:
     """The candidate proximally closest to *origin*, or None if empty.
 
-    Ties are broken by the candidate address, which keeps the choice
-    deterministic across runs.
+    With ``candidates=None`` the pool is every registered endpoint except
+    *origin*; when the topology maintains a spatial endpoint index
+    (:meth:`~repro.netsim.topology.Topology.endpoint_index`) the query
+    delegates to it instead of scanning.  Ties are broken by the
+    candidate address, which keeps the choice deterministic across runs
+    and identical between the indexed and linear paths.
     """
+    if candidates is None:
+        index = topology.endpoint_index()
+        if index is not None:
+            return index.nearest(origin, exclude=(origin,))
+        candidates = (c for c in _all_endpoints(topology) if c != origin)
+    distance = topology.distance
     best: Optional[int] = None
     best_key: Optional[Tuple[float, int]] = None
     for candidate in candidates:
-        key = (topology.distance(origin, candidate), candidate)
+        key = (distance(origin, candidate), candidate)
         if best_key is None or key < best_key:
             best_key = key
             best = candidate
     return best
+
+
+def _all_endpoints(topology: Topology) -> List[int]:
+    for attr in ("_points", "_attachment"):
+        registry = getattr(topology, attr, None)
+        if registry is not None:
+            return list(registry)
+    raise TypeError(
+        f"{type(topology).__name__} does not expose its endpoints; "
+        "pass an explicit candidate iterable"
+    )
 
 
 def rank_by_proximity(topology: Topology, origin: int, candidates: Iterable[int]) -> List[int]:
@@ -34,10 +58,16 @@ def rank_by_proximity(topology: Topology, origin: int, candidates: Iterable[int]
 
 
 def k_nearest(topology: Topology, origin: int, candidates: Iterable[int], k: int) -> List[int]:
-    """The *k* proximally nearest candidates."""
+    """The *k* proximally nearest candidates, nearest first.
+
+    Uses a bounded heap (``heapq.nsmallest``, O(n log k)) instead of
+    sorting the whole candidate pool; the (distance, address) key makes
+    the result identical to ``rank_by_proximity(...)[:k]``.
+    """
     if k < 0:
         raise ValueError("k must be non-negative")
-    return rank_by_proximity(topology, origin, candidates)[:k]
+    distance = topology.distance
+    return heapq.nsmallest(k, candidates, key=lambda c: (distance(origin, c), c))
 
 
 def route_stretch(topology: Topology, route: Sequence[int]) -> float:

@@ -13,7 +13,13 @@ import heapq
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.index import (
+    GridProximityIndex,
+    LinearProximityIndex,
+    ProximityIndex,
+)
 
 
 class Topology(ABC):
@@ -38,6 +44,26 @@ class Topology(ABC):
         """Total distance along a sequence of endpoint addresses."""
         return sum(self.distance(a, b) for a, b in zip(hops, hops[1:]))
 
+    def make_index(self) -> ProximityIndex:
+        """A fresh, empty :class:`~repro.netsim.index.ProximityIndex`
+        suited to this topology's geometry.
+
+        The caller owns the membership: it adds/discards endpoints as
+        its own notion of "eligible" changes (e.g. the overlay tracks
+        live nodes only).  Metric topologies with exploitable structure
+        override this to return a sublinear index; the default is the
+        linear-scan fallback, which is correct for any topology.
+        """
+        return LinearProximityIndex(self)
+
+    def endpoint_index(self) -> Optional[ProximityIndex]:
+        """An index over *all* currently registered endpoints, kept in
+        sync automatically -- or None when the topology does not maintain
+        one.  Query helpers (:func:`repro.netsim.proximity.nearest`)
+        delegate to it when present.
+        """
+        return None
+
 
 class EuclideanPlaneTopology(Topology):
     """Endpoints are uniform random points in a [0, side) x [0, side) square.
@@ -53,6 +79,7 @@ class EuclideanPlaneTopology(Topology):
         self._rng = rng
         self.side = side
         self._points: Dict[int, Tuple[float, float]] = {}
+        self._endpoint_index: Optional[GridProximityIndex] = None
 
     def add_endpoint(self, address: int) -> None:
         if address in self._points:
@@ -61,8 +88,12 @@ class EuclideanPlaneTopology(Topology):
             self._rng.uniform(0.0, self.side),
             self._rng.uniform(0.0, self.side),
         )
+        if self._endpoint_index is not None:
+            self._endpoint_index.add(address)
 
     def remove_endpoint(self, address: int) -> None:
+        if address in self._points and self._endpoint_index is not None:
+            self._endpoint_index.discard(address)
         self._points.pop(address, None)
 
     def position(self, address: int) -> Tuple[float, float]:
@@ -72,6 +103,19 @@ class EuclideanPlaneTopology(Topology):
         xa, ya = self._points[a]
         xb, yb = self._points[b]
         return math.hypot(xa - xb, ya - yb)
+
+    def make_index(self) -> ProximityIndex:
+        return GridProximityIndex(self)
+
+    def endpoint_index(self) -> ProximityIndex:
+        """Lazily built grid over every registered endpoint; kept in sync
+        by ``add_endpoint`` / ``remove_endpoint`` once created."""
+        if self._endpoint_index is None:
+            index = GridProximityIndex(self)
+            for address in self._points:
+                index.add(address)
+            self._endpoint_index = index
+        return self._endpoint_index
 
     def __len__(self) -> int:
         return len(self._points)

@@ -124,7 +124,6 @@ def _candidate_from_state(
     network: "PastryNetwork", donor: PastryNode, node: PastryNode, row: int, col: int
 ) -> Optional[int]:
     """Scan a donor's known nodes for one that fits (row, col) of *node*."""
-    space = network.space
     for known in donor.state.known_nodes():
         if known == node.node_id or not network.is_live(known):
             continue

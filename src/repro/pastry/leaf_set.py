@@ -13,13 +13,26 @@ so "larger" means clockwise).  The leaf set serves three roles:
 
 In a network smaller than l the two sides overlap (the same node can be
 among the closest on both sides); this is normal and handled throughout.
+
+Performance notes: the routing queries (``covers``, ``closest_to``,
+``replica_candidates``) run on every hop of every message, so they work
+off caches -- a sorted ring of members (owner included) binary-searched
+per query, and an overlap flag -- instead of materialising fresh sets.
+Each side also keeps its members' circular offsets in a parallel sorted
+list, making admission a binary search rather than a scan of recomputed
+offsets.  All caches invalidate on mutation (``add`` / ``remove``); the
+``version`` stamp lets dependants (``NodeState.known_nodes``) do the
+same.  Every query returns bit-identical results to the original
+set-based implementation, which the equivalence tests assert.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import List, Optional, Set
 
 from repro.pastry.nodeid import IdSpace
+from repro.pastry.versioning import next_version
 
 
 class LeafSet:
@@ -31,14 +44,26 @@ class LeafSet:
         self.space = space
         self.owner = space.validate(owner)
         self.capacity = capacity
-        # Sorted by clockwise offset from the owner, nearest first.
+        self.half = capacity // 2
+        # Sorted by clockwise offset from the owner, nearest first, with
+        # the offsets themselves kept in a parallel list.
         self._larger: List[int] = []
+        self._larger_offsets: List[int] = []
         # Sorted by counter-clockwise offset from the owner, nearest first.
         self._smaller: List[int] = []
+        self._smaller_offsets: List[int] = []
+        self.version = next_version()
+        self._members_cache: Optional[frozenset] = None
+        self._ring_cache: Optional[List[int]] = None  # sorted, owner included
+        self._members_sorted_cache: Optional[List[int]] = None
+        self._overlap_cache: Optional[bool] = None
 
-    @property
-    def half(self) -> int:
-        return self.capacity // 2
+    def _invalidate(self) -> None:
+        self.version = next_version()
+        self._members_cache = None
+        self._ring_cache = None
+        self._members_sorted_cache = None
+        self._overlap_cache = None
 
     # ------------------------------------------------------------------ #
     # membership maintenance
@@ -50,35 +75,81 @@ class LeafSet:
         if node_id == self.owner:
             return False
         self.space.validate(node_id)
-        admitted = self._admit(self._larger, node_id, self.space.clockwise_offset)
-        admitted |= self._admit(self._smaller, node_id, self.space.counter_clockwise_offset)
-        return admitted
+        # One modular offset computation covers both sides: for distinct
+        # ids the counter-clockwise offset is the ring complement of the
+        # clockwise one.
+        size = self.space.size
+        clockwise = (node_id - self.owner) % size
+        counter_clockwise = size - clockwise
+        admitted, mutated = self._admit(
+            self._larger, self._larger_offsets, node_id, clockwise
+        )
+        admitted_s, mutated_s = self._admit(
+            self._smaller, self._smaller_offsets, node_id, counter_clockwise
+        )
+        if mutated or mutated_s:
+            self._invalidate()
+        return admitted or admitted_s
 
-    def _admit(self, side: List[int], node_id: int, offset_fn) -> bool:
-        if node_id in side:
-            return True
-        offset = offset_fn(self.owner, node_id)
-        position = 0
-        while position < len(side) and offset_fn(self.owner, side[position]) < offset:
-            position += 1
+    def _admit(
+        self, side: List[int], offsets: List[int], node_id: int, offset: int
+    ) -> tuple:
+        """Returns (admitted, mutated).  The offset uniquely identifies
+        the id on a side, so the membership test rides the same binary
+        search as the insertion."""
+        position = bisect.bisect_left(offsets, offset)
+        if position < len(offsets) and offsets[position] == offset:
+            return True, False
+        if len(side) >= self.half:
+            if position >= self.half:
+                # Would be inserted past the capacity boundary and
+                # immediately evicted: reject without touching the side.
+                return False, False
+            side.insert(position, node_id)
+            offsets.insert(position, offset)
+            side.pop()
+            offsets.pop()
+            return True, True
         side.insert(position, node_id)
-        if len(side) > self.half:
-            evicted = side.pop()
-            return evicted != node_id
-        return True
+        offsets.insert(position, offset)
+        return True, True
 
     def remove(self, node_id: int) -> bool:
         """Drop a (failed) node from both sides; True if it was present."""
         present = False
-        for side in (self._larger, self._smaller):
+        for side, offsets in (
+            (self._larger, self._larger_offsets),
+            (self._smaller, self._smaller_offsets),
+        ):
             if node_id in side:
-                side.remove(node_id)
+                index = side.index(node_id)
+                side.pop(index)
+                offsets.pop(index)
                 present = True
+        if present:
+            self._invalidate()
         return present
 
     def members(self) -> Set[int]:
         """All distinct leaf set members (owner excluded)."""
-        return set(self._larger) | set(self._smaller)
+        if self._members_cache is None:
+            self._members_cache = frozenset(self._larger) | frozenset(self._smaller)
+        return self._members_cache
+
+    def _members_sorted(self) -> List[int]:
+        """Distinct members in ascending id order (cached)."""
+        if self._members_sorted_cache is None:
+            self._members_sorted_cache = sorted(self.members())
+        return self._members_sorted_cache
+
+    def _ring(self) -> List[int]:
+        """Distinct members plus the owner, ascending (cached).  This is
+        the list the routing queries binary-search."""
+        if self._ring_cache is None:
+            ring = list(self._members_sorted())
+            bisect.insort(ring, self.owner)
+            self._ring_cache = ring
+        return self._ring_cache
 
     def larger_side(self) -> List[int]:
         """Clockwise neighbours, nearest first (copy)."""
@@ -114,10 +185,12 @@ class LeafSet:
             return True
         if len(self._larger) < self.half or len(self._smaller) < self.half:
             return True
-        if set(self._larger) & set(self._smaller):
+        if self._overlap_cache is None:
             # A node on both sides means the two arcs overlap: the leaf
             # set contains every other node in the network, so it covers
             # the whole ring (possible only when N - 1 < l).
+            self._overlap_cache = not set(self._larger).isdisjoint(self._smaller)
+        if self._overlap_cache:
             return True
         low = self._smaller[-1]
         high = self._larger[-1]
@@ -125,11 +198,25 @@ class LeafSet:
 
     def closest_to(self, key: int, include_owner: bool = True) -> int:
         """The member (optionally including the owner) numerically
-        closest to *key*."""
-        candidates = self.members()
-        if include_owner:
-            candidates.add(self.owner)
-        return self.space.closest(key, iter(candidates))
+        closest to *key*.
+
+        Binary search over the cached sorted ring: the circularly
+        closest id is always one of the two ring neighbours of *key*,
+        with ties broken towards the larger id (as ``IdSpace.closest``).
+        """
+        ids = self._ring() if include_owner else self._members_sorted()
+        count = len(ids)
+        if count == 0:
+            raise ValueError("closest() of empty candidate set")
+        index = bisect.bisect_left(ids, key)
+        after = ids[index % count]
+        before = ids[(index - 1) % count]
+        if after == before:
+            return after
+        distance = self.space.distance
+        key_after = (distance(after, key), -after)
+        key_before = (distance(before, key), -before)
+        return after if key_after < key_before else before
 
     def replica_candidates(self, key: int, k: int) -> List[int]:
         """The k nodes numerically closest to *key* among owner + members.
@@ -147,10 +234,19 @@ class LeafSet:
                 f"replication factor {k} exceeds what a leaf set of "
                 f"l={self.capacity} can place (max {self.half + 1})"
             )
-        pool = sorted(
-            self.members() | {self.owner},
-            key=lambda n: (self.space.distance(n, key), -n),
-        )
+        ids = self._ring()
+        count = len(ids)
+        if 2 * k + 1 >= count:
+            pool: List[int] = ids
+        else:
+            # The k circularly closest ids all sit within k ring
+            # positions of the key's insertion point.
+            index = bisect.bisect_left(ids, key)
+            pool = list(
+                {ids[(index + offset) % count] for offset in range(-k, k + 1)}
+            )
+        distance = self.space.distance
+        pool = sorted(pool, key=lambda n: (distance(n, key), -n))
         return pool[:k]
 
     def neighbours_adjacent_to_owner(self, count: int) -> List[int]:

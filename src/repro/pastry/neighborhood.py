@@ -6,11 +6,20 @@ normally used in routing; its role is locality maintenance -- seeding the
 routing tables of arriving nodes (the join protocol hands the new node
 the neighborhood set of the nearby contact node A) and supplying
 proximally good candidates during repair.
+
+Each member's distance from the owner is computed once, on admission,
+and kept in a sorted parallel list; admission is then a binary search
+instead of a scan that re-evaluates the proximity function per slot
+(the proximity metric is immutable for a given pair, so the cached
+ordering can never go stale).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Set
+import bisect
+from typing import Callable, List, Optional, Set
+
+from repro.pastry.versioning import next_version
 
 
 class NeighborhoodSet:
@@ -23,32 +32,53 @@ class NeighborhoodSet:
         self.capacity = capacity
         self._proximity = proximity
         self._members: List[int] = []  # sorted nearest-first
+        self._distances: List[float] = []  # parallel to _members
+        self._present: set = set()  # O(1) membership alongside the lists
+        self.version = next_version()
+        self._members_cache: Optional[frozenset] = None
+
+    def _invalidate(self) -> None:
+        self.version = next_version()
+        self._members_cache = None
 
     def add(self, node_id: int) -> bool:
         """Consider a node for membership; True if admitted/already in."""
         if node_id == self.owner:
             return False
-        if node_id in self._members:
+        if node_id in self._present:
             return True
         distance = self._proximity(node_id)
-        position = 0
-        while position < len(self._members) and self._proximity(self._members[position]) <= distance:
-            position += 1
+        # After all members at <= distance, as the original scan did.
+        position = bisect.bisect_right(self._distances, distance)
+        if position >= self.capacity:
+            # Would land past the capacity boundary and be evicted at
+            # once: reject without touching the lists.
+            return False
         self._members.insert(position, node_id)
+        self._distances.insert(position, distance)
+        self._present.add(node_id)
+        self._invalidate()
         if len(self._members) > self.capacity:
             evicted = self._members.pop()
-            return evicted != node_id
+            self._distances.pop()
+            self._present.discard(evicted)
         return True
 
     def remove(self, node_id: int) -> bool:
         """Drop a (failed) node; True if it was present."""
-        if node_id in self._members:
-            self._members.remove(node_id)
+        if node_id in self._present:
+            index = self._members.index(node_id)
+            self._members.pop(index)
+            self._distances.pop(index)
+            self._present.discard(node_id)
+            self._invalidate()
             return True
         return False
 
     def members(self) -> Set[int]:
-        return set(self._members)
+        if self._members_cache is None:
+            self._members_cache = frozenset(self._members)
+        return self._members_cache
 
     def ordered_members(self) -> List[int]:
         """Members nearest-first (copy)."""
@@ -61,7 +91,7 @@ class NeighborhoodSet:
         return self._members[0]
 
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._members
+        return node_id in self._present
 
     def __len__(self) -> int:
         return len(self._members)

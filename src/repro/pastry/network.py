@@ -87,6 +87,10 @@ class PastryNetwork:
         self.stats = StatsRegistry()
         self.nodes: Dict[int, PastryNode] = {}
         self._live_sorted: List[int] = []  # sorted live ids, for ground truth
+        # Spatial index over the *live* nodes, used to answer "who is the
+        # proximally nearest live contact" in O(grid cell) instead of a
+        # full scan (makes join-mode builds near-linear in N).
+        self._live_index = self.topology.make_index()
 
     # ------------------------------------------------------------------ #
     # membership
@@ -105,6 +109,7 @@ class PastryNetwork:
         node = PastryNode(self, node_id, self.leaf_capacity, self.neighborhood_capacity)
         self.nodes[node_id] = node
         bisect.insort(self._live_sorted, node_id)
+        self._live_index.add(node_id)
         return node
 
     def is_live(self, node_id: int) -> bool:
@@ -130,6 +135,7 @@ class PastryNetwork:
             index = bisect.bisect_left(self._live_sorted, node_id)
             if index < len(self._live_sorted) and self._live_sorted[index] == node_id:
                 self._live_sorted.pop(index)
+            self._live_index.discard(node_id)
         return node
 
     def mark_recovered(self, node_id: int) -> PastryNode:
@@ -139,6 +145,7 @@ class PastryNetwork:
         if not node.alive:
             node.alive = True
             bisect.insort(self._live_sorted, node_id)
+            self._live_index.add(node_id)
         return node
 
     def global_root(self, key: int) -> int:
@@ -258,16 +265,14 @@ class PastryNetwork:
     def _nearest_live_contact(self, newcomer: PastryNode) -> int:
         """The proximally nearest existing live node (models the 'nearby
         node A' a joining node is assumed to know, e.g. from expanding-
-        ring IP multicast)."""
-        best = None
-        best_distance = None
-        for node_id in self._live_sorted:
-            if node_id == newcomer.node_id:
-                continue
-            distance = self.topology.distance(newcomer.node_id, node_id)
-            if best_distance is None or distance < best_distance:
-                best_distance = distance
-                best = node_id
+        ring IP multicast).
+
+        Answered by the live-node spatial index; ties break towards the
+        smaller node id, matching the historical linear scan exactly.
+        """
+        best = self._live_index.nearest(
+            newcomer.node_id, exclude=(newcomer.node_id,)
+        )
         if best is None:
             raise ValueError("no live contact available")
         return best
@@ -341,7 +346,9 @@ class PastryNetwork:
         else:  # TABLE_QUALITY_GOOD: proximally best of a bounded sample
             sample_size = min(len(candidates), 16)
             pool = rng.sample(candidates, sample_size)
-        return min(pool, key=lambda c: (node.proximity(c), c))
+        distance = self.topology.distance
+        owner = node.node_id
+        return min(pool, key=lambda c: (distance(owner, c), c))
 
     # ------------------------------------------------------------------ #
     # diagnostics

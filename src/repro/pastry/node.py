@@ -54,6 +54,9 @@ class PastryNode:
     ) -> None:
         self.network = network
         self.node_id = network.space.validate(node_id)
+        # Bound once: the topology never changes for the network's
+        # lifetime, and proximity() runs inside table-admission loops.
+        self._topology_distance = network.topology.distance
         self.alive = True
         # A malicious node accepts messages but does not forward them
         # (the attack model of section 2.2, "Fault-tolerance").
@@ -74,7 +77,7 @@ class PastryNode:
     def proximity(self, other_id: int) -> float:
         """Scalar network distance from this node to another (the metric
         used when choosing among routing-table candidates)."""
-        return self.network.topology.distance(self.node_id, other_id)
+        return self._topology_distance(self.node_id, other_id)
 
     def next_hop(self, key: int, policy=None, rng: Optional[random.Random] = None) -> Optional[int]:
         """This node's local routing decision for *key*.

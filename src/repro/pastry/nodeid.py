@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, List
 
 
@@ -35,17 +36,21 @@ class IdSpace:
         if self.bits % self.b != 0:
             raise ValueError(f"bits ({self.bits}) must be a multiple of b ({self.b})")
 
-    @property
+    # Derived parameters are consulted on every distance/offset
+    # computation (millions of times per build), so they are computed
+    # once per instance rather than per access.  ``cached_property``
+    # writes straight into ``__dict__``, which a frozen dataclass allows.
+    @cached_property
     def size(self) -> int:
         """Number of ids in the space: 2^bits."""
         return 1 << self.bits
 
-    @property
+    @cached_property
     def digits(self) -> int:
         """Number of base-2^b digits in an id."""
         return self.bits // self.b
 
-    @property
+    @cached_property
     def base(self) -> int:
         """The digit base, 2^b."""
         return 1 << self.b

@@ -33,7 +33,6 @@ class DeterministicRouting:
 
     def next_hop(self, state: NodeState, key: int, rng: Optional[random.Random] = None) -> Optional[int]:
         """The next node to forward to, or None to deliver locally."""
-        space = state.space
         if key == state.node_id:
             return None
         if state.leaf_set.covers(key):
@@ -61,15 +60,17 @@ class DeterministicRouting:
         simultaneously (claim C6).
         """
         space = state.space
-        own_prefix = space.shared_prefix_length(state.node_id, key)
-        own_distance = space.distance(state.node_id, key)
+        shared_prefix_length = space.shared_prefix_length
+        circular_distance = space.distance
+        own_prefix = shared_prefix_length(state.node_id, key)
+        own_distance = circular_distance(state.node_id, key)
         best: Optional[int] = None
         best_key: Optional[Tuple[int, int, int]] = None
         for candidate in state.known_nodes():
-            prefix = space.shared_prefix_length(candidate, key)
+            prefix = shared_prefix_length(candidate, key)
             if prefix < own_prefix:
                 continue
-            distance = space.distance(candidate, key)
+            distance = circular_distance(candidate, key)
             if distance >= own_distance:
                 continue
             order = (-prefix, distance, -candidate)
@@ -153,14 +154,16 @@ class RandomizedRouting:
     def candidates(self, state: NodeState, key: int) -> List[int]:
         """All loop-free next hops, ranked best-first."""
         space = state.space
-        own_prefix = space.shared_prefix_length(state.node_id, key)
-        own_distance = space.distance(state.node_id, key)
+        shared_prefix_length = space.shared_prefix_length
+        circular_distance = space.distance
+        own_prefix = shared_prefix_length(state.node_id, key)
+        own_distance = circular_distance(state.node_id, key)
         suitable = []
         for candidate in state.known_nodes():
-            prefix = space.shared_prefix_length(candidate, key)
+            prefix = shared_prefix_length(candidate, key)
             if prefix < own_prefix:
                 continue
-            distance = space.distance(candidate, key)
+            distance = circular_distance(candidate, key)
             if distance >= own_distance:
                 continue
             suitable.append((-prefix, distance, -candidate, candidate))

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.pastry.nodeid import IdSpace
+from repro.pastry.versioning import next_version
 
 ProximityFn = Optional[Callable[[int], float]]
 
@@ -34,14 +35,20 @@ class RoutingTable:
         ]
         self._index: Dict[int, Tuple[int, int]] = {}
         self._owner_digits = space.digits_of(owner)
+        # Bumped on every entry change; lets NodeState.known_nodes()
+        # cache its union until the table actually mutates.
+        self.version = next_version()
 
     def slot_for(self, node_id: int) -> Optional[Tuple[int, int]]:
         """The (row, column) a node belongs in, or None for the owner
         itself (which has no slot)."""
         if node_id == self.owner:
             return None
-        row = self.space.shared_prefix_length(self.owner, node_id)
-        col = self.space.digit(node_id, row)
+        space = self.space
+        row = space.shared_prefix_length(self.owner, node_id)
+        # digit(node_id, row) with the bounds check elided: row < digits
+        # is guaranteed because node_id differs from the owner.
+        col = (node_id >> (space.bits - (row + 1) * space.b)) & (space.base - 1)
         return row, col
 
     def add(self, node_id: int, proximity: ProximityFn = None) -> bool:
@@ -72,6 +79,7 @@ class RoutingTable:
     def _set(self, row: int, col: int, node_id: int) -> None:
         self._rows[row][col] = node_id
         self._index[node_id] = (row, col)
+        self.version = next_version()
 
     def _drop_index(self, node_id: int) -> None:
         self._index.pop(node_id, None)
@@ -84,6 +92,7 @@ class RoutingTable:
         row, col = slot
         if self._rows[row][col] == node_id:
             self._rows[row][col] = None
+        self.version = next_version()
         return True
 
     def lookup(self, row: int, col: int) -> Optional[int]:
@@ -94,10 +103,11 @@ class RoutingTable:
         """The standard prefix-routing entry for *key*: row = length of
         the prefix the key shares with the owner, column = the key's next
         digit.  None when the slot is vacant (the rare case)."""
-        row = self.space.shared_prefix_length(self.owner, key)
-        if row >= self.space.digits:
+        space = self.space
+        row = space.shared_prefix_length(self.owner, key)
+        if row >= space.digits:
             return None  # key == owner
-        col = self.space.digit(key, row)
+        col = (key >> (space.bits - (row + 1) * space.b)) & (space.base - 1)
         return self._rows[row][col]
 
     def row(self, index: int) -> List[Optional[int]]:

@@ -9,7 +9,7 @@ and failures.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Set
+from typing import Callable, Optional, Set, Tuple
 
 from repro.pastry.leaf_set import LeafSet
 from repro.pastry.neighborhood import NeighborhoodSet
@@ -34,6 +34,8 @@ class NodeState:
         self.routing_table = RoutingTable(space, node_id)
         self.leaf_set = LeafSet(space, node_id, leaf_capacity)
         self.neighborhood = NeighborhoodSet(node_id, proximity, neighborhood_capacity)
+        self._known_cache: Optional[frozenset] = None
+        self._known_versions: Optional[Tuple[int, int, int]] = None
 
     def learn(self, node_id: int, use_proximity: bool = True) -> None:
         """Offer a newly discovered node to every structure it may belong
@@ -53,12 +55,26 @@ class NodeState:
         return removed
 
     def known_nodes(self) -> Set[int]:
-        """Every node id this state references anywhere."""
-        known = set(self.routing_table.entries())
-        known |= self.leaf_set.members()
-        known |= self.neighborhood.members()
-        known.discard(self.node_id)
-        return known
+        """Every node id this state references anywhere.
+
+        Cached against the three structures' version stamps: the rare-case
+        and randomized routing paths call this once per hop, so in a
+        quiescent network the union is built once per node, not per hop.
+        The returned frozenset is a snapshot -- do not mutate it.
+        """
+        versions = (
+            self.routing_table.version,
+            self.leaf_set.version,
+            self.neighborhood.version,
+        )
+        if self._known_cache is None or self._known_versions != versions:
+            known = set(self.routing_table.entries())
+            known |= self.leaf_set.members()
+            known |= self.neighborhood.members()
+            known.discard(self.node_id)
+            self._known_cache = frozenset(known)
+            self._known_versions = versions
+        return self._known_cache
 
     def total_entries(self) -> int:
         """Total state size in entries, the quantity bounded by

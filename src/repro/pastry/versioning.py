@@ -1,0 +1,24 @@
+"""Monotonic version stamps for cache invalidation.
+
+The per-node structures (routing table, leaf set, neighborhood set) each
+carry a ``version`` stamp that changes on every mutation; derived caches
+(:meth:`repro.pastry.state.NodeState.known_nodes`, the leaf set's sorted
+ring) record the stamps they were built against and rebuild lazily when
+they no longer match.
+
+Stamps are drawn from one process-wide counter rather than per-structure
+counters so that *replacing* a structure wholesale (as the oracle
+bootstrap does) can never reproduce a previously observed stamp: a fresh
+structure's stamp differs from every stamp any earlier instance ever had.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_counter = itertools.count()
+
+# A process-wide unique, monotonically increasing stamp.  Bound directly
+# to the counter's __next__ slot: this is called on every structure
+# mutation, so the indirection of a wrapper function is measurable.
+next_version = _counter.__next__

@@ -1,0 +1,522 @@
+"""Equivalence proofs for the hot-path optimizations.
+
+The PR-1 performance work (spatial index, leaf-set ring caches, cached
+known-nodes unions) is required to be *behavior preserving*: seeded runs
+must produce bit-identical routes and build states.  These tests pin
+that down against reference implementations transcribed from the
+pre-optimization code -- fresh-set unions, linear scans, full sorts --
+rather than against the optimized code's own helpers.
+
+Also here: id-space wraparound coverage for the network's ground-truth
+helpers (``global_root`` / ``replica_root_set``), exercised with keys
+and node ids hugging both ends of the 128-bit space.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.index import GridProximityIndex, LinearProximityIndex
+from repro.netsim.topology import EuclideanPlaneTopology
+from repro.pastry.leaf_set import LeafSet
+from repro.pastry.neighborhood import NeighborhoodSet
+from repro.pastry.network import PastryNetwork
+from repro.pastry.nodeid import IdSpace
+from repro.pastry.routing import (
+    DeterministicRouting,
+    RandomizedRouting,
+    ReplicaAwareRouting,
+)
+from repro.sim.rng import RngRegistry
+
+SIZE_128 = 1 << 128
+
+
+# --------------------------------------------------------------------- #
+# reference implementations (transcribed from the pre-optimization code)
+# --------------------------------------------------------------------- #
+
+
+def reference_nearest_live_contact(network, newcomer_id):
+    """Seed-era linear scan over the sorted live ids."""
+    best = None
+    best_distance = None
+    for node_id in network.live_ids():
+        if node_id == newcomer_id:
+            continue
+        distance = network.topology.distance(newcomer_id, node_id)
+        if best_distance is None or distance < best_distance:
+            best_distance = distance
+            best = node_id
+    return best
+
+
+def reference_known_nodes(state):
+    """Seed-era fresh union of the three structures."""
+    known = set(state.routing_table.entries())
+    known |= set(state.leaf_set.larger_side())
+    known |= set(state.leaf_set.smaller_side())
+    known |= set(state.neighborhood.ordered_members())
+    known.discard(state.node_id)
+    return known
+
+
+def reference_leaf_members(leaf_set):
+    return set(leaf_set.larger_side()) | set(leaf_set.smaller_side())
+
+
+def reference_covers(leaf_set, key):
+    larger = leaf_set.larger_side()
+    smaller = leaf_set.smaller_side()
+    if not larger or not smaller:
+        return True
+    if len(larger) < leaf_set.half or len(smaller) < leaf_set.half:
+        return True
+    if set(larger) & set(smaller):
+        return True
+    return leaf_set.space.is_between_clockwise(smaller[-1], key, larger[-1])
+
+
+def reference_closest_to(leaf_set, key, include_owner=True):
+    candidates = reference_leaf_members(leaf_set)
+    if include_owner:
+        candidates.add(leaf_set.owner)
+    return leaf_set.space.closest(key, iter(candidates))
+
+
+def reference_replica_candidates(leaf_set, key, k):
+    pool = sorted(
+        reference_leaf_members(leaf_set) | {leaf_set.owner},
+        key=lambda n: (leaf_set.space.distance(n, key), -n),
+    )
+    return pool[:k]
+
+
+class ReferenceDeterministicRouting(DeterministicRouting):
+    """Seed-era routing decisions computed from fresh sets and scans."""
+
+    def next_hop(self, state, key, rng=None):
+        space = state.space
+        if key == state.node_id:
+            return None
+        if reference_covers(state.leaf_set, key):
+            closest = reference_closest_to(state.leaf_set, key, include_owner=True)
+            return None if closest == state.node_id else closest
+        entry = state.routing_table.next_hop_for(key)
+        if entry is not None:
+            return entry
+        return self._reference_rare_case(state, key)
+
+    def _reference_rare_case(self, state, key):
+        space = state.space
+        own_prefix = space.shared_prefix_length(state.node_id, key)
+        own_distance = space.distance(state.node_id, key)
+        best = None
+        best_key = None
+        for candidate in reference_known_nodes(state):
+            prefix = space.shared_prefix_length(candidate, key)
+            if prefix < own_prefix:
+                continue
+            distance = space.distance(candidate, key)
+            if distance >= own_distance:
+                continue
+            order = (-prefix, distance, -candidate)
+            if best_key is None or order < best_key:
+                best_key = order
+                best = candidate
+        if best is not None:
+            return best
+        closest_leaf = reference_closest_to(state.leaf_set, key, include_owner=True)
+        if closest_leaf != state.node_id:
+            return closest_leaf
+        return None
+
+
+class ReferenceRandomizedRouting(RandomizedRouting):
+    """Seed-era candidate enumeration from a fresh known-nodes union."""
+
+    def candidates(self, state, key):
+        space = state.space
+        own_prefix = space.shared_prefix_length(state.node_id, key)
+        own_distance = space.distance(state.node_id, key)
+        suitable = []
+        for candidate in reference_known_nodes(state):
+            prefix = space.shared_prefix_length(candidate, key)
+            if prefix < own_prefix:
+                continue
+            distance = space.distance(candidate, key)
+            if distance >= own_distance:
+                continue
+            suitable.append((-prefix, distance, -candidate, candidate))
+        suitable.sort()
+        return [entry[3] for entry in suitable]
+
+
+# --------------------------------------------------------------------- #
+# spatial index equivalence
+# --------------------------------------------------------------------- #
+
+
+class TestGridIndexEquivalence:
+    def test_grid_matches_linear_on_500_random_configurations(self):
+        """The acceptance bar: 500 random (points, membership, query)
+        configurations where the grid index must return exactly what the
+        linear scan returns, for both nearest and k_nearest."""
+        rng = random.Random(20260806)
+        for config in range(500):
+            side = rng.choice([1.0, 100.0, 1000.0])
+            count = rng.randrange(1, 40)
+            topology = EuclideanPlaneTopology(
+                random.Random(rng.randrange(1 << 30)), side=side
+            )
+            for address in range(count):
+                topology.add_endpoint(address)
+            grid = GridProximityIndex(
+                topology,
+                resolution=rng.choice([1, 2, 8]),
+                target_occupancy=rng.choice([1, 4]),
+            )
+            linear = LinearProximityIndex(topology)
+            members = [a for a in range(count) if rng.random() < 0.8]
+            for address in members:
+                grid.add(address)
+                linear.add(address)
+            # A few removals, to exercise discard bookkeeping.
+            for address in members:
+                if rng.random() < 0.15:
+                    grid.discard(address)
+                    linear.discard(address)
+            origin = rng.randrange(count)
+            exclude = (origin,) if rng.random() < 0.5 else ()
+            assert grid.nearest(origin, exclude) == linear.nearest(origin, exclude), (
+                f"config {config}: nearest diverged"
+            )
+            k = rng.randrange(0, 6)
+            assert grid.k_nearest(origin, k, exclude) == linear.k_nearest(
+                origin, k, exclude
+            ), f"config {config}: k_nearest diverged"
+
+    def test_grid_rebuckets_as_membership_grows(self):
+        topology = EuclideanPlaneTopology(random.Random(3))
+        for address in range(600):
+            topology.add_endpoint(address)
+        grid = GridProximityIndex(topology, resolution=2, target_occupancy=2)
+        linear = LinearProximityIndex(topology)
+        for address in range(600):
+            grid.add(address)
+            linear.add(address)
+        assert grid._resolution > 2  # forced at least one re-bucketing
+        for origin in range(0, 600, 37):
+            assert grid.nearest(origin, (origin,)) == linear.nearest(origin, (origin,))
+
+    def test_empty_and_fully_excluded(self):
+        topology = EuclideanPlaneTopology(random.Random(4))
+        topology.add_endpoint(0)
+        grid = GridProximityIndex(topology)
+        assert grid.nearest(0) is None
+        assert grid.k_nearest(0, 3) == []
+        grid.add(0)
+        assert grid.nearest(0, exclude=(0,)) is None
+
+
+# --------------------------------------------------------------------- #
+# id-space wraparound ground truth
+# --------------------------------------------------------------------- #
+
+
+class TestWraparoundGroundTruth:
+    def _network_with_ids(self, ids):
+        network = PastryNetwork(rngs=RngRegistry(1))
+        for node_id in ids:
+            network.add_node(node_id)
+        return network
+
+    def _brute_root(self, network, key):
+        space = network.space
+        return min(network.live_ids(), key=lambda n: (space.distance(n, key), -n))
+
+    def _brute_replica_set(self, network, key, k):
+        space = network.space
+        ranked = sorted(
+            network.live_ids(), key=lambda n: (space.distance(n, key), -n)
+        )
+        return ranked[:k]
+
+    WRAP_IDS = [0, 1, 5, SIZE_128 - 1, SIZE_128 - 3, SIZE_128 - 7, 1 << 127, 123456]
+
+    def test_global_root_wraps_across_zero(self):
+        network = self._network_with_ids(self.WRAP_IDS)
+        for key in [0, 1, 2, SIZE_128 - 1, SIZE_128 - 2, SIZE_128 - 4, (1 << 127) + 9]:
+            assert network.global_root(key) == self._brute_root(network, key), key
+
+    def test_global_root_key_at_extremes_prefers_wrapped_neighbour(self):
+        # Node just below the wrap is circularly closer to key 0 than a
+        # node at distance 3 above it.
+        network = self._network_with_ids([SIZE_128 - 1, 3])
+        assert network.global_root(0) == SIZE_128 - 1
+        # ...and symmetrically for a key at the top of the space.
+        network2 = self._network_with_ids([1, SIZE_128 - 4])
+        assert network2.global_root(SIZE_128 - 1) == 1
+
+    def test_global_root_tie_breaks_towards_larger_id(self):
+        # key 0 is exactly distance 2 from both 2 and size-2.
+        network = self._network_with_ids([2, SIZE_128 - 2])
+        assert network.global_root(0) == SIZE_128 - 2
+
+    def test_replica_root_set_wraps_across_zero(self):
+        network = self._network_with_ids(self.WRAP_IDS)
+        for key in [0, 1, SIZE_128 - 1, SIZE_128 - 5, 7]:
+            for k in [1, 2, 3, 5, len(self.WRAP_IDS)]:
+                assert network.replica_root_set(key, k) == self._brute_replica_set(
+                    network, key, k
+                ), (key, k)
+
+    def test_replica_root_set_randomized_against_brute_force(self):
+        rng = random.Random(99)
+        ids = sorted(
+            {rng.getrandbits(128) for _ in range(24)}
+            | {0, 1, SIZE_128 - 1, SIZE_128 - 2}
+        )
+        network = self._network_with_ids(ids)
+        for _ in range(200):
+            key = rng.choice(
+                [rng.getrandbits(128), rng.randrange(4), SIZE_128 - 1 - rng.randrange(4)]
+            )
+            k = rng.randrange(1, 8)
+            assert network.replica_root_set(key, k) == self._brute_replica_set(
+                network, key, k
+            )
+
+
+# --------------------------------------------------------------------- #
+# leaf set / neighborhood / known-nodes cache equivalence
+# --------------------------------------------------------------------- #
+
+
+class TestLeafSetEquivalence:
+    def test_fuzzed_queries_match_reference(self):
+        rng = random.Random(7)
+        space = IdSpace(bits=16, b=4)
+        for trial in range(60):
+            owner = rng.getrandbits(16)
+            leaf_set = LeafSet(space, owner, capacity=8)
+            population = [rng.getrandbits(16) for _ in range(rng.randrange(2, 40))]
+            for node_id in population:
+                if node_id != owner:
+                    leaf_set.add(node_id)
+                if rng.random() < 0.2 and population:
+                    leaf_set.remove(rng.choice(population))
+                # Interleave queries with mutations so caches are
+                # exercised both warm and freshly invalidated.
+                key = rng.getrandbits(16)
+                assert leaf_set.covers(key) == reference_covers(leaf_set, key)
+                assert leaf_set.closest_to(key) == reference_closest_to(leaf_set, key)
+                if len(leaf_set.members()) > 0:
+                    assert leaf_set.closest_to(
+                        key, include_owner=False
+                    ) == reference_closest_to(leaf_set, key, include_owner=False)
+                k = rng.randrange(1, leaf_set.half + 2)
+                assert leaf_set.replica_candidates(
+                    key, k
+                ) == reference_replica_candidates(leaf_set, key, k), (trial, key, k)
+
+    def test_closest_to_empty_without_owner_raises(self):
+        space = IdSpace(bits=16, b=4)
+        leaf_set = LeafSet(space, 42, capacity=8)
+        with pytest.raises(ValueError):
+            leaf_set.closest_to(7, include_owner=False)
+        assert leaf_set.closest_to(7, include_owner=True) == 42
+
+    def test_admission_order_matches_reference_scan(self):
+        """The bisect-based admission must keep each side sorted by
+        circular offset and evict exactly what the scan evicted."""
+        rng = random.Random(13)
+        space = IdSpace(bits=16, b=4)
+        for _ in range(40):
+            owner = rng.getrandbits(16)
+            leaf_set = LeafSet(space, owner, capacity=6)
+            for _ in range(50):
+                leaf_set.add(rng.getrandbits(16))
+            larger = leaf_set.larger_side()
+            smaller = leaf_set.smaller_side()
+            assert larger == sorted(
+                larger, key=lambda n: space.clockwise_offset(owner, n)
+            )
+            assert smaller == sorted(
+                smaller, key=lambda n: space.counter_clockwise_offset(owner, n)
+            )
+            # Each side holds exactly the closest ids offered on that arc.
+            assert len(larger) <= leaf_set.half
+            assert len(smaller) <= leaf_set.half
+
+
+class TestNeighborhoodEquivalence:
+    def test_fuzzed_membership_matches_reference_scan(self):
+        rng = random.Random(11)
+        positions = {i: rng.random() * 100 for i in range(200)}
+
+        def proximity(other):
+            return abs(positions[0] - positions[other])
+
+        optimized = NeighborhoodSet(0, proximity, capacity=8)
+        mirror = []  # (distance, insertion order) reference, scan-based
+        for _ in range(300):
+            node_id = rng.randrange(1, 200)
+            if rng.random() < 0.25:
+                optimized.remove(node_id)
+                mirror = [m for m in mirror if m != node_id]
+                continue
+            optimized.add(node_id)
+            if node_id != 0 and node_id not in mirror:
+                distance = proximity(node_id)
+                position = 0
+                while position < len(mirror) and proximity(mirror[position]) <= distance:
+                    position += 1
+                mirror.insert(position, node_id)
+                if len(mirror) > 8:
+                    mirror.pop()
+            assert optimized.ordered_members() == mirror
+
+
+class TestKnownNodesCache:
+    def test_cache_tracks_interleaved_mutations(self):
+        network = PastryNetwork(rngs=RngRegistry(5))
+        nodes = network.build(64, method="oracle")
+        rng = random.Random(3)
+        for _ in range(200):
+            node = nodes[rng.randrange(len(nodes))]
+            other = nodes[rng.randrange(len(nodes))]
+            action = rng.random()
+            if action < 0.45:
+                node.state.learn(other.node_id)
+            elif action < 0.7:
+                node.state.forget(other.node_id)
+            assert set(node.state.known_nodes()) == reference_known_nodes(node.state)
+
+    def test_cache_invalidates_on_wholesale_replacement(self):
+        """The oracle bootstrap replaces leaf sets and routing tables
+        outright; the cache must notice the new instances."""
+        network = PastryNetwork(rngs=RngRegistry(6))
+        nodes = network.build(32, method="oracle")
+        snapshots = {n.node_id: set(n.state.known_nodes()) for n in nodes}
+        network.rebuild_state_oracle()
+        for node in nodes:
+            assert set(node.state.known_nodes()) == reference_known_nodes(node.state)
+        # At least the caches were consulted again, not just reused.
+        assert snapshots.keys() == {n.node_id for n in nodes}
+
+
+# --------------------------------------------------------------------- #
+# whole-system bit-identical builds and routes
+# --------------------------------------------------------------------- #
+
+
+def _state_fingerprint(network):
+    """Everything that defines a node's routing state, exactly."""
+    fingerprint = {}
+    for node_id in network.live_ids():
+        state = network.nodes[node_id].state
+        fingerprint[node_id] = (
+            state.leaf_set.larger_side(),
+            state.leaf_set.smaller_side(),
+            sorted(state.routing_table.entries()),
+            state.neighborhood.ordered_members(),
+        )
+    return fingerprint
+
+
+class TestBitIdenticalBuildsAndRoutes:
+    def test_join_build_identical_under_indexed_and_linear_contact(self, monkeypatch):
+        """Same seeds, two builds: one resolving join contacts through
+        the spatial index, one through the seed-era linear scan.  Every
+        node's leaf set, routing table, and neighborhood must match."""
+        indexed = PastryNetwork(rngs=RngRegistry(21))
+        indexed.build(96, method="join")
+
+        linear = PastryNetwork(rngs=RngRegistry(21))
+        monkeypatch.setattr(
+            type(linear),
+            "_nearest_live_contact",
+            lambda self, newcomer: reference_nearest_live_contact(
+                self, newcomer.node_id
+            ),
+        )
+        linear.build(96, method="join")
+
+        assert _state_fingerprint(indexed) == _state_fingerprint(linear)
+
+    def test_deterministic_routes_identical_to_reference_policy(self):
+        network = PastryNetwork(rngs=RngRegistry(8))
+        network.build(512, method="oracle")
+        rng = random.Random(17)
+        ids = network.live_ids()
+        optimized_policy = DeterministicRouting()
+        reference_policy = ReferenceDeterministicRouting()
+        for _ in range(400):
+            key = network.space.random_id(rng)
+            origin = ids[rng.randrange(len(ids))]
+            fast = network.route(key, origin, policy=optimized_policy)
+            slow = network.route(key, origin, policy=reference_policy)
+            assert fast.path == slow.path, (key, origin)
+            assert fast.delivered == slow.delivered
+
+    def test_randomized_routes_identical_to_reference_policy(self):
+        network = PastryNetwork(rngs=RngRegistry(9))
+        network.build(256, method="oracle")
+        ids = network.live_ids()
+        rng = random.Random(23)
+        pairs = [
+            (network.space.random_id(rng), ids[rng.randrange(len(ids))])
+            for _ in range(300)
+        ]
+        fast_paths = []
+        rng_fast = random.Random(41)
+        policy = RandomizedRouting(bias=0.25)
+        for key, origin in pairs:
+            fast_paths.append(network.route(key, origin, policy=policy, rng=rng_fast).path)
+        slow_paths = []
+        rng_slow = random.Random(41)
+        reference = ReferenceRandomizedRouting(bias=0.25)
+        for key, origin in pairs:
+            slow_paths.append(
+                network.route(key, origin, policy=reference, rng=rng_slow).path
+            )
+        assert fast_paths == slow_paths
+
+    def test_replica_aware_routes_identical_across_rebuilds(self):
+        """Replica-aware lookups exercise replica_candidates on the hot
+        path; same seeds must give the same en-route hits."""
+        results = []
+        for _ in range(2):
+            network = PastryNetwork(rngs=RngRegistry(31))
+            network.build(256, method="oracle")
+            ids = network.live_ids()
+            rng = random.Random(5)
+            policy = ReplicaAwareRouting(k=5)
+            paths = []
+            for _ in range(200):
+                key = network.space.random_id(rng)
+                origin = ids[rng.randrange(len(ids))]
+                paths.append(network.route(key, origin, policy=policy).path)
+            results.append(paths)
+        assert results[0] == results[1]
+
+    def test_join_build_with_failures_stays_consistent(self):
+        """Index bookkeeping across mark_failed / mark_recovered: the
+        contact query must keep matching the linear ground truth."""
+        network = PastryNetwork(rngs=RngRegistry(12))
+        network.build(80, method="join")
+        rng = random.Random(2)
+        live = network.live_ids()
+        failed = rng.sample(live, 20)
+        for node_id in failed:
+            network.mark_failed(node_id)
+        for node_id in failed[:10]:
+            network.mark_recovered(node_id)
+        for node_id in network.live_ids()[:20]:
+            newcomer = network.nodes[node_id]
+            assert network._nearest_live_contact(
+                newcomer
+            ) == reference_nearest_live_contact(network, node_id)
