@@ -17,6 +17,7 @@ k>=3 with recovery must keep every file alive.
 from repro.core.churn_sim import ChurnSimulation
 from repro.core.files import SyntheticData
 from repro.core.network import PastNetwork
+from repro.obs.recorder import Observer
 from repro.sim.rng import RngRegistry
 from benchmarks.conftest import run_once
 
@@ -27,7 +28,9 @@ CHURN_RATE = 0.06  # arrivals = departures per time unit
 
 
 def _run_config(seed, k, maintenance_interval):
-    network = PastNetwork(rngs=RngRegistry(seed))
+    # Observer-backed run: the churn tallies land in the shared metrics
+    # registry (``churn.*``) and the report is assembled from there.
+    network = PastNetwork(rngs=RngRegistry(seed), observer=Observer())
     network.build(NODES, method="join", capacity_fn=lambda r: 1 << 22)
     client = network.create_client(usage_quota=1 << 40)
     handles = [

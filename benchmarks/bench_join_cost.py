@@ -11,7 +11,7 @@ constant), not linearly.
 import random
 
 from repro.analysis.experiments import build_pastry, expected_hop_bound
-from repro.analysis.stats import mean
+from repro.obs.recorder import Observer
 from repro.pastry.failure import notify_leafset_of_failure
 from repro.pastry.join import join_network
 from benchmarks.conftest import run_once
@@ -24,28 +24,31 @@ FAILURES_PER_SIZE = 10
 def run_experiment():
     rows = []
     for n in SIZES:
-        network = build_pastry(n, seed=400 + n, method="join")
+        # The observer's registry is the single tally: join_network
+        # records each join's message count in the ``join.messages``
+        # histogram, and repair deltas land in ``repair.messages``.
+        observer = Observer()
+        network = build_pastry(n, seed=400 + n, method="join", observer=observer)
         rng = random.Random(n)
 
-        join_costs = []
+        joins = observer.metrics.histogram("join.messages")
+        joins.reset()  # drop the build-phase joins; measure fresh arrivals
         for _ in range(JOINS_PER_SIZE):
             newcomer = network.add_node()
             contact = network._nearest_live_contact(newcomer)
-            join_costs.append(join_network(network, newcomer, contact))
+            join_network(network, newcomer, contact)
 
-        repair_costs = []
+        repairs = observer.metrics.histogram("repair.messages")
         for _ in range(FAILURES_PER_SIZE):
             victim = rng.choice(network.live_ids())
             network.mark_failed(victim)
             before = network.stats.counter("messages.repair").value
             notify_leafset_of_failure(network, victim)
-            repair_costs.append(
-                network.stats.counter("messages.repair").value - before
-            )
+            repairs.add(network.stats.counter("messages.repair").value - before)
 
         rows.append(
-            [n, round(mean(join_costs), 1), max(join_costs),
-             round(mean(repair_costs), 1), expected_hop_bound(n, 4)]
+            [n, round(joins.mean, 1), int(joins.maximum),
+             round(repairs.mean, 1), expected_hop_bound(n, 4)]
         )
     return rows
 

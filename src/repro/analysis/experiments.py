@@ -29,6 +29,7 @@ def build_pastry(
     leaf_capacity: int = 32,
     method: str = "oracle",
     table_quality: str = "good",
+    observer=None,
 ) -> PastryNetwork:
     """A deterministic Pastry overlay of *n* nodes."""
     from repro.pastry.nodeid import IdSpace
@@ -38,6 +39,7 @@ def build_pastry(
         rngs=RngRegistry(seed),
         leaf_capacity=leaf_capacity,
         table_quality=table_quality,
+        observer=observer,
     )
     network.build(n, method=method)
     return network

@@ -6,6 +6,11 @@ the rule that produced it -- leaf-set forwarding, a routing-table entry,
 the rare-case fallback, or local delivery -- by re-deriving the decision
 from the deciding node's state.  :func:`render_route` turns that into
 the ASCII trace the CLI prints.
+
+The rule taxonomy itself lives in :mod:`repro.pastry.routing`, where the
+policies also report rules *at decision time* (``next_hop_explained``)
+into route spans; :func:`span_to_explanations` converts such a span back
+into :class:`HopExplanation` rows so both sources render identically.
 """
 
 from __future__ import annotations
@@ -13,13 +18,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs.spans import Span
 from repro.pastry.network import PastryNetwork, RouteResult
+from repro.pastry.routing import (  # re-exported: historical home of the taxonomy
+    RULE_DELIVER_SELF,
+    RULE_EN_ROUTE,
+    RULE_LEAF,
+    RULE_RARE,
+    RULE_TABLE,
+)
 
-RULE_DELIVER_SELF = "deliver (numerically closest)"
-RULE_LEAF = "leaf set (numeric jump to closest member)"
-RULE_TABLE = "routing table (prefix +1 digit)"
-RULE_RARE = "rare case (numeric fallback)"
-RULE_EN_ROUTE = "served en route (application)"
+__all__ = [
+    "RULE_DELIVER_SELF",
+    "RULE_LEAF",
+    "RULE_TABLE",
+    "RULE_RARE",
+    "RULE_EN_ROUTE",
+    "HopExplanation",
+    "explain_route",
+    "span_to_explanations",
+    "check_progress",
+    "render_route",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +99,23 @@ def explain_route(
             )
         )
     return explanations
+
+
+def span_to_explanations(span: Span) -> List[HopExplanation]:
+    """Convert a traced route span (``RouteResult.span``) into the same
+    :class:`HopExplanation` rows :func:`explain_route` produces, so the
+    decision-time trace renders through :func:`render_route` too."""
+    hops = [child for child in span.children if child.name == "hop"]
+    return [
+        HopExplanation(
+            node_id=child.attributes["node_id"],
+            shared_prefix=child.attributes["shared_prefix"],
+            distance_to_key=child.attributes["distance"],
+            rule=child.attributes["rule"],
+            next_node=child.attributes.get("next_node"),
+        )
+        for child in hops
+    ]
 
 
 def check_progress(explanations: List[HopExplanation]) -> bool:

@@ -5,10 +5,13 @@ any code -- the kind of smoke tooling a downstream user reaches for
 first:
 
 * ``demo``        -- build a network, insert/lookup/reclaim, narrated;
-* ``route``       -- build an overlay and trace one routed message;
+* ``route``       -- build an overlay and trace one routed message
+                     (``--json`` emits the span tree);
 * ``hops``        -- the E1 measurement at chosen sizes;
 * ``fill``        -- the E9 insert-to-exhaustion measurement, compact;
-* ``churn``       -- the E15 availability measurement for one k.
+* ``churn``       -- the E15 availability measurement for one k;
+* ``metrics``     -- drive a small deployment and dump the metrics
+                     registry snapshot (optionally the event log too).
 
 Every command takes ``--seed`` so results are reproducible.
 """
@@ -16,6 +19,7 @@ Every command takes ``--seed`` so results are reproducible.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
@@ -30,9 +34,11 @@ from repro.analysis.experiments import (
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_table
 from repro.core.churn_sim import ChurnSimulation
+from repro.core.errors import InsertRejectedError
 from repro.core.files import RealData, SyntheticData
 from repro.core.network import PastNetwork
 from repro.core.storage_manager import StoragePolicy
+from repro.obs.recorder import Observer
 from repro.sim.rng import RngRegistry
 from repro.workloads.capacities import bounded_normal_capacities
 from repro.workloads.filesizes import TraceLikeSizes
@@ -56,18 +62,34 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    network = build_pastry(args.nodes, seed=args.seed, method="oracle")
+    observer = Observer()
+    network = build_pastry(args.nodes, seed=args.seed, method="oracle", observer=observer)
     rng = random.Random(args.seed)
     key = network.space.random_id(rng)
     origin = rng.choice(network.live_ids())
-    result = network.route(key, origin)
+    result = network.route(key, origin, trace=True)
+    if args.json:
+        document = {
+            "key": key,
+            "origin": origin,
+            "delivered": result.delivered,
+            "reason": result.reason,
+            "hops": result.hops,
+            "span": result.span.to_dict(),
+        }
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
     fmt = network.space.format_id
+    # The span's hop children carry the rule that fired at decision time,
+    # one per path element.
+    rules = [child.attributes["rule"] for child in result.span.children]
     print(f"key    {fmt(key)}")
     print(f"origin {fmt(origin)}")
     for index, hop in enumerate(result.path):
         prefix = network.space.shared_prefix_length(hop, key)
         marker = "->" if index else "  "
-        print(f" {marker} {fmt(hop)}  (shared prefix {prefix} digits)")
+        rule = f"  [{rules[index]}]" if index < len(rules) else ""
+        print(f" {marker} {fmt(hop)}  (shared prefix {prefix} digits){rule}")
     print(f"delivered at the root in {result.hops} hops "
           f"(bound {expected_hop_bound(args.nodes, network.space.b)})")
     return 0
@@ -125,6 +147,45 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Drive a small instrumented deployment, then dump the registry.
+
+    The workload deliberately touches every instrumented subsystem:
+    join-built overlay, inserts (some of which divert or reject at small
+    capacities), routed lookups (cache hits along the path), one node
+    failure with leaf-set repair, and a reclaim.
+    """
+    from repro.pastry.failure import notify_leafset_of_failure
+
+    observer = Observer()
+    network = PastNetwork(rngs=RngRegistry(args.seed), observer=observer)
+    network.build(args.nodes, method="join", capacity_fn=lambda r: args.capacity)
+    client = network.create_client(usage_quota=1 << 40)
+    handles = []
+    for serial in range(args.files):
+        data = SyntheticData(seed=serial, size=2_000 + (serial % 7) * 500)
+        try:
+            handles.append(client.insert(f"metrics-{serial}", data, 3))
+        except InsertRejectedError:
+            pass
+    rng = random.Random(args.seed + 1)
+    for key, origin in sample_lookups(network.pastry, args.routes, rng):
+        network.pastry.route(key, origin)
+    for handle in handles:
+        client.lookup(handle.file_id)
+    if handles:
+        client.reclaim(handles[0])
+    live = network.pastry.live_ids()
+    if len(live) > 2:
+        failed = live[len(live) // 2]
+        network.pastry.mark_failed(failed)
+        notify_leafset_of_failure(network.pastry, failed)
+    print(json.dumps(observer.metrics.snapshot(), sort_keys=True, indent=2))
+    if args.events:
+        observer.bus.write_jsonl(args.events)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     route = commands.add_parser("route", help="trace one routed message")
     route.add_argument("--nodes", type=int, default=500)
+    route.add_argument("--json", action="store_true",
+                       help="emit the route's span tree as JSON")
     route.set_defaults(handler=_cmd_route)
 
     hops = commands.add_parser("hops", help="mean routing hops vs N")
@@ -159,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--rate", type=float, default=0.06)
     churn.add_argument("--duration", type=float, default=300.0)
     churn.set_defaults(handler=_cmd_churn)
+
+    metrics = commands.add_parser(
+        "metrics", help="drive a small deployment, dump the metrics registry"
+    )
+    metrics.add_argument("--nodes", type=int, default=24)
+    metrics.add_argument("--files", type=int, default=12)
+    metrics.add_argument("--routes", type=int, default=40)
+    metrics.add_argument("--capacity", type=int, default=200_000,
+                         help="per-node capacity in bytes")
+    metrics.add_argument("--events", type=str, default=None,
+                         help="also write the event log (JSONL) to this path")
+    metrics.set_defaults(handler=_cmd_metrics)
 
     return parser
 

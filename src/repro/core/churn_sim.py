@@ -22,6 +22,7 @@ from repro.core.client import FileHandle
 from repro.core.errors import LookupFailedError
 from repro.core.maintenance import replication_census, restore_replication
 from repro.core.network import PastNetwork
+from repro.obs.metrics import MetricsRegistry
 from repro.pastry.failure import notify_leafset_of_failure
 from repro.sim.engine import SimulationEngine
 from repro.workloads.churn import ARRIVAL, poisson_churn_schedule
@@ -75,6 +76,13 @@ class ChurnSimulation:
         self.node_capacity = node_capacity
         self.min_live_nodes = min_live_nodes
         self.report = ChurnReport()
+        # Tallying goes through the metrics registry (the network
+        # observer's when one is installed, so churn counters appear in
+        # its snapshot; a private one otherwise).  The report dataclass
+        # is assembled from these counters at the end of the run.
+        self._metrics: MetricsRegistry = (
+            network.obs.metrics if network.obs.enabled else MetricsRegistry()
+        )
 
     # ------------------------------------------------------------------ #
     # event actions
@@ -82,7 +90,7 @@ class ChurnSimulation:
 
     def _arrive(self) -> None:
         self.network.add_storage_node(self.node_capacity, join=True)
-        self.report.arrivals += 1
+        self._metrics.counter("churn.arrivals").increment()
 
     def _depart(self) -> None:
         live = self.network.pastry.live_ids()
@@ -93,12 +101,14 @@ class ChurnSimulation:
         # Silent departure: neighbours detect it via their keep-alive
         # machinery; we apply the detection outcome directly.
         notify_leafset_of_failure(self.network.pastry, victim)
-        self.report.departures += 1
+        self._metrics.counter("churn.departures").increment()
 
     def _maintain(self) -> None:
         maintenance = restore_replication(self.network)
-        self.report.maintenance_passes += 1
-        self.report.replicas_restored += maintenance.replicas_restored
+        self._metrics.counter("churn.maintenance_passes").increment()
+        self._metrics.counter("churn.replicas_restored").increment(
+            maintenance.replicas_restored
+        )
 
     def _lookup(self) -> None:
         if not self.handles:
@@ -106,15 +116,14 @@ class ChurnSimulation:
         handle = self._rng.choice(self.handles)
         origin = self._rng.choice(self.network.pastry.live_ids())
         reader = self.network.create_client(usage_quota=0, access_node=origin)
-        self.report.lookups_attempted += 1
         try:
             reader.lookup(
                 handle.file_id,
                 replica_hint=handle.certificate.replication_factor,
             )
-            self.report.lookups_succeeded += 1
+            self._metrics.counter("churn.lookups", outcome="ok").increment()
         except LookupFailedError:
-            pass
+            self._metrics.counter("churn.lookups", outcome="failed").increment()
 
     # ------------------------------------------------------------------ #
     # driver
@@ -123,6 +132,10 @@ class ChurnSimulation:
     def run(self, duration: float) -> ChurnReport:
         """Run the scenario for *duration* simulated time units."""
         engine = SimulationEngine()
+        obs = self.network.obs
+        if obs.enabled:
+            # Events published during the run carry sim-time timestamps.
+            obs.clock = lambda: engine.now
         for event in poisson_churn_schedule(
             self._rng, duration, self.arrival_rate, self.departure_rate
         ):
@@ -132,8 +145,21 @@ class ChurnSimulation:
             engine.schedule_periodic(self.maintenance_interval, self._maintain)
         engine.schedule_periodic(self.lookup_interval, self._lookup)
         engine.run(until=duration)
+        if obs.enabled:
+            obs.clock = None
 
         census = replication_census(self.network)
-        self.report.files_lost = census["lost"]
-        self.report.final_node_count = self.network.pastry.live_count()
+        counter = self._metrics.counter
+        ok = counter("churn.lookups", outcome="ok").value
+        failed = counter("churn.lookups", outcome="failed").value
+        self.report = ChurnReport(
+            arrivals=counter("churn.arrivals").value,
+            departures=counter("churn.departures").value,
+            maintenance_passes=counter("churn.maintenance_passes").value,
+            replicas_restored=counter("churn.replicas_restored").value,
+            lookups_attempted=ok + failed,
+            lookups_succeeded=ok,
+            files_lost=census["lost"],
+            final_node_count=self.network.pastry.live_count(),
+        )
         return self.report

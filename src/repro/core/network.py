@@ -61,6 +61,7 @@ class PastNetwork:
         neighborhood_capacity: int = 32,
         require_card_certification: bool = True,
         table_quality: str = "good",
+        observer=None,
     ) -> None:
         """*key_backend* defaults to the fast insecure mode because a
         network of hundreds of nodes mints hundreds of keypairs; pass
@@ -78,7 +79,11 @@ class PastNetwork:
             neighborhood_capacity=neighborhood_capacity,
             rngs=self.rngs,
             table_quality=table_quality,
+            observer=observer,
         )
+        # One observer serves the whole stack; the storage layer guards
+        # its sites the same way the overlay does.
+        self.obs = self.pastry.obs
         self.policy = storage_policy if storage_policy is not None else StoragePolicy()
         self.cache_policy = cache_policy
         self.key_backend = key_backend

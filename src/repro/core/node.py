@@ -28,6 +28,13 @@ from repro.core.messages import (
 from repro.core.smartcard import SmartCard
 from repro.core.storage import FileStore
 from repro.core.storage_manager import StoragePolicy, choose_diversion_target
+from repro.obs.events import (
+    CacheHit,
+    InsertCompleted,
+    InsertRejected,
+    ReclaimCompleted,
+    ReplicaDiverted,
+)
 from repro.pastry.node import Application, PastryNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -60,6 +67,11 @@ class PastNode(Application):
         self.lookups_served = 0
         self.bytes_served = 0
         pastry_node.application = self
+        # The network's observer (the null observer by default); the
+        # store reports byte-level gauges through it too.
+        self.obs = network.obs
+        if self.obs.enabled:
+            self.store.bind_observer(self.obs)
 
     @property
     def node_id(self) -> int:
@@ -96,6 +108,8 @@ class PastNode(Application):
         if replica is not None and replica.data is not None:
             self.lookups_served += 1
             self.bytes_served += replica.certificate.size
+            if self.obs.enabled:
+                self.obs.metrics.counter("lookup.served", source="replica").increment()
             return LookupResponse(
                 certificate=replica.certificate,
                 data=replica.data,
@@ -106,6 +120,16 @@ class PastNode(Application):
         if entry is not None and entry.data is not None:
             self.lookups_served += 1
             self.bytes_served += entry.certificate.size
+            if self.obs.enabled:
+                self.obs.metrics.counter("lookup.served", source="cache").increment()
+                self.obs.metrics.counter("cache.hits").increment()
+                self.obs.emit(
+                    CacheHit(
+                        file_id=file_id,
+                        node_id=self.node_id,
+                        size=entry.certificate.size,
+                    )
+                )
             return LookupResponse(
                 certificate=entry.certificate,
                 data=entry.data,
@@ -122,6 +146,10 @@ class PastNode(Application):
                     if held is not None and held.data is not None:
                         holder.lookups_served += 1
                         holder.bytes_served += held.certificate.size
+                        if self.obs.enabled:
+                            self.obs.metrics.counter(
+                                "lookup.served", source="diverted"
+                            ).increment()
                         return LookupResponse(
                             certificate=held.certificate,
                             data=held.data,
@@ -141,9 +169,9 @@ class PastNode(Application):
         try:
             replica_ids = self.pastry.state.leaf_set.replica_candidates(key, k)
         except ValueError as exc:
-            return InsertOutcome(success=False, reason=f"bad-k: {exc}")
+            return self._reject_insert(certificate, "bad-k", f"bad-k: {exc}")
         if len(replica_ids) < k:
-            return InsertOutcome(success=False, reason="too-few-nodes")
+            return self._reject_insert(certificate, "too-few-nodes", "too-few-nodes")
 
         receipts: List[StoreReceipt] = []
         stored_on: List["PastNode"] = []
@@ -153,18 +181,46 @@ class PastNode(Application):
             target = self.network.past_node(replica_id)
             if target is None or not target.pastry.alive:
                 self._rollback(certificate.file_id, stored_on)
-                return InsertOutcome(success=False, reason="replica-node-dead")
+                return self._reject_insert(
+                    certificate, "replica-node-dead", "replica-node-dead"
+                )
             if target is not self:
                 self.network.pastry.count_message("insert")  # store request
             receipt, was_diverted = target.handle_store(request, replica_set)
             if receipt is None:
                 self._rollback(certificate.file_id, stored_on)
-                return InsertOutcome(success=False, reason="no-space")
+                return self._reject_insert(certificate, "no-space", "no-space")
             receipts.append(receipt)
             stored_on.append(target)
             diverted += int(was_diverted)
         self.network.record_insert(certificate, replica_ids)
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.insert").increment()
+            self.obs.emit(
+                InsertCompleted(
+                    file_id=certificate.file_id,
+                    size=certificate.size,
+                    replicas=len(receipts),
+                    diverted=diverted,
+                )
+            )
         return InsertOutcome(success=True, receipts=receipts, diverted_replicas=diverted)
+
+    def _reject_insert(
+        self, certificate: FileCertificate, reason_label: str, reason: str
+    ) -> InsertOutcome:
+        """Record one rejected insert attempt (*reason_label* is the short
+        metric label; *reason* is the full outcome message)."""
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.reject", reason=reason_label).increment()
+            self.obs.emit(
+                InsertRejected(
+                    file_id=certificate.file_id,
+                    size=certificate.size,
+                    reason=reason_label,
+                )
+            )
+        return InsertOutcome(success=False, reason=reason)
 
     def _rollback(self, file_id: int, stored_on: List["PastNode"]) -> None:
         """Abort a partially replicated insert: every node that already
@@ -204,6 +260,16 @@ class PastNode(Application):
         data = None if target.cheats_storage else request.data
         target.store.store(certificate, data, diverted=True)
         self.store.install_pointer(file_id, target.node_id)
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.diverted").increment()
+            self.obs.emit(
+                ReplicaDiverted(
+                    file_id=file_id,
+                    primary_id=self.node_id,
+                    target_id=target.node_id,
+                    size=size,
+                )
+            )
         # The receipt still comes from the *primary* node -- the client
         # checks for k receipts from nodes with adjacent nodeIds.
         return self.card.issue_store_receipt(certificate, diverted=True), True
@@ -280,6 +346,13 @@ class PastNode(Application):
             else:
                 outcome.reason = "not-found"
         self.network.record_reclaim(certificate.file_id)
+        if self.obs.enabled:
+            self.obs.metrics.counter("storage.reclaim").increment()
+            self.obs.emit(
+                ReclaimCompleted(
+                    file_id=certificate.file_id, receipts=len(outcome.receipts)
+                )
+            )
         return outcome
 
     def handle_reclaim(self, request: ReclaimRequest):

@@ -86,6 +86,9 @@ class OnlineQuotaService:
         """Account for one request/response exchange with the service."""
         self.network.pastry.count_message("quota-service", 2)
         self.operations += 1
+        obs = self.network.obs
+        if obs.enabled:
+            obs.metrics.counter("quota.round_trips").increment()
 
     # ------------------------------------------------------------------ #
     # accounts
@@ -126,6 +129,9 @@ class OnlineQuotaService:
             raise CertificateError("unknown quota account")
         charge = data.size * replication_factor
         if account.quota_used + charge > account.usage_quota:
+            obs = self.network.obs
+            if obs.enabled:
+                obs.metrics.counter("quota.denied", reason="quota-exceeded").increment()
             raise QuotaExceededError(
                 f"charge {charge} exceeds remaining quota {account.remaining}"
             )
@@ -164,6 +170,9 @@ class OnlineQuotaService:
         if account_id not in self._accounts:
             raise CertificateError("unknown quota account")
         if self._issuer_of.get(file_id) != account_id:
+            obs = self.network.obs
+            if obs.enabled:
+                obs.metrics.counter("quota.denied", reason="not-owner").increment()
             raise CertificateError("account does not own this file")
         return ReclaimCertificate.issue(self._keypair, file_id)
 

@@ -48,6 +48,13 @@ class FileStore:
         self.used = 0
         self._replicas: Dict[int, StoredReplica] = {}
         self._pointers: Dict[int, int] = {}  # fileId -> nodeId holding it
+        # Optional observer (bound by PastNode when one is installed on
+        # the network); None keeps the store allocation-free.
+        self._obs = None
+
+    def bind_observer(self, obs) -> None:
+        """Report byte-level accounting through *obs* from now on."""
+        self._obs = obs
 
     # ------------------------------------------------------------------ #
     # space accounting
@@ -84,6 +91,12 @@ class FileStore:
         replica = StoredReplica(certificate=certificate, data=data, diverted=diverted)
         self._replicas[file_id] = replica
         self.used += certificate.size
+        if self._obs is not None and self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.gauge("storage.used_bytes").increment(certificate.size)
+            metrics.counter(
+                "storage.stored_bytes", diverted=str(diverted).lower()
+            ).increment(certificate.size)
         return replica
 
     def remove(self, file_id: int) -> int:
@@ -92,6 +105,10 @@ class FileStore:
         if replica is None:
             return 0
         self.used -= replica.size
+        if self._obs is not None and self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.gauge("storage.used_bytes").decrement(replica.size)
+            metrics.counter("storage.freed_bytes").increment(replica.size)
         return replica.size
 
     def get(self, file_id: int) -> Optional[StoredReplica]:

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional
 
 from repro.live.transport import InProcessTransport, Message
 from repro.netsim.topology import EuclideanPlaneTopology, Topology
+from repro.obs.events import NodeFailed, NodeJoined
+from repro.obs.recorder import Observer
 from repro.pastry.nodeid import IdSpace
 from repro.pastry.routing import DeterministicRouting
 from repro.pastry.state import NodeState
@@ -92,6 +94,9 @@ class LiveNode:
 
     async def _send(self, destination: int, message: Message) -> bool:
         """Send, treating failure as discovery of the peer's death."""
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter("live.messages", kind=message.kind).increment()
         delivered = await self.cluster.transport.send(destination, message)
         if not delivered:
             self.state.forget(destination)
@@ -145,6 +150,11 @@ class LiveNode:
         await self._forward_route(message.payload)
 
     async def _on_route_result(self, message: Message) -> None:
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.histogram("live.route.hops").add(
+                max(len(message.payload["path"]) - 1, 0)
+            )
         self.cluster._resolve_route(message.payload["request_id"], message.payload["path"])
 
     async def _on_join_request(self, message: Message) -> None:
@@ -196,6 +206,17 @@ class LiveNode:
             await self._send(
                 peer, Message(kind="announce", sender=self.node_id, payload={})
             )
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter("live.joins").increment()
+            obs.emit(
+                NodeJoined(
+                    node_id=self.node_id,
+                    contact_id=message.sender,
+                    messages=len(announce),
+                    route_hops=max(len(payload["trail"]) - 1, 0),
+                )
+            )
         self.joined.set()
 
     async def _on_announce(self, message: Message) -> None:
@@ -229,6 +250,7 @@ class LiveCluster:
         neighborhood_capacity: int = 16,
         topology: Optional[Topology] = None,
         space: Optional[IdSpace] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.space = space if space is not None else IdSpace(128, 4)
         self.rngs = RngRegistry(seed)
@@ -239,6 +261,10 @@ class LiveCluster:
         )
         self.leaf_capacity = leaf_capacity
         self.neighborhood_capacity = neighborhood_capacity
+        # A live cluster is an operational deployment, not a perf
+        # benchmark, so it observes itself by default (the clock stays
+        # None: event timestamps are 0.0, ordering by sequence number).
+        self.obs = observer if observer is not None else Observer()
         self.transport = InProcessTransport()
         self.nodes: Dict[int, LiveNode] = {}
         self._route_futures: Dict[int, asyncio.Future] = {}
@@ -258,6 +284,8 @@ class LiveCluster:
         self.transport.register(node_id)
         node = LiveNode(self, node_id)
         self.nodes[node_id] = node
+        if self.obs.enabled:
+            self.obs.metrics.gauge("live.nodes").increment()
         node.start()
         return node
 
@@ -338,6 +366,17 @@ class LiveCluster:
         node._running = False
         if node._task is not None:
             node._task.cancel()
+        if self.obs.enabled:
+            self.obs.metrics.gauge("live.nodes").decrement()
+            self.obs.metrics.counter("node.failures").increment()
+            self.obs.emit(NodeFailed(node_id=node_id))
+
+    def metrics_text(self) -> str:
+        """The cluster's metrics in Prometheus text exposition format
+        (what a live deployment would serve on ``/metrics``)."""
+        if not self.obs.enabled:
+            return ""
+        return self.obs.metrics.to_prometheus()
 
     # ------------------------------------------------------------------ #
     # operations

@@ -1,0 +1,65 @@
+"""Unified observability: metrics registry, event bus, span tracing.
+
+Three dependency-free pillars, shared by the synchronous simulator, the
+discrete-event churn driver, and the live asyncio cluster:
+
+* :mod:`repro.obs.metrics` -- named counters, gauges and histograms with
+  labels (``route.hops{category="lookup"}``), a deterministic snapshot,
+  and a Prometheus-style text exposition for live nodes;
+* :mod:`repro.obs.events` -- typed protocol events (``RouteCompleted``,
+  ``NodeJoined``, ``InsertRejected``, ...) published to an in-process
+  bus with sim-time timestamps and JSONL export;
+* :mod:`repro.obs.spans` -- span trees for multi-hop operations: a route
+  or join produces one root span whose per-hop children carry the
+  routing rule that fired *at decision time*.
+
+The :class:`Observer` bundles all three; the :data:`NULL_OBSERVER` is a
+falsy no-op stand-in, so instrumented hot paths guard with a single
+``if obs.enabled:`` (or ``if obs:``) check and stay allocation-free when
+observability is off.
+"""
+
+from repro.obs.events import (
+    CacheHit,
+    EventBus,
+    EventRecord,
+    InsertCompleted,
+    InsertRejected,
+    NodeFailed,
+    NodeJoined,
+    NodeRecovered,
+    OracleRebuilt,
+    ReclaimCompleted,
+    ReplicaDiverted,
+    RouteCompleted,
+    validate_jsonl,
+    validate_record,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.spans import Span
+
+__all__ = [
+    "CacheHit",
+    "Counter",
+    "EventBus",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "InsertCompleted",
+    "InsertRejected",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NodeFailed",
+    "NodeJoined",
+    "NodeRecovered",
+    "NullObserver",
+    "Observer",
+    "OracleRebuilt",
+    "ReclaimCompleted",
+    "ReplicaDiverted",
+    "RouteCompleted",
+    "Span",
+    "validate_jsonl",
+    "validate_record",
+]

@@ -1,0 +1,290 @@
+"""Typed protocol events and the in-process event bus.
+
+Core code publishes structured events (one frozen dataclass per event
+kind) instead of printing or keeping private tallies; subscribers and
+the JSONL export read them uniformly.  Every published event is wrapped
+in an :class:`EventRecord` carrying a monotonic sequence number and a
+sim-time timestamp, so exports are deterministic under seeded RNG --
+two identical runs produce byte-identical JSONL.
+
+The module also carries the event *schema* (derived from the dataclass
+fields) and validators used by the CI observability smoke step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class; every concrete event defines a unique ``kind``."""
+
+    kind: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class RouteCompleted(Event):
+    """One routed message finished (delivered, dropped, or hop-limited)."""
+
+    kind: ClassVar[str] = "route-completed"
+    key: int
+    origin: int
+    destination: Optional[int]
+    hops: int
+    delivered: bool
+    reason: str
+    category: str
+
+
+@dataclass(frozen=True)
+class NodeJoined(Event):
+    """A node completed the arrival protocol."""
+
+    kind: ClassVar[str] = "node-joined"
+    node_id: int
+    contact_id: int
+    messages: int
+    route_hops: int
+
+
+@dataclass(frozen=True)
+class NodeFailed(Event):
+    """A node silently failed (stopped responding)."""
+
+    kind: ClassVar[str] = "node-failed"
+    node_id: int
+
+
+@dataclass(frozen=True)
+class NodeRecovered(Event):
+    """A previously failed node came back."""
+
+    kind: ClassVar[str] = "node-recovered"
+    node_id: int
+
+
+@dataclass(frozen=True)
+class OracleRebuilt(Event):
+    """Node state was (re)constructed from global membership."""
+
+    kind: ClassVar[str] = "oracle-rebuilt"
+    nodes: int
+
+
+@dataclass(frozen=True)
+class InsertCompleted(Event):
+    """An insert placed all k replicas (possibly with diversions)."""
+
+    kind: ClassVar[str] = "insert-completed"
+    file_id: int
+    size: int
+    replicas: int
+    diverted: int
+
+
+@dataclass(frozen=True)
+class InsertRejected(Event):
+    """The root could not place k replicas for one insert attempt."""
+
+    kind: ClassVar[str] = "insert-rejected"
+    file_id: int
+    size: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReplicaDiverted(Event):
+    """A full primary diverted its replica to a leaf-set neighbour."""
+
+    kind: ClassVar[str] = "replica-diverted"
+    file_id: int
+    primary_id: int
+    target_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class CacheHit(Event):
+    """A lookup was served from a node's cache."""
+
+    kind: ClassVar[str] = "cache-hit"
+    file_id: int
+    node_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class ReclaimCompleted(Event):
+    """A reclaim request was processed at the root."""
+
+    kind: ClassVar[str] = "reclaim-completed"
+    file_id: int
+    receipts: int
+
+
+EVENT_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        RouteCompleted,
+        NodeJoined,
+        NodeFailed,
+        NodeRecovered,
+        OracleRebuilt,
+        InsertCompleted,
+        InsertRejected,
+        ReplicaDiverted,
+        CacheHit,
+        ReclaimCompleted,
+    )
+}
+
+# Per-kind field schema: name -> accepted JSON types.  Optional[int]
+# admits None; bool must be checked before int (bool is an int subclass).
+_FIELD_TYPES: Dict[str, Dict[str, Tuple[type, ...]]] = {}
+for _kind, _cls in EVENT_TYPES.items():
+    _fields: Dict[str, Tuple[type, ...]] = {}
+    for _field in dataclasses.fields(_cls):
+        annotation = _field.type
+        if annotation in ("int", int):
+            _fields[_field.name] = (int,)
+        elif annotation in ("bool", bool):
+            _fields[_field.name] = (bool,)
+        elif annotation in ("str", str):
+            _fields[_field.name] = (str,)
+        else:  # Optional[int] is the only other annotation in use
+            _fields[_field.name] = (int, type(None))
+    _FIELD_TYPES[_kind] = _fields
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One published event: sequence number, sim-time, payload."""
+
+    seq: int
+    time: float
+    event: Event
+
+    def to_dict(self) -> dict:
+        body = dataclasses.asdict(self.event)
+        body["kind"] = type(self.event).kind
+        body["seq"] = self.seq
+        body["time"] = self.time
+        return body
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class EventBus:
+    """Collects published events; optionally fans out to subscribers.
+
+    *clock* supplies the sim-time timestamp (default: a constant 0.0, so
+    exports stay deterministic when no simulation clock exists).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock = clock
+        self._records: List[EventRecord] = []
+        self._subscribers: List[Callable[[EventRecord], None]] = []
+        self._seq = 0
+
+    def publish(self, event: Event) -> EventRecord:
+        time = float(self.clock()) if self.clock is not None else 0.0
+        record = EventRecord(seq=self._seq, time=time, event=event)
+        self._seq += 1
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def subscribe(self, callback: Callable[[EventRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def records(self) -> List[EventRecord]:
+        return list(self._records)
+
+    def events(self) -> List[Event]:
+        return [record.event for record in self._records]
+
+    def kinds(self) -> List[str]:
+        return [type(record.event).kind for record in self._records]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------ #
+    # JSONL export
+    # ------------------------------------------------------------------ #
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, keys sorted: byte-identical across
+        identical seeded runs."""
+        return "".join(record.to_json() + "\n" for record in self._records)
+
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the event log to *path*; returns the record count."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+        return len(self._records)
+
+
+# ---------------------------------------------------------------------- #
+# schema validation (CI smoke step)
+# ---------------------------------------------------------------------- #
+
+def validate_record(obj: object) -> List[str]:
+    """Validate one decoded JSONL object against the event schema;
+    returns a list of problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"record is not an object: {type(obj).__name__}"]
+    kind = obj.get("kind")
+    if not isinstance(kind, str) or kind not in _FIELD_TYPES:
+        return [f"unknown event kind: {kind!r}"]
+    if not isinstance(obj.get("seq"), int) or isinstance(obj.get("seq"), bool):
+        errors.append("missing or non-integer 'seq'")
+    if not isinstance(obj.get("time"), (int, float)) or isinstance(obj.get("time"), bool):
+        errors.append("missing or non-numeric 'time'")
+    schema = _FIELD_TYPES[kind]
+    for field_name, accepted in schema.items():
+        if field_name not in obj:
+            errors.append(f"{kind}: missing field {field_name!r}")
+            continue
+        value = obj[field_name]
+        if bool in accepted:
+            if not isinstance(value, bool):
+                errors.append(f"{kind}: field {field_name!r} must be bool")
+        elif isinstance(value, bool) or not isinstance(value, accepted):
+            errors.append(
+                f"{kind}: field {field_name!r} has type {type(value).__name__}"
+            )
+    for extra in set(obj) - set(schema) - {"kind", "seq", "time"}:
+        errors.append(f"{kind}: unexpected field {extra!r}")
+    return errors
+
+
+def validate_jsonl(text: str) -> List[str]:
+    """Validate a JSONL event log; returns per-line problems."""
+    errors: List[str] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {line_number}: invalid JSON ({exc.msg})")
+            continue
+        for problem in validate_record(obj):
+            errors.append(f"line {line_number}: {problem}")
+    return errors
+
+
+def validate_jsonl_file(path: Union[str, Path]) -> List[str]:
+    return validate_jsonl(Path(path).read_text(encoding="utf-8"))

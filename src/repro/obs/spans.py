@@ -1,0 +1,95 @@
+"""Span trees for multi-hop operations.
+
+A route or a join is one logical operation spread over many nodes; a
+:class:`Span` records it as a tree -- the root names the operation, each
+child records one hop together with the routing rule that fired *at
+decision time* (no after-the-fact re-derivation).  Spans render to JSON
+(``repro route --json``) and to the ASCII trace the CLI has always
+printed, via :func:`repro.analysis.tracing.span_to_explanations`.
+
+Spans carry no wall-clock state: attributes and structure only, plus an
+optional sim-time interval, so a seeded run serialises byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One node of a span tree."""
+
+    __slots__ = ("name", "attributes", "children", "start", "duration")
+
+    def __init__(self, name: str, **attributes: object) -> None:
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes)
+        self.children: List["Span"] = []
+        self.start: Optional[float] = None
+        self.duration: Optional[float] = None
+
+    def child(self, name: str, **attributes: object) -> "Span":
+        """Create and attach a child span."""
+        span = Span(name, **attributes)
+        self.children.append(span)
+        return span
+
+    def adopt(self, span: "Span") -> "Span":
+        """Attach an already-built span (e.g. a route under a join)."""
+        self.children.append(span)
+        return span
+
+    def set(self, **attributes: object) -> None:
+        """Merge attributes (outcome fields set when the operation ends)."""
+        self.attributes.update(attributes)
+
+    def walk(self):
+        """Depth-first iteration over the tree, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """A deterministic plain-dict form (attributes key-sorted)."""
+        node: dict = {
+            "name": self.name,
+            "attributes": {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            },
+        }
+        if self.start is not None:
+            node["start"] = self.start
+        if self.duration is not None:
+            node["duration"] = self.duration
+        node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def render(self, format_value=None) -> str:
+        """Generic ASCII tree (route-specific rendering lives in
+        :mod:`repro.analysis.tracing`, which knows how to format ids)."""
+        if format_value is None:
+            format_value = repr
+        lines: List[str] = []
+
+        def emit(span: "Span", depth: int) -> None:
+            attrs = "  ".join(
+                f"{key}={format_value(span.attributes[key])}"
+                for key in sorted(span.attributes)
+            )
+            lines.append(f"{'  ' * depth}{span.name}  {attrs}".rstrip())
+            for child in span.children:
+                emit(child, depth + 1)
+
+        emit(self, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, children={len(self.children)})"

@@ -1,0 +1,44 @@
+"""Validate a JSONL event log against the event schema.
+
+CI's observability smoke step runs this over the export produced by
+``repro metrics --events``::
+
+    PYTHONPATH=src python -m repro.obs.validate events.jsonl
+
+Exit status 0 means every line parsed and matched its event's schema;
+problems are listed one per line on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.events import validate_jsonl_file
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="validate an observability JSONL event log",
+    )
+    parser.add_argument("path", type=Path, help="JSONL file to validate")
+    args = parser.parse_args(argv)
+    if not args.path.exists():
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    errors = validate_jsonl_file(args.path)
+    lines = sum(1 for l in args.path.read_text(encoding="utf-8").splitlines() if l.strip())
+    if errors:
+        for problem in errors:
+            print(problem, file=sys.stderr)
+        print(f"{args.path}: {len(errors)} problem(s) in {lines} record(s)", file=sys.stderr)
+        return 1
+    print(f"{args.path}: {lines} record(s) valid")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

@@ -24,23 +24,35 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.events import NodeJoined
 from repro.pastry.node import PastryNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pastry.network import PastryNetwork
 
 
-def join_network(network: "PastryNetwork", new_node: PastryNode, contact_id: int) -> int:
+def join_network(
+    network: "PastryNetwork",
+    new_node: PastryNode,
+    contact_id: int,
+    trace: bool = False,
+) -> int:
     """Run the arrival protocol for *new_node* via *contact_id*.
 
     Returns the number of messages the join generated.  The new node must
     already be registered with the network (``add_node``) but have empty
-    state; the contact must be a live node.
+    state; the contact must be a live node.  With ``trace=True`` (and an
+    observer installed) a ``join`` span -- with the join route's span tree
+    under it -- is recorded on the observer.
     """
     if not network.is_live(contact_id):
         raise ValueError("join contact is not alive")
     if contact_id == new_node.node_id:
         raise ValueError("a node cannot use itself as a join contact")
+    obs = network.obs
+    span = None
+    if trace and obs.enabled:
+        span = obs.span("join", node_id=new_node.node_id, contact_id=contact_id)
     before = network.stats.counter("messages.join").value
 
     # X -> A: the initial contact message.
@@ -50,7 +62,9 @@ def join_network(network: "PastryNetwork", new_node: PastryNode, contact_id: int
     # exactly the ones whose state X copies from.  The arriving node is
     # not live for routing purposes yet (its id is excluded as a hop
     # because it holds no state), so we route with A's view.
-    result = network.route(new_node.node_id, origin=contact_id, category="join")
+    result = network.route(
+        new_node.node_id, origin=contact_id, category="join", trace=span is not None
+    )
     if not result.delivered:
         raise RuntimeError(f"join route failed: {result.reason}")
     path = result.path
@@ -88,7 +102,23 @@ def join_network(network: "PastryNetwork", new_node: PastryNode, contact_id: int
         network.count_message("join")
         network.nodes[known_id].learn(new_node.node_id)
 
-    return network.stats.counter("messages.join").value - before
+    messages = network.stats.counter("messages.join").value - before
+    if obs.enabled:
+        obs.metrics.histogram("join.messages").add(messages)
+        obs.emit(
+            NodeJoined(
+                node_id=new_node.node_id,
+                contact_id=contact_id,
+                messages=messages,
+                route_hops=result.hops,
+            )
+        )
+    if span is not None:
+        span.set(messages=messages, route_hops=result.hops)
+        if result.span is not None:
+            span.adopt(result.span)
+        obs.record_span(span)
+    return messages
 
 
 def refine_node_state(network: "PastryNetwork", node: PastryNode) -> int:

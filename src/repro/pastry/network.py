@@ -25,11 +25,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.netsim.topology import EuclideanPlaneTopology, Topology
+from repro.obs.events import NodeFailed, NodeRecovered, OracleRebuilt, RouteCompleted
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.recorder import NULL_OBSERVER
+from repro.obs.spans import Span
 from repro.pastry.node import PastryNode
 from repro.pastry.nodeid import IdSpace
-from repro.pastry.routing import DeterministicRouting
+from repro.pastry.routing import RULE_DELIVER_SELF, RULE_EN_ROUTE, DeterministicRouting
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import StatsRegistry
 
 DEFAULT_LEAF_CAPACITY = 32
 DEFAULT_NEIGHBORHOOD_CAPACITY = 32
@@ -51,6 +54,7 @@ class RouteResult:
     delivered: bool
     reason: str = "delivered"
     value: object = None
+    span: Optional[Span] = None
 
     @property
     def hops(self) -> int:
@@ -73,6 +77,7 @@ class PastryNetwork:
         neighborhood_capacity: int = DEFAULT_NEIGHBORHOOD_CAPACITY,
         rngs: Optional[RngRegistry] = None,
         table_quality: str = TABLE_QUALITY_GOOD,
+        observer=None,
     ) -> None:
         self.space = space if space is not None else IdSpace()
         self.rngs = rngs if rngs is not None else RngRegistry(0)
@@ -84,7 +89,14 @@ class PastryNetwork:
         self.leaf_capacity = leaf_capacity
         self.neighborhood_capacity = neighborhood_capacity
         self.table_quality = table_quality
-        self.stats = StatsRegistry()
+        # Observability: the null observer is falsy and every hot-path
+        # site is guarded by ``if self.obs.enabled``, so an uninstrumented
+        # network pays one attribute test per site.  With a real observer
+        # installed, the message counters land in its registry so all
+        # accounting shares one surface.
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self.stats = observer.metrics if observer is not None else MetricsRegistry()
+        self._message_counters: Dict[str, Counter] = {}
         self.nodes: Dict[int, PastryNode] = {}
         self._live_sorted: List[int] = []  # sorted live ids, for ground truth
         # Spatial index over the *live* nodes, used to answer "who is the
@@ -136,6 +148,9 @@ class PastryNetwork:
             if index < len(self._live_sorted) and self._live_sorted[index] == node_id:
                 self._live_sorted.pop(index)
             self._live_index.discard(node_id)
+            if self.obs.enabled:
+                self.obs.metrics.counter("node.failures").increment()
+                self.obs.emit(NodeFailed(node_id=node_id))
         return node
 
     def mark_recovered(self, node_id: int) -> PastryNode:
@@ -146,6 +161,9 @@ class PastryNetwork:
             node.alive = True
             bisect.insort(self._live_sorted, node_id)
             self._live_index.add(node_id)
+            if self.obs.enabled:
+                self.obs.metrics.counter("node.recoveries").increment()
+                self.obs.emit(NodeRecovered(node_id=node_id))
         return node
 
     def global_root(self, key: int) -> int:
@@ -179,8 +197,16 @@ class PastryNetwork:
     # ------------------------------------------------------------------ #
 
     def count_message(self, category: str, amount: int = 1) -> None:
-        """Record protocol traffic (join, repair, keep-alive, routing)."""
-        self.stats.counter(f"messages.{category}").increment(amount)
+        """Record protocol traffic (join, repair, keep-alive, routing).
+
+        Runs once per hop, so the counter object is memoised per category
+        -- instruments are create-on-first-use and never replaced, which
+        makes caching them safe."""
+        counter = self._message_counters.get(category)
+        if counter is None:
+            counter = self.stats.counter(f"messages.{category}")
+            self._message_counters[category] = counter
+        counter.increment(amount)
 
     def route(
         self,
@@ -191,9 +217,15 @@ class PastryNetwork:
         message: object = None,
         category: str = "route",
         max_hops: Optional[int] = None,
+        trace: bool = False,
     ) -> RouteResult:
         """Walk a message from *origin* towards the live node whose id is
-        numerically closest to *key*, one local decision per hop."""
+        numerically closest to *key*, one local decision per hop.
+
+        With ``trace=True`` (and an observer installed), the result
+        carries a span tree: one ``hop`` child per path element, each
+        annotated with the routing rule that fired at decision time.
+        """
         if policy is None:
             policy = DeterministicRouting()
         if max_hops is None:
@@ -201,35 +233,116 @@ class PastryNetwork:
         current = self.nodes[origin]
         if not current.alive:
             raise ValueError("route origin is not alive")
+        span: Optional[Span] = None
+        if trace and self.obs.enabled:
+            span = self.obs.span(
+                "route",
+                key=key,
+                origin=origin,
+                category=category,
+                policy=getattr(policy, "name", type(policy).__name__),
+            )
         path = [origin]
         visited = {origin}
         while True:
             if current.malicious and current.node_id != origin:
                 # The node accepts the message and silently drops it.
                 self.count_message(category)
-                return RouteResult(key=key, path=path, delivered=False, reason="dropped")
+                if span is not None:
+                    self._span_hop(span, current.node_id, key, "dropped (malicious)", None)
+                return self._finish_route(
+                    RouteResult(key=key, path=path, delivered=False, reason="dropped"),
+                    category,
+                    span,
+                )
             # Application en-route check: a node holding the requested
             # file answers immediately (how lookups find a nearby replica
             # instead of always travelling to the root).
             value = current.forward(key, message)
             if value is not None:
-                return RouteResult(
-                    key=key, path=path, delivered=True, reason="en-route", value=value
+                if span is not None:
+                    self._span_hop(span, current.node_id, key, RULE_EN_ROUTE, None)
+                return self._finish_route(
+                    RouteResult(
+                        key=key, path=path, delivered=True, reason="en-route", value=value
+                    ),
+                    category,
+                    span,
                 )
-            hop = current.next_hop(key, policy, rng)
+            if span is not None:
+                hop, rule = current.next_hop_explained(key, policy, rng)
+            else:
+                hop = current.next_hop(key, policy, rng)
+                rule = None
             if hop is None or hop in visited:
                 # hop in visited: the prefix heuristic and the numeric
                 # leaf fallback disagree (possible only after heavy
                 # correlated failures); the paper's algorithm delivers at
                 # the current node in this rare case rather than loop.
                 value = current.deliver(key, message)
-                return RouteResult(key=key, path=path, delivered=True, value=value)
+                if span is not None:
+                    self._span_hop(span, current.node_id, key, RULE_DELIVER_SELF, None)
+                return self._finish_route(
+                    RouteResult(key=key, path=path, delivered=True, value=value),
+                    category,
+                    span,
+                )
             self.count_message(category)
+            if span is not None:
+                self._span_hop(span, current.node_id, key, rule, hop)
             path.append(hop)
             visited.add(hop)
             if len(path) - 1 > max_hops:
-                return RouteResult(key=key, path=path, delivered=False, reason="hop-limit")
+                return self._finish_route(
+                    RouteResult(key=key, path=path, delivered=False, reason="hop-limit"),
+                    category,
+                    span,
+                )
             current = self.nodes[hop]
+
+    def _span_hop(
+        self, span: Span, node_id: int, key: int, rule: str, next_node: Optional[int]
+    ) -> None:
+        """Attach one per-hop child span (traced routes only)."""
+        attributes = {
+            "node_id": node_id,
+            "shared_prefix": self.space.shared_prefix_length(node_id, key),
+            "distance": self.space.distance(node_id, key),
+            "rule": rule,
+        }
+        if next_node is not None:
+            attributes["next_node"] = next_node
+        span.child("hop", **attributes)
+
+    def _finish_route(
+        self, result: RouteResult, category: str, span: Optional[Span]
+    ) -> RouteResult:
+        """Record metrics/events for a finished route (observer installed
+        only) and close out its span, if traced."""
+        obs = self.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("route.requests", category=category).increment()
+            metrics.histogram("route.hops", category=category).add(result.hops)
+            if not result.delivered:
+                metrics.counter(
+                    "route.failed", category=category, reason=result.reason
+                ).increment()
+            obs.emit(
+                RouteCompleted(
+                    key=result.key,
+                    origin=result.path[0],
+                    destination=result.destination,
+                    hops=result.hops,
+                    delivered=result.delivered,
+                    reason=result.reason,
+                    category=category,
+                )
+            )
+        if span is not None:
+            span.set(hops=result.hops, delivered=result.delivered, reason=result.reason)
+            result.span = span
+        return result
 
     # ------------------------------------------------------------------ #
     # bootstrap
@@ -288,6 +401,9 @@ class PastryNetwork:
         count = len(ids)
         if count == 0:
             return
+        if self.obs.enabled:
+            self.obs.metrics.counter("oracle.rebuilds").increment()
+            self.obs.emit(OracleRebuilt(nodes=count))
         space = self.space
         half = self.leaf_capacity // 2
         rng = self.rngs.stream("oracle-build")

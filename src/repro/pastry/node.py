@@ -102,6 +102,34 @@ class PastryNode:
             if attempts > len(self.state.known_nodes()) + 4:
                 return None
 
+    def next_hop_explained(
+        self, key: int, policy=None, rng: Optional[random.Random] = None
+    ):
+        """``(next_hop, rule)``: the decision of :meth:`next_hop` plus the
+        routing rule that produced it (span tracing; same lazy repair of
+        dead entries).  Policies without ``next_hop_explained`` fall back
+        to the plain decision with an unlabelled rule."""
+        from repro.pastry.routing import RULE_DELIVER_SELF
+
+        if policy is None:
+            policy = DeterministicRouting()
+        explained = getattr(policy, "next_hop_explained", None)
+        attempts = 0
+        while True:
+            if explained is not None:
+                hop, rule = explained(self.state, key, rng)
+            else:
+                hop = policy.next_hop(self.state, key, rng)
+                rule = RULE_DELIVER_SELF if hop is None else "policy (unlabelled)"
+            if hop is None:
+                return None, rule
+            if self.network.is_live(hop):
+                return hop, rule
+            self.on_dead_entry(hop)
+            attempts += 1
+            if attempts > len(self.state.known_nodes()) + 4:
+                return None, RULE_DELIVER_SELF
+
     def on_dead_entry(self, dead_id: int) -> None:
         """React to discovering that a referenced node is dead: forget it
         and trigger the appropriate repair protocol."""

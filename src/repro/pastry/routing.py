@@ -25,6 +25,18 @@ from typing import List, Optional, Tuple
 
 from repro.pastry.state import NodeState
 
+# The routing-rule taxonomy.  Every hop decision is one of these; the
+# policies report the rule *at decision time* through
+# ``next_hop_explained`` (span tracing), and the after-the-fact route
+# explainer in :mod:`repro.analysis.tracing` re-derives the same labels.
+RULE_DELIVER_SELF = "deliver (numerically closest)"
+RULE_LEAF = "leaf set (numeric jump to closest member)"
+RULE_TABLE = "routing table (prefix +1 digit)"
+RULE_RARE = "rare case (numeric fallback)"
+RULE_EN_ROUTE = "served en route (application)"
+RULE_REPLICA = "replica set (proximally nearest of k)"
+RULE_RANDOMIZED = "randomized (biased choice)"
+
 
 class DeterministicRouting:
     """The paper's standard routing procedure."""
@@ -42,6 +54,28 @@ class DeterministicRouting:
         if entry is not None:
             return entry
         return self._rare_case(state, key)
+
+    def next_hop_explained(
+        self, state: NodeState, key: int, rng: Optional[random.Random] = None
+    ) -> Tuple[Optional[int], str]:
+        """``(next_hop, rule)``: the same decision as :meth:`next_hop`,
+        annotated with which routing rule fired.  Used only on the traced
+        path, so :meth:`next_hop` stays tuple-free; the two must take the
+        same decision for identical state."""
+        if key == state.node_id:
+            return None, RULE_DELIVER_SELF
+        if state.leaf_set.covers(key):
+            closest = state.leaf_set.closest_to(key, include_owner=True)
+            if closest == state.node_id:
+                return None, RULE_DELIVER_SELF
+            return closest, RULE_LEAF
+        entry = state.routing_table.next_hop_for(key)
+        if entry is not None:
+            return entry, RULE_TABLE
+        hop = self._rare_case(state, key)
+        if hop is None:
+            return None, RULE_DELIVER_SELF
+        return hop, RULE_RARE
 
     def _rare_case(self, state: NodeState, key: int) -> Optional[int]:
         """Fall back to any known node with >= prefix and < distance;
@@ -131,6 +165,28 @@ class ReplicaAwareRouting(DeterministicRouting):
             return None if best == state.node_id else best
         return super().next_hop(state, key, rng)
 
+    def next_hop_explained(
+        self, state: NodeState, key: int, rng: Optional[random.Random] = None
+    ) -> Tuple[Optional[int], str]:
+        if key == state.node_id:
+            return None, RULE_DELIVER_SELF
+        if state.leaf_set.covers(key):
+            try:
+                candidates = state.leaf_set.replica_candidates(key, self.k)
+            except ValueError:
+                return super().next_hop_explained(state, key, rng)
+            best = min(
+                candidates,
+                key=lambda c: (
+                    0.0 if c == state.node_id else state.proximity(c),
+                    c,
+                ),
+            )
+            if best == state.node_id:
+                return None, RULE_DELIVER_SELF
+            return best, RULE_REPLICA
+        return super().next_hop_explained(state, key, rng)
+
 
 class RandomizedRouting:
     """Randomized next-hop choice for routing around bad nodes.
@@ -202,3 +258,13 @@ class RandomizedRouting:
         while index < len(ranked) - 1 and rng.random() < self.bias:
             index += 1
         return ranked[index]
+
+    def next_hop_explained(
+        self, state: NodeState, key: int, rng: Optional[random.Random] = None
+    ) -> Tuple[Optional[int], str]:
+        """The randomized decision is a single rule; tracing it labels the
+        hop rather than distinguishing which candidate rank won."""
+        hop = self.next_hop(state, key, rng)
+        if hop is None:
+            return None, RULE_DELIVER_SELF
+        return hop, RULE_RANDOMIZED

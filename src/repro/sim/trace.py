@@ -1,170 +1,21 @@
-"""Counters and histograms for experiment statistics.
+"""Deprecated shim: these classes moved to :mod:`repro.obs.metrics`.
 
-Benchmarks in this repository print the same rows the paper reports:
-average hop counts, utilization percentages, hit rates.  The classes here
-collect those statistics with no third-party dependencies so the core
-library stays import-light; the heavier analysis (confidence intervals)
-lives in :mod:`repro.analysis.stats`.
+The experiment statistics classes (``Counter``, ``Histogram``, and the
+registry) grew labels, gauges, deterministic snapshots and a Prometheus
+exposition, and now live in the unified observability layer under
+``repro.obs``.  This module re-exports them so existing imports keep
+working; new code should import from :mod:`repro.obs` directly.
+
+``StatsRegistry`` is an alias of :class:`repro.obs.metrics.MetricsRegistry`
+-- label-free usage (``registry.counter("messages.join")``) behaves
+exactly as before.
 """
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
-from typing import Dict, Iterable, List, Tuple
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
+# Deprecated alias, kept for backward compatibility.
+StatsRegistry = MetricsRegistry
 
-class Counter:
-    """A named monotonic counter."""
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.value = 0
-
-    def increment(self, amount: int = 1) -> None:
-        self.value += amount
-
-    def reset(self) -> None:
-        self.value = 0
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name!r}, {self.value})"
-
-
-class Histogram:
-    """A streaming histogram over numeric samples.
-
-    Keeps every sample (experiments here are small enough) so exact
-    percentiles are available; also maintains running sum/sum-of-squares
-    for O(1) mean and variance.
-    """
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.samples: List[float] = []
-        self._sum = 0.0
-        self._sum_sq = 0.0
-
-    def add(self, value: float) -> None:
-        self.samples.append(value)
-        self._sum += value
-        self._sum_sq += value * value
-
-    def extend(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.add(value)
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        if not self.samples:
-            return 0.0
-        return self._sum / len(self.samples)
-
-    @property
-    def variance(self) -> float:
-        n = len(self.samples)
-        if n < 2:
-            return 0.0
-        mean = self._sum / n
-        return max((self._sum_sq - n * mean * mean) / (n - 1), 0.0)
-
-    @property
-    def stddev(self) -> float:
-        return math.sqrt(self.variance)
-
-    @property
-    def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
-
-    @property
-    def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Exact percentile with linear interpolation; q in [0, 100]."""
-        if not self.samples:
-            return 0.0
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (q / 100.0) * (len(ordered) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return ordered[low]
-        weight = rank - low
-        return ordered[low] + weight * (ordered[high] - ordered[low])
-
-    def bucketize(self, bucket_width: float) -> Dict[float, int]:
-        """Group samples into fixed-width buckets keyed by bucket start."""
-        if bucket_width <= 0:
-            raise ValueError("bucket_width must be positive")
-        buckets: Dict[float, int] = defaultdict(int)
-        for sample in self.samples:
-            buckets[math.floor(sample / bucket_width) * bucket_width] += 1
-        return dict(buckets)
-
-    def frequency(self) -> Dict[float, int]:
-        """Exact value -> count map (useful for integer samples like hops)."""
-        freq: Dict[float, int] = defaultdict(int)
-        for sample in self.samples:
-            freq[sample] += 1
-        return dict(freq)
-
-    def summary(self) -> Dict[str, float]:
-        """A dict of the headline statistics, ready for table rendering."""
-        return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "stddev": self.stddev,
-            "min": self.minimum,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "max": self.maximum,
-        }
-
-    def __repr__(self) -> str:
-        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3f})"
-
-
-class StatsRegistry:
-    """A named collection of counters and histograms.
-
-    One registry typically belongs to one simulation run; components look
-    up their instruments by name so the benchmark can read them afterwards.
-    """
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = Counter(name)
-            self._counters[name] = counter
-        return counter
-
-    def histogram(self, name: str) -> Histogram:
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = Histogram(name)
-            self._histograms[name] = histogram
-        return histogram
-
-    def counters(self) -> List[Tuple[str, int]]:
-        return [(name, c.value) for name, c in sorted(self._counters.items())]
-
-    def histograms(self) -> List[Tuple[str, Histogram]]:
-        return sorted(self._histograms.items())
-
-    def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "StatsRegistry"]

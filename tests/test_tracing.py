@@ -4,12 +4,16 @@ import pytest
 
 from repro.analysis.tracing import (
     RULE_DELIVER_SELF,
+    RULE_EN_ROUTE,
     RULE_LEAF,
+    RULE_RARE,
     RULE_TABLE,
     check_progress,
     explain_route,
     render_route,
+    span_to_explanations,
 )
+from repro.obs.recorder import Observer
 from repro.pastry.network import PastryNetwork
 from repro.sim.rng import RngRegistry
 
@@ -79,6 +83,101 @@ class TestExplainRoute:
         text = render_route(net, explanations)
         assert text.count("\n") == len(explanations) - 1
         assert "prefix=" in text
+
+
+class TestRareCase:
+    """The rare-case fallback: leaf set does not cover the key and the
+    routing-table slot is (made) vacant."""
+
+    def _vacated_origin(self, network, rng):
+        """Find an (origin, key) pair where the key is outside the
+        origin's leaf-set range, then empty every routing-table entry the
+        origin could use for it."""
+        for _ in range(500):
+            origin = rng.choice(network.live_ids())
+            node = network.nodes[origin]
+            key = network.space.random_id(rng)
+            if key == origin or node.state.leaf_set.covers(key):
+                continue
+            while True:
+                entry = node.state.routing_table.next_hop_for(key)
+                if entry is None:
+                    return origin, key
+                node.state.forget(entry)
+        raise AssertionError("could not construct a rare-case scenario")
+
+    def test_rare_rule_post_hoc_and_at_decision_time(self):
+        observer = Observer()
+        network = PastryNetwork(rngs=RngRegistry(777), observer=observer)
+        network.build(80, method="join")
+        rng = network.rngs.stream("rare")
+        origin, key = self._vacated_origin(network, rng)
+
+        explanations = explain_route(network, key, origin)
+        assert explanations[0].rule == RULE_RARE
+        assert explanations[-1].rule == RULE_DELIVER_SELF
+        assert check_progress(explanations), render_route(network, explanations)
+
+        # The decision-time span agrees with the post-hoc re-derivation.
+        result = network.route(key, origin, trace=True)
+        traced = span_to_explanations(result.span)
+        assert [h.node_id for h in traced] == result.path
+        assert traced[0].rule == RULE_RARE
+
+
+class TestEnRoute:
+    """Lookups satisfied before reaching the root get RULE_EN_ROUTE."""
+
+    @pytest.fixture(scope="class")
+    def storage_net(self):
+        from repro.core.files import SyntheticData
+        from repro.core.network import PastNetwork
+
+        network = PastNetwork(rngs=RngRegistry(4321), cache_policy="none")
+        network.build(40, method="join", capacity_fn=lambda r: 1 << 22)
+        client = network.create_client(usage_quota=1 << 30)
+        handle = client.insert("en-route.bin", SyntheticData(1, 4000), 3)
+        return network, handle
+
+    def test_lookup_from_holder_is_en_route(self, storage_net):
+        from repro.core.ids import storage_key
+        from repro.core.messages import LookupRequest
+
+        network, handle = storage_net
+        holder = next(iter(network.files[handle.file_id].holders))
+        explanations = explain_route(
+            network.pastry,
+            storage_key(handle.file_id),
+            holder,
+            message=LookupRequest(handle.file_id),
+        )
+        assert [h.node_id for h in explanations] == [holder]
+        assert explanations[-1].rule == RULE_EN_ROUTE
+
+    def test_lookup_from_afar_ends_en_route(self, storage_net):
+        from repro.core.ids import storage_key
+        from repro.core.messages import LookupRequest
+
+        network, handle = storage_net
+        holders = network.files[handle.file_id].holders
+        rng = network.rngs.stream("en-route-test")
+        origin = rng.choice(
+            [n for n in network.pastry.live_ids() if n not in holders]
+        )
+        result = network.pastry.route(
+            storage_key(handle.file_id),
+            origin,
+            message=LookupRequest(handle.file_id),
+        )
+        assert result.delivered and result.reason == "en-route"
+        explanations = explain_route(
+            network.pastry,
+            storage_key(handle.file_id),
+            origin,
+            message=LookupRequest(handle.file_id),
+        )
+        assert explanations[-1].rule == RULE_EN_ROUTE
+        assert explanations[-1].next_node is None
 
 
 class TestCheckProgress:
