@@ -11,7 +11,10 @@ first:
 * ``fill``        -- the E9 insert-to-exhaustion measurement, compact;
 * ``churn``       -- the E15 availability measurement for one k;
 * ``metrics``     -- drive a small deployment and dump the metrics
-                     registry snapshot (optionally the event log too).
+                     registry snapshot (optionally the event log too);
+* ``chaos``       -- one deterministic fault-injection run with the
+                     invariant checker sweeping after every event
+                     (exits nonzero on any violation).
 
 Every command takes ``--seed`` so results are reproducible.
 """
@@ -186,6 +189,21 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        nodes=args.nodes,
+        files=args.files,
+        duration=args.duration,
+        events_path=args.events,
+    )
+    print(json.dumps(report, sort_keys=True, indent=2))
+    # CI greps this exit code: any invariant violation fails the run.
+    return 1 if report["violations"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--events", type=str, default=None,
                          help="also write the event log (JSONL) to this path")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    chaos = commands.add_parser(
+        "chaos", help="deterministic fault-injection run with invariant sweeps"
+    )
+    # Also accepted after the subcommand (``repro chaos --seed 7``);
+    # SUPPRESS keeps the global --seed value when it is not repeated.
+    chaos.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    chaos.add_argument("--nodes", type=int, default=30)
+    chaos.add_argument("--files", type=int, default=12)
+    chaos.add_argument("--duration", type=float, default=200.0)
+    chaos.add_argument("--events", type=str, nargs="?", const="chaos-events.jsonl",
+                       default=None,
+                       help="write the event log (JSONL) to this path "
+                            "(default chaos-events.jsonl when given bare)")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 

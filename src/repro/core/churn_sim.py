@@ -22,8 +22,21 @@ from repro.core.client import FileHandle
 from repro.core.errors import LookupFailedError
 from repro.core.maintenance import replication_census, restore_replication
 from repro.core.network import PastNetwork
+from repro.faults.plan import (
+    ADJACENT_FAILURE,
+    CRASH,
+    RESTART,
+    SLOW_NODE,
+    FaultEvent,
+)
+from repro.obs.events import FaultInjected
 from repro.obs.metrics import MetricsRegistry
-from repro.pastry.failure import notify_leafset_of_failure
+from repro.pastry.failure import (
+    notify_leafset_of_failure,
+    purge_failed,
+    recover_node,
+    stabilize_leaf_sets,
+)
 from repro.sim.engine import SimulationEngine
 from repro.workloads.churn import ARRIVAL, poisson_churn_schedule
 
@@ -62,10 +75,20 @@ class ChurnSimulation:
         lookup_interval: float = 1.0,
         node_capacity: int = 1 << 22,
         min_live_nodes: int = 8,
+        fault_plan=None,
+        checker=None,
     ) -> None:
         """Rates are events per simulated time unit.  Setting
         ``maintenance_interval`` to None disables failure recovery -- the
-        ablation that shows why the recovery procedure matters."""
+        ablation that shows why the recovery procedure matters.
+
+        *fault_plan* is an optional :class:`repro.faults.plan.FaultPlan`
+        whose scheduled events (crashes, restarts, coordinated adjacent
+        failures, slow nodes) are applied on the engine alongside the
+        Poisson churn; *checker* is an optional
+        :class:`repro.faults.invariants.InvariantChecker` run after every
+        injected event.
+        """
         self.network = network
         self.handles = handles
         self._rng = rng if rng is not None else network.rngs.stream("churn-sim")
@@ -75,6 +98,8 @@ class ChurnSimulation:
         self.lookup_interval = lookup_interval
         self.node_capacity = node_capacity
         self.min_live_nodes = min_live_nodes
+        self.fault_plan = fault_plan
+        self.checker = checker
         self.report = ChurnReport()
         # Tallying goes through the metrics registry (the network
         # observer's when one is installed, so churn counters appear in
@@ -126,6 +151,93 @@ class ChurnSimulation:
             self._metrics.counter("churn.lookups", outcome="failed").increment()
 
     # ------------------------------------------------------------------ #
+    # injected faults
+    # ------------------------------------------------------------------ #
+
+    def _emit_fault(self, kind: str, target: Optional[int], detail: str) -> None:
+        self._metrics.counter("faults.injected", kind=kind).increment()
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(FaultInjected(fault=kind, target=target, detail=detail))
+
+    def _crash_one(self, victim: int) -> None:
+        """Kill *victim* and run the synchronous detection sweep, so the
+        failure is *confirmed*: every survivor repairs, and the checker
+        is entitled to demand no dangling references remain."""
+        pastry = self.network.pastry
+        pastry.mark_failed(victim)
+        purge_failed(pastry, victim)
+        if self.checker is not None:
+            self.checker.confirm_dead(victim)
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        plan = self.fault_plan
+        pastry = self.network.pastry
+        live = pastry.live_ids()
+        if event.kind == CRASH:
+            if len(live) <= self.min_live_nodes:
+                return
+            victim = event.target if event.target is not None else plan.pick_target(live)
+            if victim is None or not pastry.is_live(victim):
+                return
+            self._crash_one(victim)
+            # One leaf-maintenance round: repair donors cannot advertise
+            # nodes they do not know, so a survivor missing from every
+            # donor's coverage must announce itself -- which is what the
+            # protocol's periodic leaf-set exchange does.
+            stabilize_leaf_sets(pastry)
+            plan.count(CRASH)
+            self._emit_fault(CRASH, victim, "injected crash")
+        elif event.kind == RESTART:
+            dead = sorted(
+                nid for nid, node in pastry.nodes.items() if not node.alive
+            )
+            victim = event.target if event.target is not None else plan.pick_target(dead)
+            if victim is None or pastry.is_live(victim):
+                return
+            recover_node(pastry, victim)
+            if self.checker is not None:
+                self.checker.confirm_alive(victim)
+            plan.count(RESTART)
+            self._emit_fault(RESTART, victim, "injected restart")
+        elif event.kind == ADJACENT_FAILURE:
+            if len(live) <= self.min_live_nodes + event.count:
+                return
+            # Fail *count* nodes with adjacent nodeIds around a seeded
+            # anchor key -- simultaneously (all marked dead before any
+            # repair runs), which is exactly the C6 precondition when
+            # count >= floor(l/2).
+            anchor = plan.pick_anchor(pastry.space.bits)
+            start = pastry.space.closest(anchor, iter(live))
+            index = live.index(start)
+            victims = [live[(index + i) % len(live)] for i in range(event.count)]
+            for victim in victims:
+                pastry.mark_failed(victim)
+            for victim in victims:
+                purge_failed(pastry, victim)
+                if self.checker is not None:
+                    self.checker.confirm_dead(victim)
+            # Per-victim repair ordering can leave one-directional leaf
+            # references after a *coordinated* failure; one maintenance
+            # round restores symmetry (see stabilize_leaf_sets).
+            stabilize_leaf_sets(pastry)
+            plan.count(ADJACENT_FAILURE)
+            self._emit_fault(
+                ADJACENT_FAILURE,
+                None,
+                f"{event.count} adjacent nodes around {anchor:x}",
+            )
+        elif event.kind == SLOW_NODE:
+            victim = event.target if event.target is not None else plan.pick_target(live)
+            if victim is None:
+                return
+            plan.set_slow(victim)
+            plan.count(SLOW_NODE)
+            self._emit_fault(SLOW_NODE, victim, "traffic stretched")
+        if self.checker is not None:
+            self.checker.check_all()
+
+    # ------------------------------------------------------------------ #
     # driver
     # ------------------------------------------------------------------ #
 
@@ -141,6 +253,12 @@ class ChurnSimulation:
         ):
             action = self._arrive if event.kind == ARRIVAL else self._depart
             engine.schedule_at(event.time, action)
+        if self.fault_plan is not None:
+            for fault_event in self.fault_plan.events:
+                engine.schedule_at(
+                    fault_event.time,
+                    lambda ev=fault_event: self._apply_fault(ev),
+                )
         if self.maintenance_interval is not None:
             engine.schedule_periodic(self.maintenance_interval, self._maintain)
         engine.schedule_periodic(self.lookup_interval, self._lookup)

@@ -30,6 +30,21 @@ class LookupFailedError(PastError):
     """No live node holding the file could be reached."""
 
 
+class DegradedError(PastError):
+    """An operation exhausted its retry budget and degraded instead of
+    hanging: the caller gets a typed failure carrying what was attempted,
+    so it can surface the outage or fall back (fault-injection layer)."""
+
+    def __init__(self, operation: str, attempts: int, detail: str = "") -> None:
+        self.operation = operation
+        self.attempts = attempts
+        self.detail = detail
+        message = f"{operation} degraded after {attempts} attempt(s)"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class ReclaimDeniedError(PastError):
     """The reclaim certificate's signer does not match the file's owner;
     only the owner may reclaim a file's storage (section 2.1)."""

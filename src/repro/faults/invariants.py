@@ -1,0 +1,317 @@
+"""The cross-layer invariant checker.
+
+After every injected fault the chaos driver sweeps the whole deployment
+and asserts the properties PAST's claims rest on:
+
+* **leaf-set symmetry** (C3): if node A holds live node B in its leaf
+  set, B must hold A -- unless B's corresponding side is full of
+  strictly closer members (A genuinely does not belong).
+* **leaf-set liveness** (C3/C6): once a failure has been *detected*
+  (confirmed dead), no live node's leaf set may still reference it --
+  the repair protocol must have scrubbed it.
+* **routing-table liveness** (C3/C7): same scrub requirement for
+  routing tables; lazy repair plus the detection sweep
+  (:func:`repro.pastry.failure.purge_failed`) must leave no confirmed
+  corpse in any table.
+* **replication** (C6/storage): every tracked, unreclaimed file keeps
+  at least ``k - confirmed_dead_holders`` live replicas -- replicas may
+  only go missing through a detected death, never silently.
+* **quota conservation** (C12): every registered client's card charge
+  stays within bounds, and the total charged across clients equals the
+  total ``size x k`` of their unreclaimed files (inserts charge,
+  rejections refund, reclaims credit -- nothing leaks).
+
+Undetected (silent) failures are deliberately tolerated: Pastry repairs
+on *detection*, so the checker tracks a ``confirmed_dead`` set that the
+driver updates as its failure-detection stand-ins run.
+
+Violations are frozen records, emitted through the observability event
+bus (:class:`~repro.obs.events.InvariantViolated`), so the chaos run's
+JSONL artifact carries them and CI can fail on their presence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set
+
+from repro.obs.events import InvariantChecked, InvariantViolated
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.client import PastClient
+    from repro.pastry.leaf_set import LeafSet
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, attributable and explainable."""
+
+    invariant: str
+    node_id: Optional[int]
+    detail: str
+
+
+def _admittable(leaf: "LeafSet", node_id: int) -> bool:
+    """Would ``leaf.add(node_id)`` admit this node?  Read-only mirror of
+    the leaf set's admission rule: a side that is not full always admits;
+    a full side admits anything strictly closer than its furthest member.
+    """
+    size = leaf.space.size
+    clockwise = (node_id - leaf.owner) % size
+    larger = leaf.larger_side()
+    if len(larger) < leaf.half:
+        return True
+    if clockwise < (larger[-1] - leaf.owner) % size:
+        return True
+    smaller = leaf.smaller_side()
+    if len(smaller) < leaf.half:
+        return True
+    return (size - clockwise) < (leaf.owner - smaller[-1]) % size
+
+
+class InvariantChecker:
+    """Sweeps a deployment (or bare overlay) for invariant violations.
+
+    *network* is either a :class:`~repro.core.network.PastNetwork`
+    (storage invariants included) or a bare
+    :class:`~repro.pastry.network.PastryNetwork` (overlay invariants
+    only).  *clients* are the writer clients whose quota ledgers the
+    conservation check covers -- register every client that inserts.
+    """
+
+    def __init__(self, network, clients: Iterable["PastClient"] = (), observer=None) -> None:
+        if hasattr(network, "pastry"):
+            self.past = network
+            self.pastry = network.pastry
+        else:
+            self.past = None
+            self.pastry = network
+        self.clients = list(clients)
+        self.obs = observer if observer is not None else self.pastry.obs
+        self.confirmed_dead: Set[int] = set()
+        # file_id -> confirmed holder deaths not yet compensated by
+        # maintenance.  Tracked here because restore_replication rewrites
+        # record.holders to the live survivors, erasing the very deaths
+        # the replication allowance (k - confirmed dead) must account for.
+        self._dead_holder_debt: dict = {}
+        self.checks_run = 0
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------ #
+    # failure-detection bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def confirm_dead(self, node_id: int) -> None:
+        """The failure of *node_id* has been detected (repairs ran).
+
+        Must be called while the registry still lists the node as a
+        holder (i.e. before a maintenance pass rewrites the record), so
+        the per-file death debt is charged correctly.
+        """
+        if node_id in self.confirmed_dead:
+            return
+        self.confirmed_dead.add(node_id)
+        if self.past is not None:
+            for record in self.past.files.values():
+                if not record.reclaimed and node_id in record.holders:
+                    file_id = record.certificate.file_id
+                    self._dead_holder_debt[file_id] = (
+                        self._dead_holder_debt.get(file_id, 0) + 1
+                    )
+
+    def confirm_alive(self, node_id: int) -> None:
+        """*node_id* recovered; references to it are legitimate again.
+
+        A revived node repays a file's death debt only while the registry
+        still lists it as a holder: then its copy counts as a live
+        replica again.  If maintenance already wrote the node off, the
+        stale copy is invisible to the replica count, so the debt (and
+        the loss it excuses) must stand.
+        """
+        self.confirmed_dead.discard(node_id)
+        if self.past is not None:
+            node = self.past.past_node(node_id)
+            if node is None:
+                return
+            for file_id, debt in list(self._dead_holder_debt.items()):
+                record = self.past.files.get(file_id)
+                if (
+                    debt > 0
+                    and record is not None
+                    and node_id in record.holders
+                    and (file_id in node.store
+                         or node.store.pointer(file_id) is not None)
+                ):
+                    self._dead_holder_debt[file_id] = debt - 1
+
+    # ------------------------------------------------------------------ #
+    # individual invariants
+    # ------------------------------------------------------------------ #
+
+    def check_leaf_symmetry(self) -> List[Violation]:
+        found: List[Violation] = []
+        nodes = self.pastry.nodes
+        for node_id in self.pastry.live_ids():
+            leaf = nodes[node_id].state.leaf_set
+            for member in leaf.members():
+                peer = nodes.get(member)
+                if peer is None or not peer.alive:
+                    continue
+                peer_leaf = peer.state.leaf_set
+                if node_id in peer_leaf:
+                    continue
+                if _admittable(peer_leaf, node_id):
+                    found.append(Violation(
+                        invariant="leaf-symmetry",
+                        node_id=node_id,
+                        detail=(
+                            f"{self.pastry.space.format_id(member)} admits "
+                            f"{self.pastry.space.format_id(node_id)} but does "
+                            "not hold it"
+                        ),
+                    ))
+        return found
+
+    def check_leaf_liveness(self) -> List[Violation]:
+        found: List[Violation] = []
+        for node_id in self.pastry.live_ids():
+            leaf = self.pastry.nodes[node_id].state.leaf_set
+            for member in leaf.members():
+                if member in self.confirmed_dead:
+                    found.append(Violation(
+                        invariant="leaf-liveness",
+                        node_id=node_id,
+                        detail=(
+                            "leaf set still references confirmed-dead "
+                            f"{self.pastry.space.format_id(member)}"
+                        ),
+                    ))
+        return found
+
+    def check_routing_liveness(self) -> List[Violation]:
+        found: List[Violation] = []
+        for node_id in self.pastry.live_ids():
+            table = self.pastry.nodes[node_id].state.routing_table
+            for entry in table.entries():
+                if entry in self.confirmed_dead:
+                    found.append(Violation(
+                        invariant="routing-liveness",
+                        node_id=node_id,
+                        detail=(
+                            "routing table still references confirmed-dead "
+                            f"{self.pastry.space.format_id(entry)}"
+                        ),
+                    ))
+        return found
+
+    def check_replication(self) -> List[Violation]:
+        found: List[Violation] = []
+        if self.past is None:
+            return found
+        for record in self.past.files.values():
+            if record.reclaimed:
+                continue
+            certificate = record.certificate
+            k = certificate.replication_factor
+            live = 0
+            for holder_id in record.holders:
+                if holder_id in self.confirmed_dead:
+                    continue
+                holder = self.past.past_node(holder_id)
+                if (
+                    holder is not None
+                    and self.past.pastry.is_live(holder_id)
+                    and (certificate.file_id in holder.store
+                         or holder.store.pointer(certificate.file_id) is not None)
+                ):
+                    live += 1
+            debt = self._dead_holder_debt.get(certificate.file_id, 0)
+            if live >= k:
+                # Fully replicated again: maintenance repaid the deaths.
+                self._dead_holder_debt.pop(certificate.file_id, None)
+                debt = 0
+            required = k - debt
+            if live < required:
+                found.append(Violation(
+                    invariant="replication",
+                    node_id=None,
+                    detail=(
+                        f"file {certificate.file_id:x} has {live} live "
+                        f"replicas, needs {required} "
+                        f"(k={k}, confirmed holder deaths={debt})"
+                    ),
+                ))
+        return found
+
+    def check_quota(self) -> List[Violation]:
+        found: List[Violation] = []
+        if self.past is None or not self.clients:
+            return found
+        total_used = 0
+        for client in self.clients:
+            card = client.card
+            used = card.quota_used
+            total_used += used
+            if used < 0 or used > card.usage_quota:
+                found.append(Violation(
+                    invariant="quota-conservation",
+                    node_id=None,
+                    detail=(
+                        f"card charge {used} outside "
+                        f"[0, {card.usage_quota}]"
+                    ),
+                ))
+        total_charged = sum(
+            record.certificate.size * record.certificate.replication_factor
+            for record in self.past.files.values()
+            if not record.reclaimed
+        )
+        if total_used != total_charged:
+            found.append(Violation(
+                invariant="quota-conservation",
+                node_id=None,
+                detail=(
+                    f"cards charged {total_used} bytes but unreclaimed "
+                    f"files account for {total_charged}"
+                ),
+            ))
+        return found
+
+    # ------------------------------------------------------------------ #
+    # the full sweep
+    # ------------------------------------------------------------------ #
+
+    def check_all(self) -> List[Violation]:
+        """Run every invariant; returns (and records, and emits) the
+        violations found in this sweep."""
+        found: List[Violation] = []
+        found.extend(self.check_leaf_symmetry())
+        found.extend(self.check_leaf_liveness())
+        found.extend(self.check_routing_liveness())
+        found.extend(self.check_replication())
+        found.extend(self.check_quota())
+        self.checks_run += 1
+        self.violations.extend(found)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("invariants.checks").increment()
+            for violation in found:
+                metrics.counter(
+                    "invariants.violations", invariant=violation.invariant
+                ).increment()
+                self.obs.emit(InvariantViolated(
+                    invariant=violation.invariant,
+                    node_id=violation.node_id,
+                    detail=violation.detail,
+                ))
+            self.obs.emit(InvariantChecked(
+                checks=self.checks_run, violations=len(found)
+            ))
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InvariantChecker(checks={self.checks_run}, "
+            f"violations={len(self.violations)}, "
+            f"confirmed_dead={len(self.confirmed_dead)})"
+        )

@@ -1,0 +1,58 @@
+"""Retry with exponential backoff and jitter.
+
+The live layer's original behaviour was a single ``asyncio.wait_for``
+per operation: one lost message stranded the caller until the (10 s)
+timeout and then failed outright.  :class:`RetryPolicy` replaces that
+with the standard production discipline -- bounded attempts, each with a
+per-attempt budget, separated by exponentially growing, jittered sleeps.
+Jitter comes from a caller-supplied :mod:`random.Random` (usually a
+:class:`~repro.sim.rng.RngRegistry` stream), so a seeded deployment
+produces a deterministic backoff sequence -- the property the retry
+regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry: ``attempts`` tries, exponential backoff between.
+
+    ``backoff(n)`` is the sleep before attempt *n+1* (n >= 1):
+    ``min(base_delay * factor**(n-1), max_delay)`` plus, when an rng is
+    supplied, a uniform jitter of up to ``jitter`` times the raw delay
+    (decorrelates retry storms from many concurrent callers).
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor below 1 would shrink the backoff")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbering is 1-based")
+        raw = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        if rng is not None and self.jitter > 0:
+            raw += rng.uniform(0.0, self.jitter * raw)
+        return raw
+
+    def delays(self, rng: Optional[random.Random] = None) -> List[float]:
+        """The full backoff sequence (``attempts - 1`` sleeps)."""
+        return [self.backoff(n, rng) for n in range(1, self.attempts)]

@@ -26,14 +26,16 @@ import itertools
 import random
 from typing import Dict, List, Optional
 
+from repro.core.errors import DegradedError
+from repro.faults.policy import RetryPolicy
 from repro.live.transport import InProcessTransport, Message
 from repro.netsim.topology import EuclideanPlaneTopology, Topology
-from repro.obs.events import NodeFailed, NodeJoined
+from repro.obs.events import NodeFailed, NodeJoined, RetryAttempted
 from repro.obs.recorder import Observer
 from repro.pastry.nodeid import IdSpace
-from repro.pastry.routing import DeterministicRouting
+from repro.pastry.routing import DeterministicRouting, RandomizedRouting
 from repro.pastry.state import NodeState
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, stable_seed
 
 ROUTE_TIMEOUT = 10.0  # seconds of real time; generous for CI machines
 
@@ -103,10 +105,22 @@ class LiveNode:
         return delivered
 
     async def _forward_route(self, payload: dict) -> None:
-        """Advance a route message one hop (or deliver it here)."""
+        """Advance a route message one hop (or deliver it here).
+
+        Retried messages carry a ``randomized_seed``: those hops are
+        chosen by the randomized policy (claim C7), deterministically per
+        (retry, node), so a retry explores an alternate path around
+        whatever swallowed the original instead of repeating it.
+        """
         key = payload["key"]
+        policy = self._policy
+        rng = None
+        retry_seed = payload.get("randomized_seed")
+        if retry_seed is not None:
+            policy = RandomizedRouting()
+            rng = random.Random(stable_seed(retry_seed, self.node_id))
         while True:
-            hop = self._policy.next_hop(self.state, key)
+            hop = policy.next_hop(self.state, key, rng)
             if hop is not None and hop in payload["trail"]:
                 hop = None  # cycle guard: deliver here (see network.route)
             if hop is None:
@@ -251,6 +265,8 @@ class LiveCluster:
         topology: Optional[Topology] = None,
         space: Optional[IdSpace] = None,
         observer: Optional[Observer] = None,
+        fault_plan=None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.space = space if space is not None else IdSpace(128, 4)
         self.rngs = RngRegistry(seed)
@@ -265,7 +281,12 @@ class LiveCluster:
         # benchmark, so it observes itself by default (the clock stays
         # None: event timestamps are 0.0, ordering by sequence number).
         self.obs = observer if observer is not None else Observer()
-        self.transport = InProcessTransport()
+        # *fault_plan* threads message-level chaos through the transport;
+        # *retry* is the backoff discipline every client-facing operation
+        # runs under (one-shot waits were how lost replies used to hang).
+        self.transport = InProcessTransport(faults=fault_plan)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._backoff_rng = self.rngs.stream("retry-backoff")
         self.nodes: Dict[int, LiveNode] = {}
         self._route_futures: Dict[int, asyncio.Future] = {}
         self._request_ids = itertools.count(1)
@@ -397,23 +418,60 @@ class LiveCluster:
         if future is not None and not future.done():
             future.set_result(path)
 
+    def _emit_retry(self, op: str, attempt: int, delay: float,
+                    request_id: int) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter("live.retries", op=op).increment()
+            self.obs.emit(RetryAttempted(
+                op=op, attempt=attempt, delay=delay, request_id=request_id
+            ))
+
     async def route(self, key: int, origin: int,
                     timeout: float = ROUTE_TIMEOUT) -> List[int]:
-        """Route *key* from *origin*; returns the path (origin..root)."""
+        """Route *key* from *origin*; returns the path (origin..root).
+
+        Runs under the cluster's retry policy: each attempt gets an equal
+        share of *timeout*; a lost message triggers exponential backoff
+        and a re-send that routes via randomized alternates (claim C7).
+        Exhausting every attempt raises :class:`DegradedError` -- the
+        caller degrades instead of hanging on one lost reply.
+        """
         request_id = next(self._request_ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._route_futures[request_id] = future
-        payload = {
-            "key": key,
-            "origin": origin,
-            "request_id": request_id,
-            "trail": [],
-            "purpose": "lookup",
-        }
-        await self.transport.send(
-            origin, Message(kind="route", sender=origin, payload=payload)
-        )
+        policy = self.retry
+        attempt_timeout = timeout / policy.attempts
         try:
-            return await asyncio.wait_for(future, timeout)
+            for attempt in range(policy.attempts):
+                payload = {
+                    "key": key,
+                    "origin": origin,
+                    "request_id": request_id,
+                    "trail": [],
+                    "purpose": "lookup",
+                }
+                if attempt > 0:
+                    payload["randomized_seed"] = stable_seed(
+                        self.rngs.master_seed, request_id, attempt
+                    )
+                await self.transport.send(
+                    origin, Message(kind="route", sender=origin, payload=payload)
+                )
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(future), attempt_timeout
+                    )
+                except asyncio.TimeoutError:
+                    if attempt + 1 >= policy.attempts:
+                        break
+                    delay = policy.backoff(attempt + 1, self._backoff_rng)
+                    self._emit_retry("route", attempt + 1, delay, request_id)
+                    await asyncio.sleep(delay)
+            raise DegradedError(
+                "route", policy.attempts,
+                f"key {key:x} from {origin:x}: no reply",
+            )
         finally:
-            self._route_futures.pop(request_id, None)
+            pending = self._route_futures.pop(request_id, None)
+            if pending is not None and not pending.done():
+                pending.cancel()

@@ -22,10 +22,17 @@ import itertools
 from typing import Dict, List, Optional
 
 from repro.core.certificates import FileCertificate
+from repro.core.errors import DegradedError
 from repro.core.files import FileData
 from repro.core.storage import FileStore
 from repro.live.cluster import LiveCluster, LiveNode, ROUTE_TIMEOUT
 from repro.live.transport import Message
+from repro.sim.rng import stable_seed
+
+# Root-side pending inserts expire after this long: if the client has
+# stopped retrying (its own timeout is ROUTE_TIMEOUT) the entry is
+# garbage, and keeping it would strand the fan-out state forever.
+PENDING_INSERT_TTL = 2.5 * ROUTE_TIMEOUT
 
 
 class LiveStorageNode(LiveNode):
@@ -35,8 +42,12 @@ class LiveStorageNode(LiveNode):
                  capacity: int) -> None:
         super().__init__(cluster, node_id)
         self.store = FileStore(capacity)
-        # insert_id -> {"needed", "receipts", "client"} at the root.
+        # insert_id -> {"needed", "stored", "client", "expiry"} at the root.
         self._pending_inserts: Dict[int, dict] = {}
+        # request_id -> final result payload: lets the root replay the
+        # outcome when a retried insert arrives after completion (the
+        # original insert-result may have been lost in flight).
+        self._completed_inserts: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------ #
     # route delivery overrides
@@ -89,7 +100,31 @@ class LiveStorageNode(LiveNode):
     # ------------------------------------------------------------------ #
 
     async def _insert_as_root(self, payload: dict) -> None:
+        request_id = payload["request_id"]
+        completed = self._completed_inserts.get(request_id)
+        if completed is not None:
+            # Client retry after we finished: the original result was
+            # lost; replay it instead of re-running the insert.
+            await self._send(
+                payload["client"],
+                Message(kind="insert-result", sender=self.node_id,
+                        payload=completed),
+            )
+            return
+        pending = self._pending_inserts.get(request_id)
+        if pending is not None:
+            # Client retry while the fan-out is still collecting acks:
+            # re-poke only the replicas that have not answered yet.
+            await self._repoke_pending(pending)
+            return
         certificate: FileCertificate = payload["certificate"]
+        if certificate.file_id in self.store:
+            # Files are immutable and a fileId cannot be inserted twice;
+            # the root holds every file it placed, so it is the natural
+            # place to refuse duplicates (retries of *this* insert never
+            # reach here -- they hit the pending/completed paths above).
+            await self._insert_failed(payload, "duplicate")
+            return
         k = certificate.replication_factor
         key = certificate.storage_key()
         try:
@@ -101,10 +136,14 @@ class LiveStorageNode(LiveNode):
             "needed": set(replica_ids),
             "stored": set(),
             "client": payload["client"],
-            "request_id": payload["request_id"],
+            "request_id": request_id,
             "certificate": certificate,
+            "data": payload["data"],
+            "expiry": asyncio.get_running_loop().call_later(
+                PENDING_INSERT_TTL, self._expire_pending_insert, request_id
+            ),
         }
-        self._pending_inserts[payload["request_id"]] = pending
+        self._pending_inserts[request_id] = pending
         for replica_id in replica_ids:
             if replica_id == self.node_id:
                 if self._store_locally(certificate, payload["data"]):
@@ -114,13 +153,37 @@ class LiveStorageNode(LiveNode):
                 kind="store-request",
                 sender=self.node_id,
                 payload={
-                    "request_id": payload["request_id"],
+                    "request_id": request_id,
                     "certificate": certificate,
                     "data": payload["data"],
                 },
             )
             await self._send(replica_id, message)
-        await self._maybe_finish_insert(payload["request_id"])
+        await self._maybe_finish_insert(request_id)
+
+    async def _repoke_pending(self, pending: dict) -> None:
+        """Re-send store requests to the replicas still missing an ack
+        (their request or their ack was lost)."""
+        for replica_id in sorted(pending["needed"] - pending["stored"]):
+            if replica_id == self.node_id:
+                continue
+            await self._send(
+                replica_id,
+                Message(
+                    kind="store-request",
+                    sender=self.node_id,
+                    payload={
+                        "request_id": pending["request_id"],
+                        "certificate": pending["certificate"],
+                        "data": pending["data"],
+                    },
+                ),
+            )
+
+    def _expire_pending_insert(self, request_id: int) -> None:
+        """Drop a fan-out whose client stopped retrying; without this a
+        single lost ack would strand the pending entry forever."""
+        self._pending_inserts.pop(request_id, None)
 
     def _store_locally(self, certificate: FileCertificate,
                        data: FileData) -> bool:
@@ -136,9 +199,17 @@ class LiveStorageNode(LiveNode):
         return True
 
     async def _on_store_request(self, message: Message) -> None:
-        ok = self._store_locally(
-            message.payload["certificate"], message.payload["data"]
-        )
+        certificate: FileCertificate = message.payload["certificate"]
+        ok = self._store_locally(certificate, message.payload["data"])
+        if not ok:
+            # Idempotent re-store: a retried request for a replica we
+            # already hold (the earlier ack was lost) is an ack, not a
+            # refusal.  Genuine duplicates are refused at the root.
+            held = self.store.get(certificate.file_id)
+            ok = (
+                held is not None
+                and held.certificate.content_hash == certificate.content_hash
+            )
         await self._send(
             message.sender,
             Message(
@@ -163,27 +234,36 @@ class LiveStorageNode(LiveNode):
         if pending is None:
             return
         if pending["stored"] >= pending["needed"]:
-            del self._pending_inserts[request_id]
+            self._retire_pending(request_id, pending)
+            result = {
+                "request_id": request_id,
+                "success": True,
+                "holders": sorted(pending["stored"]),
+            }
+            self._completed_inserts[request_id] = result
             await self._send(
                 pending["client"],
-                Message(
-                    kind="insert-result",
-                    sender=self.node_id,
-                    payload={
-                        "request_id": request_id,
-                        "success": True,
-                        "holders": sorted(pending["stored"]),
-                    },
-                ),
+                Message(kind="insert-result", sender=self.node_id,
+                        payload=result),
             )
         elif pending["needed"] - pending["stored"] and \
                 len(pending["needed"]) < pending["certificate"].replication_factor:
             # Someone refused: the insert cannot reach k replicas.
-            del self._pending_inserts[request_id]
+            self._retire_pending(request_id, pending)
+            self._completed_inserts[request_id] = {
+                "request_id": request_id, "success": False,
+                "reason": "refused", "holders": [],
+            }
             await self._insert_failed(
                 {"client": pending["client"], "request_id": request_id},
                 "refused",
             )
+
+    def _retire_pending(self, request_id: int, pending: dict) -> None:
+        del self._pending_inserts[request_id]
+        expiry = pending.get("expiry")
+        if expiry is not None:
+            expiry.cancel()
 
     async def _insert_failed(self, payload: dict, reason: str) -> None:
         await self._send(
@@ -232,19 +312,52 @@ class LiveStorageCluster(LiveCluster):
 
     async def _request(self, origin: int, payload: dict,
                        timeout: float = ROUTE_TIMEOUT) -> dict:
+        """Issue a storage request under the retry policy.
+
+        The request keeps one request_id across attempts so the root can
+        recognise retries (resume a pending fan-out, replay a completed
+        result) instead of double-inserting.  The old one-shot
+        ``wait_for(future, timeout)`` stranded the future and the root's
+        fan-out state whenever a single reply was lost; now each attempt
+        gets a share of *timeout*, retries reroute via randomized
+        alternates, and exhaustion raises :class:`DegradedError` with the
+        pending entry cleaned up.
+        """
         request_id = next(self._op_ids)
-        payload["request_id"] = request_id
-        payload["client"] = origin
-        payload["trail"] = []
+        op = payload.get("purpose", "request")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._request_futures[request_id] = future
-        await self.transport.send(
-            origin, Message(kind="route", sender=origin, payload=payload)
-        )
+        policy = self.retry
+        attempt_timeout = timeout / policy.attempts
         try:
-            return await asyncio.wait_for(future, timeout)
+            for attempt in range(policy.attempts):
+                attempt_payload = dict(payload)
+                attempt_payload["request_id"] = request_id
+                attempt_payload["client"] = origin
+                attempt_payload["trail"] = []
+                if attempt > 0:
+                    attempt_payload["randomized_seed"] = stable_seed(
+                        self.rngs.master_seed, request_id, attempt
+                    )
+                await self.transport.send(
+                    origin,
+                    Message(kind="route", sender=origin, payload=attempt_payload),
+                )
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(future), attempt_timeout
+                    )
+                except asyncio.TimeoutError:
+                    if attempt + 1 >= policy.attempts:
+                        break
+                    delay = policy.backoff(attempt + 1, self._backoff_rng)
+                    self._emit_retry(op, attempt + 1, delay, request_id)
+                    await asyncio.sleep(delay)
+            raise DegradedError(op, policy.attempts, "no reply")
         finally:
-            self._request_futures.pop(request_id, None)
+            pending = self._request_futures.pop(request_id, None)
+            if pending is not None and not pending.done():
+                pending.cancel()
 
     async def insert(self, certificate: FileCertificate, data: FileData,
                      origin: int) -> dict:

@@ -1,10 +1,16 @@
-"""In-process asyncio transport: mailboxes, latency, failures.
+"""In-process asyncio transport: mailboxes, latency, failures, faults.
 
 Each node owns an ``asyncio.Queue`` mailbox.  ``send`` optionally sleeps
 a latency drawn from a latency model before enqueueing, so messages
 genuinely overtake each other when routes differ -- the concurrency the
 live tests exercise.  Sends to unregistered or dead addresses fail
 (return False), which is how a live node discovers a peer's death.
+
+A :class:`~repro.faults.plan.FaultPlan` can be attached (construction
+or later, via the public ``faults`` attribute) to inject message-level
+chaos: drops (silent loss -- the send *appears* to succeed, unlike a
+dead peer, so only a timeout reveals it), duplicates, extra delay, and
+reorders (deferred enqueue that lets later messages overtake).
 """
 
 from __future__ import annotations
@@ -31,17 +37,24 @@ class InProcessTransport:
     """Mailbox-per-node message passing with failure semantics."""
 
     def __init__(self, latency: Optional[LatencyModel] = None,
-                 latency_scale: float = 0.001) -> None:
+                 latency_scale: float = 0.001,
+                 faults=None) -> None:
         """*latency_scale* converts latency-model units into seconds of
         real asyncio sleep (keep it small; the point is ordering, not
-        wall-clock realism)."""
+        wall-clock realism).  *faults* is an optional
+        :class:`~repro.faults.plan.FaultPlan` consulted per send."""
         self._mailboxes: Dict[int, asyncio.Queue] = {}
         self._dead: Set[int] = set()
         self._latency = latency
         self._latency_scale = latency_scale
+        self.faults = faults
         self._sequence = itertools.count(1)
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.faults_dropped = 0
+        self.faults_duplicated = 0
+        self.faults_reordered = 0
+        self.faults_delayed = 0
 
     def register(self, address: int) -> asyncio.Queue:
         """Create the mailbox for a new node."""
@@ -67,12 +80,20 @@ class InProcessTransport:
 
         The failure is reported to the *sender* (models a timeout /
         connection refusal), which is what triggers repair in the node
-        runtime.
+        runtime.  An injected *drop* instead returns True without
+        delivering -- a lost packet looks like success until no reply
+        arrives, which is what the retry/backoff layer handles.
         """
         message.message_id = next(self._sequence)
         if destination in self._dead or destination not in self._mailboxes:
             self.messages_dropped += 1
             return False
+        fault = None
+        if self.faults is not None:
+            fault = self.faults.message_fault(message.sender, destination)
+            if fault is not None and fault.drop:
+                self.faults_dropped += 1
+                return True
         if self._latency is not None:
             delay = self._latency.delay(message.sender, destination)
             if delay > 0:
@@ -81,8 +102,26 @@ class InProcessTransport:
             if destination in self._dead:
                 self.messages_dropped += 1
                 return False
+        if fault is not None and fault.delay > 0:
+            self.faults_delayed += 1
+            await asyncio.sleep(fault.delay * self._latency_scale)
+            if destination in self._dead:
+                self.messages_dropped += 1
+                return False
         self.messages_sent += 1
-        self._mailboxes[destination].put_nowait(message)
+        queue = self._mailboxes[destination]
+        if fault is not None and fault.defer > 0:
+            # Reorder: enqueue later without blocking the sender, so
+            # messages sent after this one genuinely overtake it.
+            self.faults_reordered += 1
+            asyncio.get_running_loop().call_later(
+                fault.defer * self._latency_scale, queue.put_nowait, message
+            )
+        else:
+            queue.put_nowait(message)
+        if fault is not None and fault.duplicate:
+            self.faults_duplicated += 1
+            queue.put_nowait(message)
         return True
 
     async def receive(self, address: int, timeout: Optional[float] = None) -> Optional[Message]:

@@ -127,6 +127,46 @@ class ReclaimCompleted(Event):
     receipts: int
 
 
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """The fault-injection layer fired one planned fault."""
+
+    kind: ClassVar[str] = "fault-injected"
+    fault: str
+    target: Optional[int]
+    detail: str
+
+
+@dataclass(frozen=True)
+class RetryAttempted(Event):
+    """A live operation timed out and is being retried with backoff."""
+
+    kind: ClassVar[str] = "retry-attempted"
+    op: str
+    attempt: int
+    delay: float
+    request_id: int
+
+
+@dataclass(frozen=True)
+class InvariantViolated(Event):
+    """The cross-layer invariant checker found a broken invariant."""
+
+    kind: ClassVar[str] = "invariant-violated"
+    invariant: str
+    node_id: Optional[int]
+    detail: str
+
+
+@dataclass(frozen=True)
+class InvariantChecked(Event):
+    """One full invariant sweep finished (violations may be zero)."""
+
+    kind: ClassVar[str] = "invariant-checked"
+    checks: int
+    violations: int
+
+
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
     for cls in (
@@ -140,6 +180,10 @@ EVENT_TYPES: Dict[str, type] = {
         ReplicaDiverted,
         CacheHit,
         ReclaimCompleted,
+        FaultInjected,
+        RetryAttempted,
+        InvariantViolated,
+        InvariantChecked,
     )
 }
 
@@ -156,6 +200,8 @@ for _kind, _cls in EVENT_TYPES.items():
             _fields[_field.name] = (bool,)
         elif annotation in ("str", str):
             _fields[_field.name] = (str,)
+        elif annotation in ("float", float):
+            _fields[_field.name] = (int, float)
         else:  # Optional[int] is the only other annotation in use
             _fields[_field.name] = (int, type(None))
     _FIELD_TYPES[_kind] = _fields

@@ -70,6 +70,16 @@ def repair_leaf_set(network: "PastryNetwork", node: PastryNode, dead_id: int) ->
     for member in donor.state.leaf_set.members() | {donor_id}:
         if member != node.node_id and network.is_live(member):
             node.state.learn(member)
+    # Announce back: members merged in above must learn the repairing
+    # node too, or the symmetry invariant decays -- A would hold B
+    # without B holding A, and B's keep-alives would never reach A.
+    for member in sorted(node.state.leaf_set.members()):
+        if not network.is_live(member):
+            continue
+        peer = network.nodes[member]
+        if node.node_id not in peer.state.leaf_set:
+            network.count_message("repair")
+            peer.learn(node.node_id)
     return network.stats.counter("messages.repair").value - before
 
 
@@ -113,6 +123,11 @@ def repair_routing_entry(
                 and network.is_live(candidate)
             ):
                 node.state.learn(candidate)
+                # The liveness probe on the new entry doubles as mutual
+                # discovery: the candidate learns the prober, so a repair
+                # never creates a one-directional leaf-set reference.
+                network.count_message("repair")
+                network.nodes[candidate].learn(node.node_id)
                 if table.lookup(row, col) is not None:
                     return network.stats.counter("messages.repair").value - before
         if query_row > row + 2:
@@ -148,11 +163,93 @@ def notify_leafset_of_failure(network: "PastryNetwork", failed_id: int) -> int:
     return network.stats.counter("messages.repair").value - before
 
 
+def purge_failed(network: "PastryNetwork", failed_id: int) -> int:
+    """Full detection sweep for one confirmed failure: every live node
+    that references *failed_id* anywhere (leaf set, routing table, or
+    neighborhood set) reacts as if its keep-alive / lazy-discovery
+    machinery had just fired, forgetting the corpse and repairing.
+
+    This is the synchronous stand-in the fault-injection driver runs
+    after each injected crash so the invariant checker's liveness
+    invariants (no *confirmed* corpse referenced anywhere) are meaningful.
+    Returns total repair messages.
+
+    Runs in two phases -- every affected node forgets the corpse first,
+    repairs second.  Interleaving them (plain ``on_dead_entry`` per node)
+    lets an early repairer's announce bounce off a later node whose leaf
+    side is still clogged by the corpse, leaving a one-directional
+    reference once that node finally evicts it.
+    """
+    before = network.stats.counter("messages.repair").value
+    affected = []
+    for node_id in network.live_ids():
+        node = network.nodes[node_id]
+        state = node.state
+        in_leaf = failed_id in state.leaf_set
+        in_table = failed_id in state.routing_table
+        in_hood = failed_id in state.neighborhood.members()
+        if in_leaf or in_table or in_hood:
+            slot = state.routing_table.slot_for(failed_id)
+            state.forget(failed_id)
+            affected.append((node, in_leaf, in_table, slot))
+    for node, in_leaf, in_table, slot in affected:
+        if in_leaf:
+            repair_leaf_set(network, node, failed_id)
+        if in_table and slot is not None:
+            repair_routing_entry(network, node, *slot)
+    return network.stats.counter("messages.repair").value - before
+
+
+def stabilize_leaf_sets(network: "PastryNetwork") -> int:
+    """One round of the periodic leaf-set maintenance every Pastry node
+    runs: each live node exchanges leaf sets with its current members
+    (request + reply each) and both sides merge what they hear.
+
+    Needed after *coordinated* failures: per-victim repair ordering can
+    leave one-directional references -- A re-admits B while B's side is
+    still clogged with corpses A has already purged, so A's announce
+    bounces; the next maintenance round (this) restores symmetry.
+    Returns total messages used.
+    """
+    before = network.stats.counter("messages.repair").value
+    for node_id in network.live_ids():
+        node = network.nodes[node_id]
+        for member in sorted(node.state.leaf_set.members()):
+            if not network.is_live(member):
+                node.on_dead_entry(member)
+                continue
+            network.count_message("repair", 2)
+            peer = network.nodes[member]
+            for known in peer.state.leaf_set.members() | {member}:
+                if known != node_id and network.is_live(known):
+                    node.state.learn(known)
+        # Announce back AFTER all merges: every node now in the leaf set
+        # (whether held before the round or acquired during it) must
+        # learn the owner too, or the round itself would mint the very
+        # one-directional references it exists to remove.
+        for member in sorted(node.state.leaf_set.members()):
+            if not network.is_live(member):
+                continue
+            peer = network.nodes[member]
+            if node_id not in peer.state.leaf_set:
+                network.count_message("repair")
+                peer.learn(node_id)
+    return network.stats.counter("messages.repair").value - before
+
+
 def recover_node(network: "PastryNetwork", node_id: int) -> int:
     """Bring a failed node back per the paper: contact the last known leaf
     set, refresh from their current leaf sets, announce presence."""
     before = network.stats.counter("messages.repair").value
     node = network.mark_recovered(node_id)
+    # The node's whole state is stale: anything that died while it was
+    # down must be scrubbed now (one unanswered probe each), or its
+    # routing table would carry confirmed corpses until lazy repair
+    # happened to trip over them.
+    for known in sorted(node.state.known_nodes()):
+        if not network.is_live(known):
+            network.count_message("repair")
+            node.state.forget(known)
     last_known = sorted(node.state.leaf_set.members())
     # Drop stale members; refresh from the live ones.
     for member in last_known:

@@ -1,0 +1,206 @@
+"""Seeded property tests for the fault-injection harness: the C6
+boundary and its complement, C7 randomized rerouting, and chaos-run
+determinism.
+
+Claim C6 (Pastry): eventual delivery is guaranteed unless floor(l/2)
+nodes with *adjacent* nodeIds fail simultaneously.  With leaf capacity
+l=8 the boundary is 4:
+
+* **complement** (floor(l/2)-1 = 3 adjacent simultaneous failures):
+  every routed message must still reach the live node numerically
+  closest to the key -- 25 seeded topology/key/victim combinations;
+* **boundary** (floor(l/2) = 4 adjacent simultaneous failures): loss is
+  *permitted* but never silent corruption -- routing either delivers at
+  the true root or reports non-delivery; it must not crash, loop, or
+  deliver at a wrong node claiming success -- 25 more seeded cases.
+
+Claim C7: when a malicious node swallows deterministically-routed
+messages, retries under :class:`RandomizedRouting` with fresh seeds
+reach the root with high probability -- 20 seeded cases.
+
+Every case is deterministic: all randomness flows from the case's seed.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.experiments import build_pastry
+from repro.faults.chaos import run_chaos
+from repro.faults.plan import FaultPlan, build_schedule
+from repro.pastry.routing import RandomizedRouting
+from repro.sim.rng import stable_seed
+
+LEAF_CAPACITY = 8
+HALF_LEAF = LEAF_CAPACITY // 2  # floor(l/2): the C6 boundary
+NODES = 24
+
+
+def _build(seed):
+    return build_pastry(
+        NODES, seed=seed, leaf_capacity=LEAF_CAPACITY, method="oracle"
+    )
+
+
+def _fail_adjacent(network, key, count, rng):
+    """Simultaneously fail *count* nodes with adjacent nodeIds starting
+    at the key's root (all marked dead before any routing runs -- the
+    C6 precondition).  Returns the victims."""
+    live = network.live_ids()
+    root = network.global_root(key)
+    index = live.index(root)
+    victims = [live[(index + i) % len(live)] for i in range(count)]
+    for victim in victims:
+        network.mark_failed(victim)
+    return victims
+
+
+def _pick_origin(network, rng, exclude):
+    candidates = [n for n in network.live_ids() if n not in exclude]
+    return rng.choice(candidates)
+
+
+class TestC6Complement:
+    """floor(l/2)-1 adjacent failures: delivery is guaranteed."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_route_survives_subboundary_adjacent_failures(self, seed):
+        network = _build(seed)
+        rng = random.Random(seed)
+        key = network.space.random_id(rng)
+        victims = _fail_adjacent(network, key, HALF_LEAF - 1, rng)
+        origin = _pick_origin(network, rng, set(victims))
+        result = network.route(key, origin)
+        assert result.delivered, (
+            f"seed {seed}: {HALF_LEAF - 1} adjacent failures must not "
+            f"break delivery (reason: {result.reason})"
+        )
+        # Delivered at the *correct* node: the live node numerically
+        # closest to the key, recomputed after the failures.
+        assert result.path[-1] == network.global_root(key)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_delivery_from_every_origin(self, seed):
+        """The complement guarantee is unconditional on the origin:
+        below the boundary, *every* surviving node can still reach the
+        key's root."""
+        network = _build(seed)
+        rng = random.Random(seed)
+        key = network.space.random_id(rng)
+        _fail_adjacent(network, key, HALF_LEAF - 1, rng)
+        root = network.global_root(key)
+        for origin in network.live_ids():
+            result = network.route(key, origin)
+            assert result.delivered, (
+                f"seed {seed}: origin {origin:x} lost the message "
+                f"(reason: {result.reason})"
+            )
+            assert result.path[-1] == root
+
+
+class TestC6Boundary:
+    """floor(l/2) adjacent failures: loss permitted, corruption not."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_boundary_failures_never_misdeliver(self, seed):
+        network = _build(seed)
+        rng = random.Random(seed + 1000)
+        key = network.space.random_id(rng)
+        victims = _fail_adjacent(network, key, HALF_LEAF, rng)
+        origin = _pick_origin(network, rng, set(victims))
+        result = network.route(key, origin)
+        # C6 permits loss at this boundary; it never permits a *wrong*
+        # answer.  Whatever happened, the route terminated (no crash,
+        # no loop) and a claimed delivery landed on a live node.
+        assert len(result.path) <= 4 * network.space.digits + LEAF_CAPACITY + 1
+        if result.delivered and result.reason is None:
+            assert network.is_live(result.path[-1])
+            assert result.path[-1] == network.global_root(key)
+
+    def test_boundary_is_sharp_in_the_schedule(self):
+        """build_schedule encodes the boundary: its adjacent-failure
+        events come in exactly two sizes, floor(l/2) (boundary) and
+        floor(l/2)-1 (complement)."""
+        events = build_schedule(3, 100.0, half_leaf=HALF_LEAF)
+        counts = sorted(
+            e.count for e in events if e.kind == "adjacent-failure"
+        )
+        assert counts == [HALF_LEAF - 1, HALF_LEAF]
+
+
+class TestC7RandomizedRerouting:
+    """A malicious node on the deterministic path is routed around."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_randomized_retries_reach_root(self, seed):
+        network = _build(seed + 500)
+        rng = random.Random(seed)
+        # Find a key whose deterministic route has an interior hop we
+        # can corrupt (origin and root excluded).
+        for _ in range(50):
+            key = network.space.random_id(rng)
+            origin = rng.choice(network.live_ids())
+            baseline = network.route(key, origin)
+            if baseline.delivered and len(baseline.path) >= 3:
+                break
+        else:
+            pytest.skip("no 3-hop route found at this seed")
+        root = baseline.path[-1]
+        mole = baseline.path[1]
+        network.nodes[mole].malicious = True
+        dropped = network.route(key, origin)
+        assert not dropped.delivered and dropped.reason == "dropped"
+        # C7: retried queries under randomized routing, each with a
+        # fresh seed, reach the root with high probability.
+        policy = RandomizedRouting()
+        for attempt in range(12):
+            retry_rng = random.Random(stable_seed("c7-retry", seed, attempt))
+            result = network.route(key, origin, policy=policy, rng=retry_rng)
+            if result.delivered:
+                assert result.path[-1] == root
+                assert mole not in result.path[1:]
+                break
+        else:
+            pytest.fail(f"seed {seed}: 12 randomized retries all dropped")
+
+
+class TestChaosDeterminism:
+    """Same seed, same bytes -- the acceptance bar for the harness."""
+
+    def test_identical_seeds_identical_reports(self):
+        first = run_chaos(seed=11, nodes=20, files=6, duration=80.0)
+        second = run_chaos(seed=11, nodes=20, files=6, duration=80.0)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(seed=1, nodes=20, files=6, duration=80.0)
+        b = run_chaos(seed=2, nodes=20, files=6, duration=80.0)
+        assert a["schedule"] != b["schedule"]
+
+    def test_chaos_run_holds_invariants(self):
+        report = run_chaos(seed=11, nodes=20, files=6, duration=80.0)
+        assert report["violations"] == []
+        assert report["invariant_checks"] >= 2  # baseline + final at least
+        assert report["faults_injected"]  # the schedule actually fired
+
+
+class TestFaultPlanDeterminism:
+    """The plan's per-message decisions are a pure function of the seed."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_message_fault_stream_reproducible(self, seed):
+        plan_a = FaultPlan(seed=seed, drop_rate=0.3, delay_rate=0.2)
+        plan_b = FaultPlan(seed=seed, drop_rate=0.3, delay_rate=0.2)
+        decisions_a = [plan_a.message_fault(1, 2) for _ in range(50)]
+        decisions_b = [plan_b.message_fault(1, 2) for _ in range(50)]
+        assert decisions_a == decisions_b
+
+    def test_schedules_reproducible(self):
+        one = build_schedule(9, 200.0, half_leaf=HALF_LEAF)
+        two = build_schedule(9, 200.0, half_leaf=HALF_LEAF)
+        assert [(e.time, e.kind, e.count) for e in one] == [
+            (e.time, e.kind, e.count) for e in two
+        ]
