@@ -17,10 +17,11 @@ from repro.analysis.stats import mean
 from repro.baselines.can_routing import CanNetwork
 from repro.baselines.central_index import CentralIndexNetwork, IndexUnavailableError
 from repro.baselines.chord import ChordNetwork
-from repro.baselines.kademlia import KademliaNetwork
 from repro.baselines.flooding import FloodingNetwork
+from repro.baselines.kademlia import KademliaNetwork
 from repro.pastry.network import PastryNetwork
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 1000

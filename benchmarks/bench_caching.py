@@ -18,6 +18,7 @@ from repro.core.files import SyntheticData
 from repro.core.network import PastNetwork
 from repro.sim.rng import RngRegistry
 from repro.workloads.popularity import ZipfPopularity
+
 from benchmarks.conftest import run_once
 
 N = 200

@@ -19,6 +19,7 @@ from repro.core.files import SyntheticData
 from repro.core.network import PastNetwork
 from repro.obs.recorder import Observer
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 NODES = 50

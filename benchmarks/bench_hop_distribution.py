@@ -9,6 +9,7 @@ import random
 
 from repro.analysis.experiments import build_pastry, expected_hop_bound, sample_lookups
 from repro.analysis.stats import mean
+
 from benchmarks.conftest import run_once
 
 N = 1024

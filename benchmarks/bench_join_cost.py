@@ -14,6 +14,7 @@ from repro.analysis.experiments import build_pastry, expected_hop_bound
 from repro.obs.recorder import Observer
 from repro.pastry.failure import notify_leafset_of_failure
 from repro.pastry.join import join_network
+
 from benchmarks.conftest import run_once
 
 SIZES = [64, 128, 256, 512, 1024]

@@ -25,6 +25,7 @@ from repro.pastry.network import PastryNetwork
 from repro.pastry.routing import RandomizedRouting
 from repro.pastry.timed_routing import timed_route
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 400

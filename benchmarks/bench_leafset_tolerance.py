@@ -14,9 +14,9 @@ the cliff the formula predicts.
 import random
 
 from repro.analysis.charts import bar_chart
-
 from repro.pastry.network import PastryNetwork
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 400

@@ -13,6 +13,7 @@ import asyncio
 import random
 
 from repro.live import LiveCluster
+
 from benchmarks.conftest import run_once
 
 SIZES = [30, 60, 120]

@@ -13,6 +13,7 @@ from repro.analysis.stats import coefficient_of_variation, mean
 from repro.core.files import SyntheticData
 from repro.core.network import PastNetwork
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 SIZES = [50, 100, 200]

@@ -17,6 +17,7 @@ from repro.analysis.stats import mean, percentile
 from repro.netsim.proximity import route_stretch
 from repro.pastry.network import PastryNetwork
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 600

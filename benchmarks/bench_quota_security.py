@@ -22,15 +22,16 @@ from repro.core.client import PastClient
 from repro.core.errors import (
     CertificateError,
     InsertRejectedError,
+    LookupFailedError,
     QuotaExceededError,
     ReclaimDeniedError,
-    LookupFailedError,
 )
 from repro.core.files import RealData
 from repro.core.messages import InsertRequest
 from repro.core.network import PastNetwork
 from repro.core.smartcard import make_uncertified_card
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 16

@@ -17,6 +17,7 @@ from repro.analysis.stats import mean
 from repro.pastry.network import PastryNetwork
 from repro.pastry.routing import RandomizedRouting
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 400

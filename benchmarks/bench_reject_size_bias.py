@@ -15,6 +15,7 @@ from repro.analysis.stats import mean, percentile
 from repro.core.storage_manager import StoragePolicy
 from repro.workloads.capacities import bounded_normal_capacities
 from repro.workloads.filesizes import TraceLikeSizes
+
 from benchmarks.conftest import run_once
 
 N = 80

@@ -17,6 +17,7 @@ import random
 from repro.analysis.diversity import measure_diversity
 from repro.pastry.network import PastryNetwork
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 300

@@ -17,6 +17,7 @@ from repro.core.files import SyntheticData
 from repro.core.network import PastNetwork
 from repro.netsim.proximity import rank_by_proximity
 from repro.sim.rng import RngRegistry
+
 from benchmarks.conftest import run_once
 
 N = 400

@@ -10,9 +10,9 @@ import math
 import random
 
 from repro.analysis.charts import line_chart
-
 from repro.analysis.experiments import build_pastry, expected_hop_bound, sample_lookups
 from repro.analysis.stats import mean, percentile
+
 from benchmarks.conftest import run_once
 
 SIZES = [64, 128, 256, 512, 1024, 2048, 4096]

@@ -16,11 +16,11 @@ far below that.
 import random
 
 from repro.analysis.charts import line_chart
-
 from repro.analysis.experiments import fill_network, make_storage_network
 from repro.core.storage_manager import StoragePolicy
 from repro.workloads.capacities import bounded_normal_capacities
 from repro.workloads.filesizes import TraceLikeSizes
+
 from benchmarks.conftest import run_once
 
 N = 80

@@ -12,6 +12,7 @@ import math
 
 from repro.analysis.experiments import build_pastry
 from repro.analysis.stats import mean
+
 from benchmarks.conftest import run_once
 
 SIZES = [64, 256, 1024, 4096]

@@ -209,7 +209,8 @@ class CanNetwork:
         if len(target) != self.dimensions:
             raise ValueError("target dimensionality mismatch")
         if max_hops is None:
-            max_hops = 8 * int(round(len(self.nodes) ** (1.0 / self.dimensions) + 1)) * self.dimensions + 32
+            side = int(round(len(self.nodes) ** (1.0 / self.dimensions) + 1))
+            max_hops = 8 * side * self.dimensions + 32
         current = self.nodes[origin]
         path = [origin]
         while not current.zone.contains(target):

@@ -98,7 +98,9 @@ class KademliaNetwork:
     def _closest_known(self, node: KademliaNode, target: int, count: int) -> List[int]:
         return sorted(node.contacts(), key=lambda c: c ^ target)[:count]
 
-    def lookup(self, target: int, origin: int, max_iterations: Optional[int] = None) -> KademliaLookupResult:
+    def lookup(
+        self, target: int, origin: int, max_iterations: Optional[int] = None
+    ) -> KademliaLookupResult:
         """Iterative node lookup as in the Kademlia paper.
 
         The querier maintains a shortlist of the closest contacts seen,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Set
 
 from repro.crypto.hashing import sha1_id
 

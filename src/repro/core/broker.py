@@ -11,7 +11,6 @@ contributed by node cards (supply).
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.smartcard import CardCertificate, SmartCard
 from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
@@ -24,16 +23,18 @@ class Broker:
 
     def __init__(
         self,
-        rng: Optional[random.Random] = None,
+        rng: random.Random,
         key_backend: str = "rsa",
         target_supply_margin: float = 1.0,
     ) -> None:
-        """*target_supply_margin* is the minimum supply/demand ratio the
-        broker tries to maintain; below it, :meth:`can_issue_quota`
-        refuses further usage quota until more storage is contributed."""
+        """*rng* must be a seeded stream (e.g. ``rngs.stream("broker")``)
+        so key generation is reproducible.  *target_supply_margin* is the
+        minimum supply/demand ratio the broker tries to maintain; below
+        it, :meth:`can_issue_quota` refuses further usage quota until
+        more storage is contributed."""
         if target_supply_margin <= 0:
             raise ValueError("supply margin must be positive")
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng
         self._key_backend = key_backend
         self._keypair: KeyPair = generate_keypair(self._rng, backend=key_backend)
         self.target_supply_margin = target_supply_margin

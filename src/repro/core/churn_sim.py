@@ -15,7 +15,7 @@ trade-off the paper's replication-factor guidance describes.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.client import FileHandle

@@ -19,12 +19,11 @@ the protocols:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.certificates import FileCertificate, StoreReceipt
 from repro.core.errors import (
     CertificateError,
-    DuplicateFileError,
     InsertRejectedError,
     LookupFailedError,
     ReclaimDeniedError,

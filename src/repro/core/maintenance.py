@@ -17,7 +17,7 @@ logic, policy checks included).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.messages import InsertRequest
 

@@ -207,7 +207,9 @@ class PastNetwork:
             record.holders = set(holders)
             record.reclaimed = False
 
-    def attach_card_certificate(self, file_id: int, card_certificate: Optional[CardCertificate]) -> None:
+    def attach_card_certificate(
+        self, file_id: int, card_certificate: Optional[CardCertificate]
+    ) -> None:
         record = self.files.get(file_id)
         if record is not None:
             record.owner_card_certificate = card_certificate

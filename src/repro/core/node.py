@@ -11,11 +11,10 @@ reclaims to the replica holders.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional, Set
 
 from repro.core.cache import Cache, make_cache
 from repro.core.certificates import FileCertificate, StoreReceipt
-from repro.core.errors import PastError
 from repro.core.files import FileData
 from repro.core.messages import (
     InsertOutcome,

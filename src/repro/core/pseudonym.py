@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.core.client import FileHandle, PastClient
+from repro.core.client import PastClient
 from repro.core.files import RealData
 from repro.crypto.symmetric import SealedBox, decrypt, encrypt, generate_key
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.core.certificates import FileCertificate, ReclaimCertificate, ReclaimReceipt
 from repro.core.errors import CertificateError, QuotaExceededError

@@ -17,7 +17,7 @@ advertised storage is what caching may use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.certificates import FileCertificate

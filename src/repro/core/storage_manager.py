@@ -24,7 +24,7 @@ companion paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.core.storage import FileStore
 

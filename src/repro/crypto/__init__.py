@@ -18,7 +18,7 @@ provide both from scratch:
   of messages and does not exercise the security path.
 """
 
-from repro.crypto.hashing import sha1_id, sha256_id, hash_bytes
+from repro.crypto.hashing import hash_bytes, sha1_id, sha256_id
 from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
 from repro.crypto.signatures import SignedEnvelope, sign_fields, verify_fields
 

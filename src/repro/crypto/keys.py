@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.crypto.hashing import hash_bytes, sha256_id, NODE_ID_BITS
+from repro.crypto.hashing import NODE_ID_BITS, hash_bytes, sha256_id
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 
 RSA_BACKEND = "rsa"

@@ -116,7 +116,9 @@ class RsaPrivateKey:
         return RsaPublicKey(n=self.n, e=self.e)
 
 
-def generate_rsa_keypair(bits: int = 512, rng: random.Random | None = None) -> Tuple[RsaPrivateKey, RsaPublicKey]:
+def generate_rsa_keypair(
+    bits: int = 512, rng: random.Random | None = None
+) -> Tuple[RsaPrivateKey, RsaPublicKey]:
     """Generate an RSA keypair with modulus of roughly *bits* bits."""
     if rng is None:
         rng = random.Random()

@@ -79,7 +79,9 @@ class SignedEnvelope:
     signature: int
 
     @classmethod
-    def create(cls, keypair: KeyPair, kind: str, fields: Mapping[str, FieldValue]) -> "SignedEnvelope":
+    def create(
+        cls, keypair: KeyPair, kind: str, fields: Mapping[str, FieldValue]
+    ) -> "SignedEnvelope":
         signature = sign_fields(keypair, kind, fields)
         return cls(kind=kind, fields=dict(fields), signer=keypair.public, signature=signature)
 

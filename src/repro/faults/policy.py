@@ -26,6 +26,12 @@ class RetryPolicy:
     ``min(base_delay * factor**(n-1), max_delay)`` plus, when an rng is
     supplied, a uniform jitter of up to ``jitter`` times the raw delay
     (decorrelates retry storms from many concurrent callers).
+
+    Determinism contract (lint rule DET001's concern): this class never
+    constructs an RNG of its own.  Jitter happens only when the caller
+    passes a seeded ``random.Random``; with ``rng=None`` the sequence is
+    the pure exponential schedule, and the process-global ``random``
+    module is never consulted either way.
     """
 
     attempts: int = 4

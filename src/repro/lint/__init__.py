@@ -1,0 +1,119 @@
+"""``repro.lint``: an AST-based determinism / async-safety / obs-discipline gate.
+
+The runtime :class:`~repro.faults.invariants.InvariantChecker` (PR 3)
+verifies a *running* deployment; this package is its static-analysis
+analogue, verifying the *source tree* against the same invariants before
+the code ever runs.  ``python -m repro.lint src`` walks the tree with a
+small stdlib-``ast`` rule engine and exits nonzero on any finding; the
+CI ``lint`` job gates every PR on exactly that.
+
+Rules (see DESIGN.md §9 for the full table and rationales):
+
+========  ==============================================================
+DET001    unseeded / process-global RNG in a deterministic layer
+DET002    wall-clock read in a deterministic layer
+DET003    set materialised into ordered output without ``sorted()``
+ASYNC001  blocking call inside an ``async def`` in the live layer
+ASYNC002  ``create_task`` whose handle is discarded
+OBS001    event class not a frozen dataclass / missing from EVENT_TYPES
+ERR001    broad ``except`` that swallows the exception
+NEW001    import of a deprecated shim module
+========  ==============================================================
+
+A legitimate exception carries ``# lint: disable=RULE -- why`` on the
+flagged line; the justification text is mandatory (an unjustified
+``disable`` is itself reported as LINT000 and suppresses nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import (
+    LINT000,
+    PARSE001,
+    RULES,
+    FileContext,
+    Finding,
+    Report,
+    Rule,
+    Suppression,
+    all_rules,
+    lint_file,
+    lint_paths,
+    parse_suppressions,
+    register,
+)
+
+__all__ = [
+    "LINT000",
+    "PARSE001",
+    "RULES",
+    "FileContext",
+    "Finding",
+    "Report",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "parse_suppressions",
+    "register",
+    "main",
+]
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based determinism / async-safety / observability gate "
+            "(exit 0 = clean, 1 = findings, 2 = bad invocation)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src if present, else .)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (findings, counts) as JSON",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (id, scopes, title, rationale) and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        scopes = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
+        print(f"{rule.id}  {rule.title}")
+        print(f"    scopes: {scopes}")
+        print(f"    why: {rule.rationale}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        report = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"repro.lint: no such path: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_human())
+    return 0 if report.clean else 1

@@ -1,0 +1,328 @@
+"""The rule engine behind ``python -m repro.lint``.
+
+The analyzer is the static-analysis analogue of the runtime
+:class:`~repro.faults.invariants.InvariantChecker`: where that class
+sweeps a *running* deployment for broken invariants, this engine sweeps
+the *source tree* for code that could break them later -- an unseeded
+RNG in a deterministic layer, a wall-clock read inside the simulator, a
+blocking call on the live event loop.  Everything is stdlib ``ast``;
+there are no dependencies, so the gate can run anywhere the tests run.
+
+Design:
+
+* a :class:`Rule` has an id, a human title, a *rationale* (which paper
+  claim or subsystem invariant it protects), and a tuple of path
+  *scopes* -- prefixes relative to the ``repro`` package root (empty =
+  the whole tree);
+* rules register themselves in :data:`RULES` via :func:`register`;
+* findings on a line carrying ``# lint: disable=RULEID -- why`` are
+  suppressed, but only when the ``-- why`` justification text is
+  present; a bare ``disable`` both fails to suppress and is itself
+  reported (:data:`LINT000`), so every suppression in the tree is
+  forced to explain itself;
+* output is human-readable (``path:line:col: RULE message``) or JSON
+  (``--json``), and the process exits nonzero iff there are findings
+  -- the CI ``lint`` job gates on exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Pseudo-rule id for malformed suppressions (``disable`` without a
+#: ``-- justification``).  Not suppressible, by construction.
+LINT000 = "LINT000"
+
+#: Pseudo-rule id for files the parser rejects outright.
+PARSE001 = "PARSE001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+# ``# lint: disable=DET001`` or ``# lint: disable=DET001,ERR001 -- why``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s+--\s*(.*\S))?\s*$"
+)
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every inline suppression comment from *source*."""
+    suppressions: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(","))
+        suppressions.append(
+            Suppression(line=lineno, rules=rules, justification=match.group(2) or "")
+        )
+    return suppressions
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str  # as reported in findings (relative to the scanned root)
+    rel: str  # path relative to the ``repro`` package root, for scoping
+    source: str
+    tree: ast.Module
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement ``check``."""
+
+    id: str = ""
+    title: str = ""
+    #: which paper claim / subsystem invariant the rule protects
+    rationale: str = ""
+    #: path prefixes relative to the ``repro`` package root; () = everywhere
+    scopes: Tuple[str, ...] = ()
+    #: paths exempt from the rule even when in scope
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if any(ctx.rel == path for path in self.exempt):
+            return False
+        if not self.scopes:
+            return True
+        return any(
+            ctx.rel == scope or ctx.rel.startswith(scope) for scope in self.scopes
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: The global registry; :func:`register` fills it at import time.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate the rule and add it to :data:`RULES`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, importing the built-in rule set on demand."""
+    from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+# ---------------------------------------------------------------------- #
+# file discovery and scoping
+# ---------------------------------------------------------------------- #
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Tuple[Path, Path]]:
+    """Yield ``(file, root)`` pairs for every ``.py`` under *paths*.
+
+    *root* is the argument the file was found under, used to build the
+    reported (relative) path.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root, root.parent
+        elif root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                if "__pycache__" in file.parts:
+                    continue
+                if any(part.startswith(".") for part in file.parts):
+                    continue
+                yield file, root
+        else:
+            raise FileNotFoundError(raw)
+
+
+def package_relative(file: Path, root: Path) -> str:
+    """The scoping path: relative to the ``repro`` package root.
+
+    Files under a ``repro`` directory scope by their position inside the
+    package (``.../src/repro/pastry/routing.py`` -> ``pastry/routing.py``)
+    regardless of where the tree was scanned from.  Files outside any
+    ``repro`` directory (e.g. test fixture trees) scope relative to the
+    scanned root, so fixture layouts like ``tmp/sim/x.py`` exercise the
+    same per-layer scoping the real tree does.
+    """
+    parts = file.resolve().parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        inside = parts[index + 1:]
+        if inside:
+            return "/".join(inside)
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.name
+
+
+# ---------------------------------------------------------------------- #
+# running
+# ---------------------------------------------------------------------- #
+
+def lint_file(
+    file: Path, root: Optional[Path] = None, rules: Optional[Iterable[Rule]] = None
+) -> List[Finding]:
+    """Lint one file; returns its (post-suppression) findings."""
+    root = root if root is not None else file.parent
+    try:
+        reported = file.relative_to(root).as_posix()
+    except ValueError:
+        reported = file.as_posix()
+    source = file.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE001,
+                path=reported,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=reported,
+        rel=package_relative(file, root),
+        source=source,
+        tree=tree,
+    )
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for suppression in suppressions:
+        if not suppression.justified:
+            findings.append(
+                Finding(
+                    rule=LINT000,
+                    path=reported,
+                    line=suppression.line,
+                    col=1,
+                    message=(
+                        "suppression without a justification -- write "
+                        "'# lint: disable=RULE -- <why this is safe>'"
+                    ),
+                )
+            )
+    justified: Dict[int, set] = {}
+    for suppression in suppressions:
+        if suppression.justified:
+            justified.setdefault(suppression.line, set()).update(suppression.rules)
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if finding.rule in justified.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return findings
+
+
+@dataclass
+class Report:
+    """The result of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.rule] = tally.get(finding.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} in {self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Iterable[Rule]] = None
+) -> Report:
+    """Lint every Python file under *paths*; findings come back sorted."""
+    rule_list = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    files = 0
+    for file, root in iter_python_files(paths):
+        files += 1
+        findings.extend(lint_file(file, root, rule_list))
+    findings.sort(key=Finding.sort_key)
+    return Report(findings=findings, files_checked=files)

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.certificates import FileCertificate
 from repro.core.errors import DegradedError
 from repro.core.files import FileData
 from repro.core.storage import FileStore
-from repro.live.cluster import LiveCluster, LiveNode, ROUTE_TIMEOUT
+from repro.live.cluster import ROUTE_TIMEOUT, LiveCluster, LiveNode
 from repro.live.transport import Message
 from repro.sim.rng import stable_seed
 

@@ -16,13 +16,13 @@ from repro.netsim.index import (
     LinearProximityIndex,
     ProximityIndex,
 )
+from repro.netsim.latency import LatencyModel, ProximityLatency, UniformLatency
 from repro.netsim.topology import (
     EuclideanPlaneTopology,
-    SphereTopology,
     RandomGraphTopology,
+    SphereTopology,
     Topology,
 )
-from repro.netsim.latency import LatencyModel, UniformLatency, ProximityLatency
 
 __all__ = [
     "Topology",

@@ -27,7 +27,7 @@ asserts this on hundreds of random configurations.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Collection, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Collection, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.topology import EuclideanPlaneTopology, Topology

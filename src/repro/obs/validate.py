@@ -30,7 +30,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"no such file: {args.path}", file=sys.stderr)
         return 2
     errors = validate_jsonl_file(args.path)
-    lines = sum(1 for l in args.path.read_text(encoding="utf-8").splitlines() if l.strip())
+    lines = sum(
+        1 for line in args.path.read_text(encoding="utf-8").splitlines() if line.strip()
+    )
     if errors:
         for problem in errors:
             print(problem, file=sys.stderr)

@@ -20,13 +20,13 @@ detailed in Rowstron & Druschel, Middleware 2001:
   table repair (:mod:`repro.pastry.failure`).
 """
 
-from repro.pastry.nodeid import IdSpace
 from repro.pastry.leaf_set import LeafSet
 from repro.pastry.neighborhood import NeighborhoodSet
-from repro.pastry.routing_table import RoutingTable
-from repro.pastry.node import PastryNode
 from repro.pastry.network import PastryNetwork, RouteResult
+from repro.pastry.node import PastryNode
+from repro.pastry.nodeid import IdSpace
 from repro.pastry.routing import DeterministicRouting, RandomizedRouting
+from repro.pastry.routing_table import RoutingTable
 
 __all__ = [
     "IdSpace",

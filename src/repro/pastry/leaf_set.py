@@ -242,7 +242,7 @@ class LeafSet:
             # The k circularly closest ids all sit within k ring
             # positions of the key's insertion point.
             index = bisect.bisect_left(ids, key)
-            pool = list(
+            pool = sorted(
                 {ids[(index + offset) % count] for offset in range(-k, k + 1)}
             )
         distance = self.space.distance

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.netsim.topology import EuclideanPlaneTopology, Topology
@@ -456,7 +456,9 @@ class PastryNetwork:
 
     def _pick_table_entry(self, node: PastryNode, candidates: List[int], rng: random.Random) -> int:
         if self.table_quality == TABLE_QUALITY_RANDOM or len(candidates) == 1:
-            return candidates[rng.randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
+            if len(candidates) > 1:
+                return candidates[rng.randrange(len(candidates))]
+            return candidates[0]
         if self.table_quality == TABLE_QUALITY_PERFECT:
             pool = candidates
         else:  # TABLE_QUALITY_GOOD: proximally best of a bounded sample

@@ -16,7 +16,7 @@ message key (where PAST's root-node logic runs).
 from __future__ import annotations
 
 import random
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.pastry.nodeid import IdSpace
 from repro.pastry.routing import DeterministicRouting

@@ -43,7 +43,9 @@ class DeterministicRouting:
 
     name = "deterministic"
 
-    def next_hop(self, state: NodeState, key: int, rng: Optional[random.Random] = None) -> Optional[int]:
+    def next_hop(
+        self, state: NodeState, key: int, rng: Optional[random.Random] = None
+    ) -> Optional[int]:
         """The next node to forward to, or None to deliver locally."""
         if key == state.node_id:
             return None
@@ -146,7 +148,9 @@ class ReplicaAwareRouting(DeterministicRouting):
             raise ValueError("replication factor must be >= 1")
         self.k = k
 
-    def next_hop(self, state: NodeState, key: int, rng: Optional[random.Random] = None) -> Optional[int]:
+    def next_hop(
+        self, state: NodeState, key: int, rng: Optional[random.Random] = None
+    ) -> Optional[int]:
         if key == state.node_id:
             return None
         if state.leaf_set.covers(key):
@@ -226,7 +230,9 @@ class RandomizedRouting:
         suitable.sort()
         return [entry[3] for entry in suitable]
 
-    def next_hop(self, state: NodeState, key: int, rng: Optional[random.Random] = None) -> Optional[int]:
+    def next_hop(
+        self, state: NodeState, key: int, rng: Optional[random.Random] = None
+    ) -> Optional[int]:
         """Pick a suitable hop at random (biased to the best), or None to
         deliver locally."""
         if key == state.node_id:

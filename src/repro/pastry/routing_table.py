@@ -115,7 +115,9 @@ class RoutingTable:
         i-th node along the route contributes its row i)."""
         return list(self._rows[index])
 
-    def install_row(self, index: int, entries: List[Optional[int]], proximity: ProximityFn = None) -> int:
+    def install_row(
+        self, index: int, entries: List[Optional[int]], proximity: ProximityFn = None
+    ) -> int:
         """Bulk-offer a row received during join; returns how many entries
         were taken.  Entries that would not belong in that row of *this*
         table (different shared-prefix relationship) are re-slotted

@@ -8,13 +8,17 @@ This package provides the three services every other subsystem builds on:
 * :mod:`repro.sim.engine` -- a classic discrete-event engine (priority queue
   of timestamped events) used by the protocols that need a notion of time:
   keep-alives, failure detection, audits.
-* :mod:`repro.sim.trace` -- lightweight counters and histograms used to
-  collect the statistics the benchmarks report.
+The counters and histograms that used to live in :mod:`repro.sim.trace`
+moved to :mod:`repro.obs.metrics` (the trace module survives only as a
+deprecated shim); the legacy names are still re-exported here.
 """
 
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.sim.engine import Event, SimulationEngine
 from repro.sim.rng import RngRegistry, stable_seed
-from repro.sim.trace import Counter, Histogram, StatsRegistry
+
+# Deprecated alias, kept for backward compatibility.
+StatsRegistry = MetricsRegistry
 
 __all__ = [
     "Event",

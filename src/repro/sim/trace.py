@@ -13,7 +13,16 @@ exactly as before.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+warnings.warn(
+    "repro.sim.trace is a deprecated shim; import these classes from "
+    "repro.obs.metrics (StatsRegistry is now MetricsRegistry)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 # Deprecated alias, kept for backward compatibility.
 StatsRegistry = MetricsRegistry

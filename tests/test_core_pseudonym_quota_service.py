@@ -4,10 +4,10 @@ quota-service alternative."""
 import pytest
 
 from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.files import RealData
 from repro.core.pseudonym import ShareToken, UserAgent
 from repro.core.quota_service import OnlineQuotaService, create_online_client
 from repro.crypto.symmetric import DecryptionError, SealedBox, decrypt, generate_key
-from repro.core.files import RealData
 
 
 class TestUserAgent:

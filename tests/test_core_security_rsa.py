@@ -11,11 +11,10 @@ import random
 
 import pytest
 
-from repro.core.errors import CertificateError, QuotaExceededError
+from repro.core.errors import QuotaExceededError
 from repro.core.files import RealData
 from repro.core.messages import InsertRequest
 from repro.core.smartcard import make_uncertified_card
-from repro.sim.rng import RngRegistry
 
 
 class TestRsaSecurity:

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.broker import Broker
-from repro.core.certificates import ReclaimCertificate
 from repro.core.errors import CertificateError, QuotaExceededError
 from repro.core.files import RealData
 from repro.core.smartcard import SmartCard, make_uncertified_card

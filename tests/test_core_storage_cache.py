@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.core.cache import GreedyDualSizeCache, LruCache, NoCache, make_cache
 from repro.core.certificates import FileCertificate
 from repro.core.errors import DuplicateFileError, PastError
-from repro.core.files import RealData, SyntheticData
+from repro.core.files import SyntheticData
 from repro.core.ids import make_file_id
 from repro.core.storage import FileStore
 from repro.core.storage_manager import StoragePolicy

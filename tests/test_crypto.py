@@ -22,7 +22,7 @@ from repro.crypto.keys import (
     KeyPair,
     generate_keypair,
 )
-from repro.crypto.rsa import generate_rsa_keypair, _is_probable_prime
+from repro.crypto.rsa import _is_probable_prime, generate_rsa_keypair
 from repro.crypto.signatures import SignedEnvelope, canonical_bytes, sign_fields, verify_fields
 
 

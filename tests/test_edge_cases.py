@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core.certificates import StoreReceipt
-from repro.core.errors import CertificateError, InsertRejectedError, LookupFailedError
+from repro.core.errors import CertificateError, InsertRejectedError
 from repro.core.files import RealData, SyntheticData
+from repro.core.messages import ReclaimRequest
 from repro.core.network import PastNetwork
-from repro.core.messages import InsertRequest, ReclaimRequest
 from repro.sim.rng import RngRegistry
 
 

@@ -8,14 +8,11 @@ story -- each exercising several subsystems at once.
 
 import random
 
-import pytest
 
-from repro.core.errors import InsertRejectedError, LookupFailedError
 from repro.core.files import SyntheticData
 from repro.core.maintenance import replication_census, restore_replication
 from repro.core.network import PastNetwork
 from repro.pastry.failure import notify_leafset_of_failure, recover_node
-from repro.pastry.join import join_network
 from repro.pastry.routing import RandomizedRouting
 from repro.sim.rng import RngRegistry
 

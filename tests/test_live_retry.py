@@ -146,6 +146,18 @@ class TestDeterministicBackoff:
         assert raw == sorted(raw)
         assert all(j >= r for j, r in zip(first, raw))
 
+    def test_no_rng_means_pure_schedule_and_no_global_random(self):
+        """RetryPolicy's determinism contract (lint rule DET001): with
+        ``rng=None`` the backoff is the pure exponential schedule, and the
+        process-global ``random`` module is never consulted either way."""
+        random.seed(4242)
+        state_before = random.getstate()
+        policy = RetryPolicy(attempts=6)
+        assert policy.delays(None) == RetryPolicy(attempts=6, jitter=0.0).delays()
+        assert policy.backoff(3) == policy.backoff(3, None)
+        policy.delays(random.Random(7))
+        assert random.getstate() == state_before
+
     def test_same_seed_same_injected_fault_sequence(self):
         plan_a = FaultPlan(seed=3, drop_rate=0.3)
         plan_b = FaultPlan(seed=3, drop_rate=0.3)

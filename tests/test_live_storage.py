@@ -3,7 +3,6 @@
 import asyncio
 import random
 
-import pytest
 
 from repro.core.files import SyntheticData
 from repro.core.smartcard import make_uncertified_card

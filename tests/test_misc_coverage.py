@@ -5,11 +5,10 @@ import random
 import pytest
 
 from repro.core.files import SyntheticData
-from repro.core.messages import InsertOutcome, LookupResponse, ReclaimOutcome
+from repro.core.messages import InsertOutcome, ReclaimOutcome
 from repro.core.network import PastNetwork
 from repro.core.storage_manager import summarize_utilization
 from repro.netsim.topology import WeightedGraphTopology
-from repro.pastry.network import PastryNetwork
 from repro.sim.rng import RngRegistry
 
 

@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.netsim.latency import ProximityLatency, UniformLatency
 from repro.netsim.proximity import k_nearest, nearest, rank_by_proximity, route_stretch

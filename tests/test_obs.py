@@ -15,7 +15,6 @@ import pytest
 from repro.obs import (
     NULL_OBSERVER,
     CacheHit,
-    Counter,
     EventBus,
     Gauge,
     Histogram,

@@ -1,6 +1,5 @@
 """Integration tests for node arrival, failure detection, and repair."""
 
-import math
 
 import pytest
 

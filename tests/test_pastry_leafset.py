@@ -1,6 +1,5 @@
 """Unit and property tests for the leaf set."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

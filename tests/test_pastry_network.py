@@ -5,11 +5,10 @@ import math
 import pytest
 
 from repro.pastry.network import (
-    PastryNetwork,
     TABLE_QUALITY_PERFECT,
     TABLE_QUALITY_RANDOM,
+    PastryNetwork,
 )
-from repro.pastry.nodeid import IdSpace
 from repro.sim.rng import RngRegistry
 
 

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.pastry.network import PastryNetwork
-from repro.pastry.nodeid import IdSpace
 from repro.pastry.routing import DeterministicRouting, RandomizedRouting
 from repro.sim.rng import RngRegistry
 

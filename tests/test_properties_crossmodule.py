@@ -20,12 +20,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.broker import Broker
+from repro.core.certificates import FileCertificate
 from repro.core.errors import PastError, QuotaExceededError
 from repro.core.files import SyntheticData
+from repro.core.ids import make_file_id
 from repro.core.smartcard import SmartCard
 from repro.core.storage import FileStore
-from repro.core.certificates import FileCertificate
-from repro.core.ids import make_file_id
 from repro.crypto.keys import generate_keypair
 from repro.pastry.leaf_set import LeafSet
 from repro.pastry.network import PastryNetwork

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.files import SyntheticData
 from repro.core.network import PastNetwork
-from repro.netsim.proximity import rank_by_proximity
 from repro.pastry.routing import DeterministicRouting, ReplicaAwareRouting
 from repro.sim.rng import RngRegistry
 

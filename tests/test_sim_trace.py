@@ -1,12 +1,34 @@
-"""Unit tests for counters, histograms and the stats registry."""
+"""Unit tests for counters, histograms and the stats registry.
 
+These deliberately go through the deprecated ``repro.sim.trace`` shim
+(silencing its import-time DeprecationWarning) so the shim's re-exports
+stay covered; new code should import from ``repro.obs.metrics``.
+"""
+
+import importlib
 import math
+import warnings
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.trace import Counter, Histogram, StatsRegistry
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.sim.trace import Counter, Histogram, StatsRegistry
+
+
+class TestDeprecationShim:
+    def test_import_warns(self):
+        import repro.sim.trace
+
+        with pytest.warns(DeprecationWarning, match="deprecated shim"):
+            importlib.reload(repro.sim.trace)
+
+    def test_shim_aliases_the_obs_layer(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        assert StatsRegistry is MetricsRegistry
 
 
 class TestCounter:

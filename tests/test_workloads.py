@@ -1,6 +1,5 @@
 """Unit tests for the synthetic workload generators."""
 
-import math
 import random
 
 import pytest
