@@ -1,31 +1,40 @@
-"""Route explanation: why did each hop go where it went?
+"""Deprecated shim: route explanation moved to :mod:`repro.obs.spans`.
 
-Debugging a structured overlay means asking "which rule fired at this
-node?"  :func:`explain_route` routes a key and annotates every hop with
-the rule that produced it -- leaf-set forwarding, a routing-table entry,
-the rare-case fallback, or local delivery -- by re-deriving the decision
-from the deciding node's state.  :func:`render_route` turns that into
-the ASCII trace the CLI prints.
+The explanation API (:class:`HopExplanation`, :func:`explain_route`,
+:func:`span_to_explanations`, :func:`check_progress`,
+:func:`render_route`) now lives next to the :class:`Span` tree it
+renders, in the unified observability layer under ``repro.obs``.  This
+module re-exports it so existing imports keep working; new code should
+import from :mod:`repro.obs.spans` directly.
 
-The rule taxonomy itself lives in :mod:`repro.pastry.routing`, where the
-policies also report rules *at decision time* (``next_hop_explained``)
-into route spans; :func:`span_to_explanations` converts such a span back
-into :class:`HopExplanation` rows so both sources render identically.
+The RULE_* taxonomy was always defined in :mod:`repro.pastry.routing`;
+import it from there.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import warnings
 
-from repro.obs.spans import Span
-from repro.pastry.network import PastryNetwork, RouteResult
-from repro.pastry.routing import (  # re-exported: historical home of the taxonomy
+from repro.obs.spans import (
+    HopExplanation,
+    check_progress,
+    explain_route,
+    render_route,
+    span_to_explanations,
+)
+from repro.pastry.routing import (
     RULE_DELIVER_SELF,
     RULE_EN_ROUTE,
     RULE_LEAF,
     RULE_RARE,
     RULE_TABLE,
+)
+
+warnings.warn(
+    "repro.analysis.tracing is a deprecated shim; import the explanation "
+    "API from repro.obs.spans (RULE_* from repro.pastry.routing)",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [
@@ -40,102 +49,3 @@ __all__ = [
     "check_progress",
     "render_route",
 ]
-
-
-@dataclass(frozen=True)
-class HopExplanation:
-    """One step of a route, annotated."""
-
-    node_id: int
-    shared_prefix: int
-    distance_to_key: int
-    rule: str
-    next_node: Optional[int]
-
-
-def _classify_hop(network: PastryNetwork, node_id: int, key: int,
-                  next_node: Optional[int]) -> str:
-    """Re-derive which routing rule links node_id -> next_node."""
-    state = network.nodes[node_id].state
-    if next_node is None:
-        return RULE_DELIVER_SELF
-    if state.leaf_set.covers(key) and next_node in state.leaf_set.members():
-        closest = state.leaf_set.closest_to(key, include_owner=True)
-        if closest == next_node:
-            return RULE_LEAF
-    table_hop = state.routing_table.next_hop_for(key)
-    if table_hop == next_node:
-        return RULE_TABLE
-    return RULE_RARE
-
-
-def explain_route(
-    network: PastryNetwork, key: int, origin: int, **route_kwargs
-) -> List[HopExplanation]:
-    """Route *key* from *origin* and explain every hop.
-
-    The classification is derived from node state *after* the route ran,
-    so on a freshly built network it reflects exactly the decisions
-    taken; after concurrent repairs it is best-effort (noted per hop).
-    """
-    result: RouteResult = network.route(key, origin, **route_kwargs)
-    space = network.space
-    explanations: List[HopExplanation] = []
-    for index, node_id in enumerate(result.path):
-        next_node = result.path[index + 1] if index + 1 < len(result.path) else None
-        if next_node is None and result.reason == "en-route" and index > 0:
-            rule = RULE_EN_ROUTE
-        elif next_node is None and result.reason == "en-route":
-            rule = RULE_EN_ROUTE
-        else:
-            rule = _classify_hop(network, node_id, key, next_node)
-        explanations.append(
-            HopExplanation(
-                node_id=node_id,
-                shared_prefix=space.shared_prefix_length(node_id, key),
-                distance_to_key=space.distance(node_id, key),
-                rule=rule,
-                next_node=next_node,
-            )
-        )
-    return explanations
-
-
-def span_to_explanations(span: Span) -> List[HopExplanation]:
-    """Convert a traced route span (``RouteResult.span``) into the same
-    :class:`HopExplanation` rows :func:`explain_route` produces, so the
-    decision-time trace renders through :func:`render_route` too."""
-    hops = [child for child in span.children if child.name == "hop"]
-    return [
-        HopExplanation(
-            node_id=child.attributes["node_id"],
-            shared_prefix=child.attributes["shared_prefix"],
-            distance_to_key=child.attributes["distance"],
-            rule=child.attributes["rule"],
-            next_node=child.attributes.get("next_node"),
-        )
-        for child in hops
-    ]
-
-
-def check_progress(explanations: List[HopExplanation]) -> bool:
-    """The route-progress invariant: along the path, the shared prefix
-    never shrinks unless the numeric distance shrinks instead."""
-    for previous, current in zip(explanations, explanations[1:]):
-        prefix_progress = current.shared_prefix >= previous.shared_prefix
-        numeric_progress = current.distance_to_key < previous.distance_to_key
-        if not (prefix_progress or numeric_progress):
-            return False
-    return True
-
-
-def render_route(network: PastryNetwork, explanations: List[HopExplanation]) -> str:
-    """ASCII rendering of an explained route."""
-    fmt = network.space.format_id
-    lines = []
-    for index, hop in enumerate(explanations):
-        arrow = "   " if index == 0 else "-> "
-        lines.append(
-            f"{arrow}{fmt(hop.node_id)}  prefix={hop.shared_prefix:2d}  {hop.rule}"
-        )
-    return "\n".join(lines)

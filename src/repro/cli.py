@@ -14,7 +14,10 @@ first:
                      registry snapshot (optionally the event log too);
 * ``chaos``       -- one deterministic fault-injection run with the
                      invariant checker sweeping after every event
-                     (exits nonzero on any violation).
+                     (exits nonzero on any violation);
+* ``trace``       -- distributed trace of one live insert + lookup:
+                     per-operation span trees (hops, fan-out, retries)
+                     and the top-N slow-op log.
 
 Every command takes ``--seed`` so results are reproducible.
 """
@@ -198,10 +201,76 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         files=args.files,
         duration=args.duration,
         events_path=args.events,
+        traces_path=args.traces,
     )
     print(json.dumps(report, sort_keys=True, indent=2))
     # CI greps this exit code: any invariant violation fails the run.
     return 1 if report["violations"] else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One seeded live insert + lookup, traced end to end.
+
+    Prints the assembled span tree per operation (routing hops, replica
+    fan-out, en-route serves, retries) followed by the slow-op log --
+    the top-N spans by logical duration.  ``--drop-rate`` puts the
+    transport under a message-drop fault plan, so the trees show wire
+    faults and the retry/reroute attempts they trigger.
+    """
+    import asyncio
+
+    from repro.core.errors import DegradedError
+    from repro.core.smartcard import make_uncertified_card
+    from repro.faults.plan import FaultPlan
+    from repro.live.storage import LiveStorageCluster
+
+    async def drive() -> LiveStorageCluster:
+        cluster = LiveStorageCluster(seed=args.seed)
+        await cluster.start(args.nodes)
+        if args.drop_rate > 0:
+            # Installed after bootstrap: join traffic stays clean, the
+            # traced operations run under fire.
+            cluster.transport.faults = FaultPlan(
+                seed=args.seed, drop_rate=args.drop_rate
+            )
+        rng = random.Random(args.seed)
+        card = make_uncertified_card(
+            rng, usage_quota=1 << 40, backend="insecure_fast"
+        )
+        data = SyntheticData(0, 1500)
+        certificate = card.issue_file_certificate(
+            "trace-demo", data, 3, salt=0, insertion_date=0
+        )
+        origins = cluster.live_ids()
+        try:
+            await cluster.insert(certificate, data, origin=origins[0])
+            await cluster.lookup(certificate.file_id, origin=origins[-1])
+        except DegradedError as degraded:
+            print(f"operation degraded: {degraded}", file=sys.stderr)
+        cluster.transport.faults = None
+        await cluster.shutdown()
+        return cluster
+
+    cluster = asyncio.run(drive())
+    collector = cluster.obs.traces
+    if args.out:
+        written = collector.write_jsonl(args.out)
+        print(f"wrote {written} span records to {args.out}", file=sys.stderr)
+    if args.json:
+        document = {
+            trace_id: collector.assemble(trace_id).to_dict()
+            for trace_id in collector.trace_ids()
+        }
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
+    for trace_id in collector.trace_ids():
+        print(f"trace {trace_id}")
+        print(collector.assemble(trace_id).render())
+    print(f"slow-op log (top {args.top} spans by logical duration):")
+    for record in collector.top_spans(args.top):
+        print(f"  {record.duration:7.1f}  {record.name:<14} "
+              f"trace {record.trace_id[:8]} span {record.span_id}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -266,7 +335,29 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="write the event log (JSONL) to this path "
                             "(default chaos-events.jsonl when given bare)")
+    chaos.add_argument("--traces", type=str, nargs="?", const="chaos-traces.jsonl",
+                       default=None,
+                       help="write collected span records (JSONL) to this "
+                            "path (default chaos-traces.jsonl when given bare)")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    trace = commands.add_parser(
+        "trace",
+        help="distributed trace of one live insert + lookup (span trees "
+             "+ slow-op log)",
+    )
+    trace.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    trace.add_argument("--nodes", type=int, default=12)
+    trace.add_argument("--drop-rate", type=float, default=0.0,
+                       help="message drop probability during the traced "
+                            "operations (exercises retries/reroutes)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="slow-op log length")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the span trees as JSON")
+    trace.add_argument("--out", type=str, default=None,
+                       help="also export the flat span records (JSONL)")
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 

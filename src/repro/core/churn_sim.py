@@ -31,6 +31,7 @@ from repro.faults.plan import (
 )
 from repro.obs.events import FaultInjected
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_context import TraceContext
 from repro.pastry.failure import (
     notify_leafset_of_failure,
     purge_failed,
@@ -108,6 +109,12 @@ class ChurnSimulation:
         self._metrics: MetricsRegistry = (
             network.obs.metrics if network.obs.enabled else MetricsRegistry()
         )
+        # Workload lookups are traced with *sim-time* stamps: trace ids
+        # come from their own stream (drawing them from the workload rng
+        # would perturb victim/file choices), and the engine reference is
+        # installed by run() so spans read ``engine.now``.
+        self._trace_rng = network.rngs.stream("churn-trace-ids")
+        self._engine = None
 
     # ------------------------------------------------------------------ #
     # event actions
@@ -141,14 +148,32 @@ class ChurnSimulation:
         handle = self._rng.choice(self.handles)
         origin = self._rng.choice(self.network.pastry.live_ids())
         reader = self.network.create_client(usage_quota=0, access_node=origin)
+        obs = self.network.obs
+        ctx = None
+        start = 0.0
+        if obs.enabled and self._engine is not None:
+            ctx = TraceContext.root(self._trace_rng)
+            start = self._engine.now
         try:
-            reader.lookup(
+            result = reader.lookup_verbose(
                 handle.file_id,
                 replica_hint=handle.certificate.replication_factor,
             )
             self._metrics.counter("churn.lookups", outcome="ok").increment()
+            if ctx is not None:
+                obs.traces.record(
+                    ctx, "churn.lookup", start=start, end=self._engine.now,
+                    file_id=f"{handle.file_id:x}", origin=f"{origin:x}",
+                    outcome="ok", hops=result.hops,
+                )
         except LookupFailedError:
             self._metrics.counter("churn.lookups", outcome="failed").increment()
+            if ctx is not None:
+                obs.traces.record(
+                    ctx, "churn.lookup", start=start, end=self._engine.now,
+                    file_id=f"{handle.file_id:x}", origin=f"{origin:x}",
+                    outcome="failed",
+                )
 
     # ------------------------------------------------------------------ #
     # injected faults
@@ -244,6 +269,7 @@ class ChurnSimulation:
     def run(self, duration: float) -> ChurnReport:
         """Run the scenario for *duration* simulated time units."""
         engine = SimulationEngine()
+        self._engine = engine
         obs = self.network.obs
         if obs.enabled:
             # Events published during the run carry sim-time timestamps.

@@ -220,6 +220,24 @@ class PastClient:
         if not isinstance(response, LookupResponse):
             raise LookupFailedError(f"file {file_id:040x} not found ({result.reason})")
         self._verify_lookup(file_id, response)
+        obs = self.network.obs
+        if obs.enabled:
+            # Claim C5 probe: which replica (ranked by network distance
+            # from the node that issued the winning route) served this
+            # lookup?  Rank 1 = the proximally nearest copy; the paper
+            # reports 76% rank-1 / 92% rank-<=2 with the heuristic on.
+            record = self.network.files.get(file_id)
+            serving = response.serving_node
+            if record is not None and serving in record.holders:
+                topology = self.network.pastry.topology
+                vantage = result.path[0]
+                ranked = sorted(
+                    record.holders,
+                    key=lambda holder: (topology.distance(vantage, holder), holder),
+                )
+                obs.metrics.counter(
+                    "lookup.replica_rank", rank=str(ranked.index(serving) + 1)
+                ).increment()
         self._cache_along_path(result.path, response.certificate, response.data,
                                exclude=response.serving_node)
         return LookupResult(

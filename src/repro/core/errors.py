@@ -33,15 +33,37 @@ class LookupFailedError(PastError):
 class DegradedError(PastError):
     """An operation exhausted its retry budget and degraded instead of
     hanging: the caller gets a typed failure carrying what was attempted,
-    so it can surface the outage or fall back (fault-injection layer)."""
+    so it can surface the outage or fall back (fault-injection layer).
 
-    def __init__(self, operation: str, attempts: int, detail: str = "") -> None:
+    ``history`` is the full attempt record (a tuple of
+    :class:`~repro.faults.policy.AttemptRecord`): per attempt, the span
+    id inside the operation's trace, the backoff slept before it, and
+    whether/under which seed it rerouted.  ``trace_id`` names the trace
+    those spans belong to, so a degraded live operation can be
+    reconstructed hop by hop from the trace export."""
+
+    def __init__(
+        self,
+        operation: str,
+        attempts: int,
+        detail: str = "",
+        history: tuple = (),
+        trace_id: str = "",
+    ) -> None:
         self.operation = operation
         self.attempts = attempts
         self.detail = detail
+        self.history = tuple(history)
+        self.trace_id = trace_id
         message = f"{operation} degraded after {attempts} attempt(s)"
         if detail:
             message += f": {detail}"
+        if trace_id:
+            message += f" [trace {trace_id}]"
+        if self.history:
+            message += " (" + "; ".join(
+                record.describe() for record in self.history
+            ) + ")"
         super().__init__(message)
 
 

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan, build_schedule
+from repro.obs.claims import record_deployment_census
 
 # Leaf capacity for chaos runs: l=8 means floor(l/2)=4, so the C6
 # boundary (4 adjacent failures) stays a tractable event in a ~30 node
@@ -33,11 +34,16 @@ def run_chaos(
     duration: float = 200.0,
     replication_factor: int = 3,
     events_path: Optional[str] = None,
+    traces_path: Optional[str] = None,
 ) -> dict:
     """One chaos run; returns a deterministic report dict.
 
     When *events_path* is given, the full observability event log is
-    written there as JSONL (schema-validated records, one per line).
+    written there as JSONL (schema-validated records, one per line);
+    *traces_path* likewise exports the collected span records.  The
+    report embeds the final metrics snapshot and the deployment
+    parameters, so the claim observatory (``python -m repro.obs.report``)
+    can re-evaluate every claim verdict from the artifact alone.
     """
     # Local imports: the churn simulation itself consumes fault plans,
     # so importing it at module scope would close an import cycle
@@ -79,12 +85,20 @@ def run_chaos(
     checker.check_all()  # clean baseline before any chaos
     report = simulation.run(duration)
     checker.check_all()  # final sweep after the last event settles
+    record_deployment_census(network)
 
     result = {
         "seed": seed,
         "nodes": nodes,
         "files": files,
         "duration": duration,
+        "params": {
+            "final_node_count": report.final_node_count,
+            "bits_per_digit": network.space.b,
+            "leaf_capacity": network.pastry.leaf_capacity,
+            "neighborhood_capacity": network.pastry.neighborhood_capacity,
+            "replication_factor": replication_factor,
+        },
         "faults_injected": dict(sorted(plan.injected.items())),
         "schedule": plan.describe()["events"],
         "invariant_checks": checker.checks_run,
@@ -97,7 +111,10 @@ def run_chaos(
         "files_lost": report.files_lost,
         "replicas_restored": report.replicas_restored,
         "final_node_count": report.final_node_count,
+        "metrics": observer.metrics.snapshot(),
     }
     if events_path is not None:
         result["events_written"] = observer.bus.write_jsonl(events_path)
+    if traces_path is not None:
+        result["traces_written"] = observer.traces.write_jsonl(traces_path)
     return result

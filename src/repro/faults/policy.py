@@ -14,8 +14,75 @@ regression tests pin down.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of a retried live operation, as it happened.
+
+    ``span_id`` ties the attempt back to its span in the operation's
+    trace (the hop-by-hop record lives there); ``delay`` is the backoff
+    slept *before* this attempt; ``randomized``/``reroute_seed`` say
+    whether the attempt rerouted via the randomized policy (claim C7)
+    and under which derived seed.
+    """
+
+    attempt: int
+    span_id: str = ""
+    delay: float = 0.0
+    randomized: bool = False
+    reroute_seed: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [f"attempt {self.attempt}"]
+        if self.delay > 0:
+            parts.append(f"after {self.delay:.3f}s backoff")
+        if self.randomized:
+            parts.append(f"rerouted (seed {self.reroute_seed})")
+        if self.span_id:
+            parts.append(f"span {self.span_id}")
+        return ", ".join(parts)
+
+
+@dataclass
+class AttemptLog:
+    """The attempt history one retried operation accumulates.
+
+    The live layer appends a record per attempt; when the budget is
+    exhausted the log rides inside
+    :class:`~repro.core.errors.DegradedError`, so a degraded operation
+    carries its full history (which trace, which spans, what backoff,
+    where it rerouted) instead of just a count.
+    """
+
+    trace_id: str = ""
+    records: List[AttemptRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        attempt: int,
+        span_id: str = "",
+        delay: float = 0.0,
+        randomized: bool = False,
+        reroute_seed: Optional[int] = None,
+    ) -> AttemptRecord:
+        record = AttemptRecord(
+            attempt=attempt,
+            span_id=span_id,
+            delay=delay,
+            randomized=randomized,
+            reroute_seed=reroute_seed,
+        )
+        self.records.append(record)
+        return record
+
+    def as_tuple(self) -> Tuple[AttemptRecord, ...]:
+        return tuple(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ DETERMINISTIC_SCOPES: Tuple[str, ...] = (
 #: replacement new code must import instead.
 DEPRECATED_MODULES: Dict[str, str] = {
     "repro.sim.trace": "repro.obs.metrics",
+    "repro.analysis.tracing": "repro.obs.spans",
 }
 
 

@@ -27,17 +27,32 @@ import random
 from typing import Dict, List, Optional
 
 from repro.core.errors import DegradedError
-from repro.faults.policy import RetryPolicy
+from repro.faults.policy import AttemptLog, RetryPolicy
 from repro.live.transport import InProcessTransport, Message
 from repro.netsim.topology import EuclideanPlaneTopology, Topology
 from repro.obs.events import NodeFailed, NodeJoined, RetryAttempted
 from repro.obs.recorder import Observer
+from repro.obs.trace_context import TraceContext
 from repro.pastry.nodeid import IdSpace
 from repro.pastry.routing import DeterministicRouting, RandomizedRouting
 from repro.pastry.state import NodeState
 from repro.sim.rng import RngRegistry, stable_seed
 
 ROUTE_TIMEOUT = 10.0  # seconds of real time; generous for CI machines
+
+#: HELP texts for the live metric families ``metrics_text()`` exposes.
+#: Every family a live deployment serves must be announced (strict
+#: scrapers reject families without HELP/TYPE; see obs/validate.py).
+LIVE_METRIC_HELP = {
+    "live.messages": "Messages sent by live nodes, by protocol kind.",
+    "live.nodes": "Live (responding) nodes in the cluster.",
+    "live.joins": "Completed live join protocols.",
+    "live.retries": "Live operation retry attempts, by operation.",
+    "live.route.hops": "Overlay hops per completed live route.",
+    "live.trace.spans": "Span records collected from live traces.",
+    "node.failures": "Nodes that stopped responding.",
+    "storage.used_bytes": "Bytes stored across live replicas.",
+}
 
 
 class LiveNode:
@@ -57,6 +72,8 @@ class LiveNode:
         self._policy = DeterministicRouting()
         self._task: Optional[asyncio.Task] = None
         self._running = False
+        # Per-trace child-span sequence numbers (see _trace_child).
+        self._trace_seq: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -104,6 +121,20 @@ class LiveNode:
             self.state.forget(destination)
         return delivered
 
+    def _trace_child(self, header: str, *qualifiers: object) -> TraceContext:
+        """Derive this node's next child context under *header*.
+
+        Span ids carry a per-(node, trace) sequence number, so sibling
+        spans stay distinct even when a duplicated message replays the
+        same handler.  The counter is scoped per trace: concurrent
+        operations cannot perturb each other's ids, which is what keeps
+        interleaved traces individually byte-deterministic.
+        """
+        ctx = TraceContext.from_traceparent(header)
+        seq = self._trace_seq.get(ctx.trace_id, 0)
+        self._trace_seq[ctx.trace_id] = seq + 1
+        return ctx.child(self.node_id, seq, *qualifiers)
+
     async def _forward_route(self, payload: dict) -> None:
         """Advance a route message one hop (or deliver it here).
 
@@ -111,6 +142,13 @@ class LiveNode:
         chosen by the randomized policy (claim C7), deterministically per
         (retry, node), so a retry explores an alternate path around
         whatever swallowed the original instead of repeating it.
+
+        Traced routes (payload carries a ``traceparent``) record one
+        "hop" span per decision via ``next_hop_explained`` -- same
+        decision, annotated with the routing rule that fired -- and chain
+        the context: the forwarded payload carries *this* hop's context,
+        so the assembled tree mirrors the actual propagation path,
+        re-decides after failed sends included.
         """
         key = payload["key"]
         policy = self._policy
@@ -119,11 +157,34 @@ class LiveNode:
         if retry_seed is not None:
             policy = RandomizedRouting()
             rng = random.Random(stable_seed(retry_seed, self.node_id))
+        obs = self.cluster.obs
+        parent = payload.get("traceparent")
+        tracing = obs.enabled and parent is not None
         while True:
-            hop = policy.next_hop(self.state, key, rng)
-            if hop is not None and hop in payload["trail"]:
+            if tracing:
+                start = obs.traces.tick()
+                hop, rule = policy.next_hop_explained(self.state, key, rng)
+            else:
+                hop = policy.next_hop(self.state, key, rng)
+            cycle_guard = hop is not None and hop in payload["trail"]
+            if cycle_guard:
                 hop = None  # cycle guard: deliver here (see network.route)
+            if tracing:
+                ctx = self._trace_child(parent, "hop")
+                attributes = {
+                    "node_id": f"{self.node_id:x}",
+                    "rule": rule,
+                    "hop_index": len(payload["trail"]),
+                }
+                if cycle_guard:
+                    attributes["cycle_guard"] = True
             if hop is None:
+                if tracing:
+                    obs.traces.record(
+                        ctx, "hop", start=start, end=obs.traces.tick(),
+                        delivered=True, **attributes,
+                    )
+                    payload["traceparent"] = ctx.to_traceparent()
                 await self._deliver_route(payload)
                 return
             payload["trail"].append(self.node_id)
@@ -132,12 +193,27 @@ class LiveNode:
                 payload["collect_rows"].append(
                     (row_index, self.state.routing_table.row(row_index))
                 )
-            message = Message(kind="route", sender=self.node_id, payload=payload)
-            if await self._send(hop, message):
+            if tracing:
+                payload["traceparent"] = ctx.to_traceparent()
+            message = Message(kind="route", sender=self.node_id, payload=payload,
+                              traceparent=payload.get("traceparent"))
+            delivered = await self._send(hop, message)
+            if tracing:
+                attributes["next_node"] = f"{hop:x}"
+                if not delivered:
+                    attributes["send_failed"] = True
+                obs.traces.record(
+                    ctx, "hop", start=start, end=obs.traces.tick(), **attributes
+                )
+            if delivered:
                 return
             payload["trail"].pop()
             if payload.get("collect_rows") is not None:
                 payload["collect_rows"].pop()
+            if tracing:
+                # Re-decide under the *incoming* context; the failed
+                # hop's span stays in the tree marked send_failed.
+                payload["traceparent"] = parent
             # Send failed: the dead hop was forgotten; re-decide.
 
     async def _deliver_route(self, payload: dict) -> None:
@@ -145,6 +221,8 @@ class LiveNode:
         if purpose == "join":
             await self._answer_join(payload)
             return
+        obs = self.cluster.obs
+        parent = payload.get("traceparent")
         result = Message(
             kind="route-result",
             sender=self.node_id,
@@ -153,7 +231,16 @@ class LiveNode:
                 "path": payload["trail"] + [self.node_id],
                 "key": payload["key"],
             },
+            traceparent=parent,
         )
+        if obs.enabled and parent is not None:
+            ctx = self._trace_child(parent, "deliver")
+            obs.traces.record(
+                ctx, "deliver",
+                node_id=f"{self.node_id:x}",
+                path_length=len(payload["trail"]) + 1,
+            )
+            result.traceparent = ctx.to_traceparent()
         await self._send(payload["origin"], result)
 
     # ------------------------------------------------------------------ #
@@ -287,6 +374,16 @@ class LiveCluster:
         self.transport = InProcessTransport(faults=fault_plan)
         self.retry = retry if retry is not None else RetryPolicy()
         self._backoff_rng = self.rngs.stream("retry-backoff")
+        # Trace ids are drawn from their own stream so adding/removing
+        # traced operations never perturbs topology or backoff draws.
+        self._trace_rng = self.rngs.stream("trace-ids")
+        if self.obs.enabled:
+            # Wire faults on traced messages land in the same collector
+            # as the hop/attempt spans, so a trace shows *where* the
+            # wire swallowed a message, not just that a retry fired.
+            self.transport.traces = self.obs.traces
+            for name, help_text in LIVE_METRIC_HELP.items():
+                self.obs.metrics.describe(name, help_text)
         self.nodes: Dict[int, LiveNode] = {}
         self._route_futures: Dict[int, asyncio.Future] = {}
         self._request_ids = itertools.count(1)
@@ -397,6 +494,7 @@ class LiveCluster:
         (what a live deployment would serve on ``/metrics``)."""
         if not self.obs.enabled:
             return ""
+        self.obs.metrics.gauge("live.trace.spans").set(float(len(self.obs.traces)))
         return self.obs.metrics.to_prometheus()
 
     # ------------------------------------------------------------------ #
@@ -434,13 +532,30 @@ class LiveCluster:
         share of *timeout*; a lost message triggers exponential backoff
         and a re-send that routes via randomized alternates (claim C7).
         Exhausting every attempt raises :class:`DegradedError` -- the
-        caller degrades instead of hanging on one lost reply.
+        caller degrades instead of hanging on one lost reply -- carrying
+        the full attempt history (span ids, backoff delays, reroute
+        seeds) and the trace id of the operation's span tree.
+
+        Each client route is one trace: a ``live.route`` root span, one
+        "attempt" child per (re)send whose context travels inside the
+        route payload, and under each attempt the hop chain the message
+        actually took.
         """
         request_id = next(self._request_ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._route_futures[request_id] = future
         policy = self.retry
         attempt_timeout = timeout / policy.attempts
+        obs = self.obs
+        tracing = obs.enabled
+        root_ctx: Optional[TraceContext] = None
+        attempt_log = AttemptLog()
+        root_start = 0.0
+        if tracing:
+            root_ctx = TraceContext.root(self._trace_rng)
+            attempt_log.trace_id = root_ctx.trace_id
+            root_start = obs.traces.tick()
+        delay = 0.0
         try:
             for attempt in range(policy.attempts):
                 payload = {
@@ -450,26 +565,73 @@ class LiveCluster:
                     "trail": [],
                     "purpose": "lookup",
                 }
+                reroute_seed = None
                 if attempt > 0:
-                    payload["randomized_seed"] = stable_seed(
+                    reroute_seed = stable_seed(
                         self.rngs.master_seed, request_id, attempt
                     )
+                    payload["randomized_seed"] = reroute_seed
+                attempt_ctx: Optional[TraceContext] = None
+                attempt_start = 0.0
+                if tracing:
+                    attempt_ctx = root_ctx.child("attempt", attempt)
+                    attempt_start = obs.traces.tick()
+                    payload["traceparent"] = attempt_ctx.to_traceparent()
+                attempt_log.add(
+                    attempt=attempt + 1,
+                    span_id=attempt_ctx.span_id if attempt_ctx else "",
+                    delay=delay,
+                    randomized=reroute_seed is not None,
+                    reroute_seed=reroute_seed,
+                )
                 await self.transport.send(
-                    origin, Message(kind="route", sender=origin, payload=payload)
+                    origin, Message(kind="route", sender=origin, payload=payload,
+                                    traceparent=payload.get("traceparent"))
                 )
                 try:
-                    return await asyncio.wait_for(
+                    path = await asyncio.wait_for(
                         asyncio.shield(future), attempt_timeout
                     )
+                    if tracing:
+                        obs.traces.record(
+                            attempt_ctx, "attempt",
+                            start=attempt_start, end=obs.traces.tick(),
+                            attempt=attempt + 1, outcome="delivered",
+                            randomized=reroute_seed is not None,
+                        )
+                        obs.traces.record(
+                            root_ctx, "live.route",
+                            start=root_start, end=obs.traces.tick(),
+                            key=f"{key:x}", origin=f"{origin:x}",
+                            attempts=attempt + 1, path_length=len(path),
+                            outcome="ok",
+                        )
+                    return path
                 except asyncio.TimeoutError:
+                    if tracing:
+                        obs.traces.record(
+                            attempt_ctx, "attempt",
+                            start=attempt_start, end=obs.traces.tick(),
+                            attempt=attempt + 1, outcome="timeout",
+                            randomized=reroute_seed is not None,
+                        )
                     if attempt + 1 >= policy.attempts:
                         break
                     delay = policy.backoff(attempt + 1, self._backoff_rng)
                     self._emit_retry("route", attempt + 1, delay, request_id)
                     await asyncio.sleep(delay)
+            if tracing:
+                obs.traces.record(
+                    root_ctx, "live.route",
+                    start=root_start, end=obs.traces.tick(),
+                    key=f"{key:x}", origin=f"{origin:x}",
+                    attempts=policy.attempts, outcome="degraded",
+                )
             raise DegradedError(
                 "route", policy.attempts,
                 f"key {key:x} from {origin:x}: no reply",
+                history=attempt_log.as_tuple(),
+                trace_id=attempt_log.trace_id,
             )
         finally:
             pending = self._route_futures.pop(request_id, None)

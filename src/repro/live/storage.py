@@ -25,8 +25,10 @@ from repro.core.certificates import FileCertificate
 from repro.core.errors import DegradedError
 from repro.core.files import FileData
 from repro.core.storage import FileStore
+from repro.faults.policy import AttemptLog
 from repro.live.cluster import ROUTE_TIMEOUT, LiveCluster, LiveNode
 from repro.live.transport import Message
+from repro.obs.trace_context import TraceContext
 from repro.sim.rng import stable_seed
 
 # Root-side pending inserts expire after this long: if the client has
@@ -59,19 +61,29 @@ class LiveStorageNode(LiveNode):
         if payload.get("purpose") == "past-lookup":
             replica = self.store.get(payload["file_id"])
             if replica is not None and replica.data is not None:
-                await self._send(
-                    payload["client"],
-                    Message(
-                        kind="lookup-result",
-                        sender=self.node_id,
-                        payload={
-                            "request_id": payload["request_id"],
-                            "certificate": replica.certificate,
-                            "data": replica.data,
-                            "serving_node": self.node_id,
-                        },
-                    ),
+                obs = self.cluster.obs
+                parent = payload.get("traceparent")
+                result = Message(
+                    kind="lookup-result",
+                    sender=self.node_id,
+                    payload={
+                        "request_id": payload["request_id"],
+                        "certificate": replica.certificate,
+                        "data": replica.data,
+                        "serving_node": self.node_id,
+                    },
+                    traceparent=parent,
                 )
+                if obs.enabled and parent is not None:
+                    ctx = self._trace_child(parent, "serve")
+                    obs.traces.record(
+                        ctx, "serve",
+                        node_id=f"{self.node_id:x}",
+                        found=True, en_route=True,
+                        hop_index=len(payload["trail"]),
+                    )
+                    result.traceparent = ctx.to_traceparent()
+                await self._send(payload["client"], result)
                 return
         await super()._forward_route(payload)
 
@@ -82,16 +94,24 @@ class LiveStorageNode(LiveNode):
             return
         if purpose == "past-lookup":
             # Reached the root without finding the file anywhere en route.
-            await self._send(
-                payload["client"],
-                Message(
-                    kind="lookup-result",
-                    sender=self.node_id,
-                    payload={"request_id": payload["request_id"],
-                             "certificate": None, "data": None,
-                             "serving_node": self.node_id},
-                ),
+            obs = self.cluster.obs
+            parent = payload.get("traceparent")
+            result = Message(
+                kind="lookup-result",
+                sender=self.node_id,
+                payload={"request_id": payload["request_id"],
+                         "certificate": None, "data": None,
+                         "serving_node": self.node_id},
+                traceparent=parent,
             )
+            if obs.enabled and parent is not None:
+                ctx = self._trace_child(parent, "serve")
+                obs.traces.record(
+                    ctx, "serve",
+                    node_id=f"{self.node_id:x}", found=False, en_route=False,
+                )
+                result.traceparent = ctx.to_traceparent()
+            await self._send(payload["client"], result)
             return
         await super()._deliver_route(payload)
 
@@ -101,28 +121,47 @@ class LiveStorageNode(LiveNode):
 
     async def _insert_as_root(self, payload: dict) -> None:
         request_id = payload["request_id"]
+        obs = self.cluster.obs
+        parent = payload.get("traceparent")
+        tracing = obs.enabled and parent is not None
         completed = self._completed_inserts.get(request_id)
         if completed is not None:
             # Client retry after we finished: the original result was
             # lost; replay it instead of re-running the insert.
-            await self._send(
-                payload["client"],
-                Message(kind="insert-result", sender=self.node_id,
-                        payload=completed),
-            )
+            result = Message(kind="insert-result", sender=self.node_id,
+                             payload=completed, traceparent=parent)
+            if tracing:
+                ctx = self._trace_child(parent, "replay-result")
+                obs.traces.record(
+                    ctx, "replay-result",
+                    node_id=f"{self.node_id:x}",
+                    success=bool(completed.get("success")),
+                )
+                result.traceparent = ctx.to_traceparent()
+            await self._send(payload["client"], result)
             return
         pending = self._pending_inserts.get(request_id)
         if pending is not None:
             # Client retry while the fan-out is still collecting acks:
             # re-poke only the replicas that have not answered yet.
-            await self._repoke_pending(pending)
+            await self._repoke_pending(pending, parent)
             return
+        ctx: Optional[TraceContext] = None
+        start = 0.0
+        if tracing:
+            ctx = self._trace_child(parent, "insert-root")
+            start = obs.traces.tick()
         certificate: FileCertificate = payload["certificate"]
         if certificate.file_id in self.store:
             # Files are immutable and a fileId cannot be inserted twice;
             # the root holds every file it placed, so it is the natural
             # place to refuse duplicates (retries of *this* insert never
             # reach here -- they hit the pending/completed paths above).
+            if tracing:
+                obs.traces.record(ctx, "insert-root", start=start,
+                                  node_id=f"{self.node_id:x}",
+                                  outcome="duplicate")
+                payload["traceparent"] = ctx.to_traceparent()
             await self._insert_failed(payload, "duplicate")
             return
         k = certificate.replication_factor
@@ -130,6 +169,10 @@ class LiveStorageNode(LiveNode):
         try:
             replica_ids = self.state.leaf_set.replica_candidates(key, k)
         except ValueError:
+            if tracing:
+                obs.traces.record(ctx, "insert-root", start=start,
+                                  node_id=f"{self.node_id:x}", outcome="bad-k")
+                payload["traceparent"] = ctx.to_traceparent()
             await self._insert_failed(payload, "bad-k")
             return
         pending = {
@@ -139,6 +182,10 @@ class LiveStorageNode(LiveNode):
             "request_id": request_id,
             "certificate": certificate,
             "data": payload["data"],
+            # The root's insert context: the final insert-result (sent
+            # from whichever ack completes the fan-out) stays on this
+            # operation's trace.
+            "traceparent": ctx.to_traceparent() if ctx is not None else None,
             "expiry": asyncio.get_running_loop().call_later(
                 PENDING_INSERT_TTL, self._expire_pending_insert, request_id
             ),
@@ -146,8 +193,15 @@ class LiveStorageNode(LiveNode):
         self._pending_inserts[request_id] = pending
         for replica_id in replica_ids:
             if replica_id == self.node_id:
-                if self._store_locally(certificate, payload["data"]):
+                stored = self._store_locally(certificate, payload["data"])
+                if stored:
                     pending["stored"].add(self.node_id)
+                if tracing:
+                    obs.traces.record(
+                        self._trace_child(pending["traceparent"], "store"),
+                        "store", node_id=f"{self.node_id:x}",
+                        ok=stored, local=True,
+                    )
                 continue
             message = Message(
                 kind="store-request",
@@ -157,14 +211,35 @@ class LiveStorageNode(LiveNode):
                     "certificate": certificate,
                     "data": payload["data"],
                 },
+                traceparent=pending["traceparent"],
             )
             await self._send(replica_id, message)
+        if tracing:
+            obs.traces.record(
+                ctx, "insert-root", start=start, end=obs.traces.tick(),
+                node_id=f"{self.node_id:x}",
+                file_id=f"{certificate.file_id:x}",
+                k=k, replicas=len(replica_ids), outcome="fanout",
+            )
         await self._maybe_finish_insert(request_id)
 
-    async def _repoke_pending(self, pending: dict) -> None:
+    async def _repoke_pending(self, pending: dict,
+                              parent: Optional[str] = None) -> None:
         """Re-send store requests to the replicas still missing an ack
-        (their request or their ack was lost)."""
-        for replica_id in sorted(pending["needed"] - pending["stored"]):
+        (their request or their ack was lost).  *parent* is the retry
+        attempt's trace context: the repoke span lands under the attempt
+        that triggered it, not the original fan-out."""
+        obs = self.cluster.obs
+        header = None
+        missing = sorted(pending["needed"] - pending["stored"])
+        if obs.enabled and parent is not None:
+            ctx = self._trace_child(parent, "repoke")
+            obs.traces.record(
+                ctx, "repoke",
+                node_id=f"{self.node_id:x}", missing=len(missing),
+            )
+            header = ctx.to_traceparent()
+        for replica_id in missing:
             if replica_id == self.node_id:
                 continue
             await self._send(
@@ -177,6 +252,7 @@ class LiveStorageNode(LiveNode):
                         "certificate": pending["certificate"],
                         "data": pending["data"],
                     },
+                    traceparent=header,
                 ),
             )
 
@@ -210,14 +286,22 @@ class LiveStorageNode(LiveNode):
                 held is not None
                 and held.certificate.content_hash == certificate.content_hash
             )
-        await self._send(
-            message.sender,
-            Message(
-                kind="store-ack",
-                sender=self.node_id,
-                payload={"request_id": message.payload["request_id"], "ok": ok},
-            ),
+        ack = Message(
+            kind="store-ack",
+            sender=self.node_id,
+            payload={"request_id": message.payload["request_id"], "ok": ok},
+            traceparent=message.traceparent,
         )
+        obs = self.cluster.obs
+        if obs.enabled and message.traceparent is not None:
+            ctx = self._trace_child(message.traceparent, "store")
+            obs.traces.record(
+                ctx, "store", node_id=f"{self.node_id:x}", ok=ok, local=False,
+            )
+            # A dropped ack now shows as a wire fault under this store
+            # span -- the exact link the repoke path exists to repair.
+            ack.traceparent = ctx.to_traceparent()
+        await self._send(message.sender, ack)
 
     async def _on_store_ack(self, message: Message) -> None:
         pending = self._pending_inserts.get(message.payload["request_id"])
@@ -244,7 +328,8 @@ class LiveStorageNode(LiveNode):
             await self._send(
                 pending["client"],
                 Message(kind="insert-result", sender=self.node_id,
-                        payload=result),
+                        payload=result,
+                        traceparent=pending.get("traceparent")),
             )
         elif pending["needed"] - pending["stored"] and \
                 len(pending["needed"]) < pending["certificate"].replication_factor:
@@ -255,7 +340,8 @@ class LiveStorageNode(LiveNode):
                 "reason": "refused", "holders": [],
             }
             await self._insert_failed(
-                {"client": pending["client"], "request_id": request_id},
+                {"client": pending["client"], "request_id": request_id,
+                 "traceparent": pending.get("traceparent")},
                 "refused",
             )
 
@@ -273,6 +359,7 @@ class LiveStorageNode(LiveNode):
                 sender=self.node_id,
                 payload={"request_id": payload["request_id"],
                          "success": False, "reason": reason, "holders": []},
+                traceparent=payload.get("traceparent"),
             ),
         )
 
@@ -322,6 +409,12 @@ class LiveStorageCluster(LiveCluster):
         gets a share of *timeout*, retries reroute via randomized
         alternates, and exhaustion raises :class:`DegradedError` with the
         pending entry cleaned up.
+
+        Each storage operation is one trace (a ``live.past-insert`` /
+        ``live.past-lookup`` root span); attempt contexts travel inside
+        the payload exactly as in :meth:`LiveCluster.route`, so the
+        assembled tree shows routing hops, the root's replica fan-out,
+        en-route serves, and every retry.
         """
         request_id = next(self._op_ids)
         op = payload.get("purpose", "request")
@@ -329,31 +422,89 @@ class LiveStorageCluster(LiveCluster):
         self._request_futures[request_id] = future
         policy = self.retry
         attempt_timeout = timeout / policy.attempts
+        obs = self.obs
+        tracing = obs.enabled
+        root_ctx: Optional[TraceContext] = None
+        attempt_log = AttemptLog()
+        root_start = 0.0
+        if tracing:
+            root_ctx = TraceContext.root(self._trace_rng)
+            attempt_log.trace_id = root_ctx.trace_id
+            root_start = obs.traces.tick()
+        delay = 0.0
         try:
             for attempt in range(policy.attempts):
                 attempt_payload = dict(payload)
                 attempt_payload["request_id"] = request_id
                 attempt_payload["client"] = origin
                 attempt_payload["trail"] = []
+                reroute_seed = None
                 if attempt > 0:
-                    attempt_payload["randomized_seed"] = stable_seed(
+                    reroute_seed = stable_seed(
                         self.rngs.master_seed, request_id, attempt
                     )
+                    attempt_payload["randomized_seed"] = reroute_seed
+                attempt_ctx: Optional[TraceContext] = None
+                attempt_start = 0.0
+                if tracing:
+                    attempt_ctx = root_ctx.child("attempt", attempt)
+                    attempt_start = obs.traces.tick()
+                    attempt_payload["traceparent"] = attempt_ctx.to_traceparent()
+                attempt_log.add(
+                    attempt=attempt + 1,
+                    span_id=attempt_ctx.span_id if attempt_ctx else "",
+                    delay=delay,
+                    randomized=reroute_seed is not None,
+                    reroute_seed=reroute_seed,
+                )
                 await self.transport.send(
                     origin,
-                    Message(kind="route", sender=origin, payload=attempt_payload),
+                    Message(kind="route", sender=origin, payload=attempt_payload,
+                            traceparent=attempt_payload.get("traceparent")),
                 )
                 try:
-                    return await asyncio.wait_for(
+                    result = await asyncio.wait_for(
                         asyncio.shield(future), attempt_timeout
                     )
+                    if tracing:
+                        obs.traces.record(
+                            attempt_ctx, "attempt",
+                            start=attempt_start, end=obs.traces.tick(),
+                            attempt=attempt + 1, outcome="delivered",
+                            randomized=reroute_seed is not None,
+                        )
+                        obs.traces.record(
+                            root_ctx, f"live.{op}",
+                            start=root_start, end=obs.traces.tick(),
+                            key=f"{payload['key']:x}", origin=f"{origin:x}",
+                            attempts=attempt + 1, outcome="ok",
+                        )
+                    return result
                 except asyncio.TimeoutError:
+                    if tracing:
+                        obs.traces.record(
+                            attempt_ctx, "attempt",
+                            start=attempt_start, end=obs.traces.tick(),
+                            attempt=attempt + 1, outcome="timeout",
+                            randomized=reroute_seed is not None,
+                        )
                     if attempt + 1 >= policy.attempts:
                         break
                     delay = policy.backoff(attempt + 1, self._backoff_rng)
                     self._emit_retry(op, attempt + 1, delay, request_id)
                     await asyncio.sleep(delay)
-            raise DegradedError(op, policy.attempts, "no reply")
+            if tracing:
+                obs.traces.record(
+                    root_ctx, f"live.{op}",
+                    start=root_start, end=obs.traces.tick(),
+                    key=f"{payload['key']:x}", origin=f"{origin:x}",
+                    attempts=policy.attempts, outcome="degraded",
+                )
+            raise DegradedError(
+                op, policy.attempts, "no reply",
+                history=attempt_log.as_tuple(),
+                trace_id=attempt_log.trace_id,
+            )
         finally:
             pending = self._request_futures.pop(request_id, None)
             if pending is not None and not pending.done():

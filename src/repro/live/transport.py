@@ -11,6 +11,13 @@ or later, via the public ``faults`` attribute) to inject message-level
 chaos: drops (silent loss -- the send *appears* to succeed, unlike a
 dead peer, so only a timeout reveals it), duplicates, extra delay, and
 reorders (deferred enqueue that lets later messages overtake).
+
+Every message carries an optional W3C-style ``traceparent`` header
+(:mod:`repro.obs.trace_context`).  When a :class:`TraceCollector` is
+attached (the cluster wires its observer's in), the transport records a
+point span for each fault it injects on a traced message -- so a trace
+of a failed insert shows *where* the wire swallowed, duplicated or
+reordered it, not just that a retry eventually fired.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.netsim.latency import LatencyModel
+from repro.obs.trace_context import TraceCollector, TraceContext
 
 
 @dataclass
@@ -31,6 +39,7 @@ class Message:
     sender: int
     payload: dict = field(default_factory=dict)
     message_id: int = 0
+    traceparent: Optional[str] = None
 
 
 class InProcessTransport:
@@ -48,6 +57,9 @@ class InProcessTransport:
         self._latency = latency
         self._latency_scale = latency_scale
         self.faults = faults
+        # Optional TraceCollector: injected faults on traced messages
+        # are recorded as point spans under the message's context.
+        self.traces: Optional[TraceCollector] = None
         self._sequence = itertools.count(1)
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -93,7 +105,17 @@ class InProcessTransport:
             fault = self.faults.message_fault(message.sender, destination)
             if fault is not None and fault.drop:
                 self.faults_dropped += 1
+                self._trace_fault(message, destination, "drop")
                 return True
+            if fault is not None:
+                if fault.duplicate:
+                    self._trace_fault(message, destination, "duplicate")
+                if fault.delay > 0:
+                    self._trace_fault(message, destination, "delay",
+                                      amount=fault.delay)
+                if fault.defer > 0:
+                    self._trace_fault(message, destination, "reorder",
+                                      amount=fault.defer)
         if self._latency is not None:
             delay = self._latency.delay(message.sender, destination)
             if delay > 0:
@@ -123,6 +145,27 @@ class InProcessTransport:
             self.faults_duplicated += 1
             queue.put_nowait(message)
         return True
+
+    def _trace_fault(self, message: Message, destination: int,
+                     fault: str, amount: float = 0.0) -> None:
+        """Record one injected fault as a point span on the message's
+        trace (traced messages only; untraced traffic costs one test)."""
+        if self.traces is None or message.traceparent is None:
+            return
+        ctx = TraceContext.from_traceparent(message.traceparent)
+        attributes = {
+            "fault": fault,
+            "kind": message.kind,
+            "sender": f"{message.sender:x}",
+            "destination": f"{destination:x}",
+        }
+        if amount:
+            attributes["amount"] = round(amount, 6)
+        self.traces.record(
+            ctx.child("wire-fault", fault, message.message_id),
+            "wire-fault",
+            **attributes,
+        )
 
     async def receive(self, address: int, timeout: Optional[float] = None) -> Optional[Message]:
         """Next message for *address*, or None on timeout."""

@@ -233,6 +233,13 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        # Instrument name -> HELP text for the Prometheus exposition.
+        self._help: Dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a HELP text to the instrument family *name* (the
+        dotted metric name, before exposition sanitisation)."""
+        self._help[name] = help_text
 
     # ------------------------------------------------------------------ #
     # instrument lookup (create-on-first-use)
@@ -311,7 +318,11 @@ class MetricsRegistry:
 
         Metric names are sanitised (dots become underscores); counters
         get the conventional ``_total`` suffix; histograms expose
-        ``_count``, ``_sum`` and three quantile series.
+        ``_count``, ``_sum`` and three quantile series.  Every family is
+        announced with ``# HELP`` (from :meth:`describe`, falling back
+        to the dotted instrument name) and ``# TYPE`` before its first
+        sample -- the exposition-format contract a strict scraper
+        enforces (`tests` validate it with a strict parser).
         """
         lines: List[str] = []
 
@@ -329,24 +340,30 @@ class MetricsRegistry:
                 return str(int(value))
             return repr(value)
 
-        typed: set = set()
+        announced: set = set()
 
-        def type_line(name: str, kind: str) -> None:
-            if name not in typed:
-                typed.add(name)
-                lines.append(f"# TYPE {name} {kind}")
+        def family(exposed: str, instrument: str, kind: str) -> None:
+            """HELP + TYPE for *exposed*, once, before its first sample."""
+            if exposed in announced:
+                return
+            announced.add(exposed)
+            help_text = self._help.get(instrument, f"instrument {instrument}")
+            # HELP text is a single escaped line per the format spec.
+            help_text = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {exposed} {help_text}")
+            lines.append(f"# TYPE {exposed} {kind}")
 
         for _, counter in sorted(self._counters.items()):
             name = prom_name(counter.name) + "_total"
-            type_line(name, "counter")
+            family(name, counter.name, "counter")
             lines.append(f"{name}{prom_labels(counter.labels)} {counter.value}")
         for _, gauge in sorted(self._gauges.items()):
             name = prom_name(gauge.name)
-            type_line(name, "gauge")
+            family(name, gauge.name, "gauge")
             lines.append(f"{name}{prom_labels(gauge.labels)} {fmt(gauge.value)}")
         for _, histogram in sorted(self._histograms.items()):
             name = prom_name(histogram.name)
-            type_line(name, "summary")
+            family(name, histogram.name, "summary")
             for q in (0.5, 0.95, 0.99):
                 quantile = (("quantile", repr(q)),)
                 lines.append(

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 from repro.obs.events import Event, EventBus, EventRecord
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span
+from repro.obs.trace_context import TraceCollector
 
 
 class Observer:
@@ -44,6 +45,9 @@ class Observer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.bus = EventBus(clock=self._now)
         self.spans: List[Span] = []
+        # Distributed tracing: flat span records keyed by trace id,
+        # assembled into per-operation trees on demand (obs/trace_context).
+        self.traces = TraceCollector()
 
     def _now(self) -> float:
         clock = self.clock
@@ -86,6 +90,7 @@ class NullObserver:
     enabled = False
     metrics = None
     clock = None
+    traces = None
 
     def emit(self, event: Event) -> None:
         pass

@@ -1,0 +1,98 @@
+"""The claim observatory CLI: artifacts in, verdicts out.
+
+Runs the claim probes over a chaos run's report artifact::
+
+    PYTHONPATH=src python -m repro.obs.report --report chaos-report.json \
+        --events chaos-events.jsonl --out claim-report.md
+
+The report JSON must embed a metrics snapshot and deployment params
+(``run_chaos`` writes both).  The optional events log contributes an
+invariant-violation count.  Exit status is 1 when any claim verdict
+fails or any invariant violation is present -- CI's regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.claims import evaluate_claims, render_markdown, to_json_dict
+
+
+def count_violations(events_path: Path) -> int:
+    """Invariant-violated records in an observability events JSONL."""
+    violations = 0
+    for line in events_path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("event") == "invariant-violated":
+            violations += 1
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="evaluate paper-claim verdicts from chaos artifacts",
+    )
+    parser.add_argument("--report", type=Path, required=True,
+                        help="chaos report JSON (must embed 'metrics')")
+    parser.add_argument("--events", type=Path, default=None,
+                        help="observability events JSONL (adds the "
+                             "invariant-violation gate)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of markdown")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the rendered report here")
+    args = parser.parse_args(argv)
+
+    if not args.report.exists():
+        print(f"no such file: {args.report}", file=sys.stderr)
+        return 2
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+    snapshot = report.get("metrics")
+    params = report.get("params")
+    if not isinstance(snapshot, dict) or not isinstance(params, dict):
+        print(
+            f"{args.report}: missing 'metrics'/'params' -- re-run the "
+            "chaos driver to produce an observatory-ready report",
+            file=sys.stderr,
+        )
+        return 2
+
+    verdicts = evaluate_claims(snapshot, params)
+    violations = len(report.get("violations", []))
+    if args.events is not None and args.events.exists():
+        violations = max(violations, count_violations(args.events))
+
+    if args.json:
+        payload = to_json_dict(verdicts, params)
+        payload["invariant_violations"] = violations
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        rendered = render_markdown(verdicts, params)
+        rendered += f"\nInvariant violations: {violations}\n"
+    sys.stdout.write(rendered)
+    if args.out is not None:
+        args.out.write_text(rendered, encoding="utf-8")
+
+    failed = [verdict for verdict in verdicts if not verdict.passed]
+    if failed or violations:
+        for verdict in failed:
+            print(f"claim regression: {verdict.claim} ({verdict.observed})",
+                  file=sys.stderr)
+        if violations:
+            print(f"invariant violations: {violations}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

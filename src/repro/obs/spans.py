@@ -1,11 +1,19 @@
-"""Span trees for multi-hop operations.
+"""Span trees for multi-hop operations, and route explanation.
 
 A route or a join is one logical operation spread over many nodes; a
 :class:`Span` records it as a tree -- the root names the operation, each
 child records one hop together with the routing rule that fired *at
 decision time* (no after-the-fact re-derivation).  Spans render to JSON
 (``repro route --json``) and to the ASCII trace the CLI has always
-printed, via :func:`repro.analysis.tracing.span_to_explanations`.
+printed, via :func:`span_to_explanations` / :func:`render_route`.
+
+The route-explanation half answers "which rule fired at this node?":
+:func:`explain_route` routes a key and annotates every hop by
+re-deriving the decision from the deciding node's state, while
+:func:`span_to_explanations` converts a decision-time route span into
+the same :class:`HopExplanation` rows, so both sources render
+identically.  (This API lived in ``repro.analysis.tracing``, which is
+now a deprecated shim onto this module.)
 
 Spans carry no wall-clock state: attributes and structure only, plus an
 optional sim-time interval, so a seeded run serialises byte-identically.
@@ -14,7 +22,11 @@ optional sim-time interval, so a seeded run serialises byte-identically.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; see note below
+    from repro.pastry.network import PastryNetwork, RouteResult
 
 
 class Span:
@@ -73,8 +85,8 @@ class Span:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     def render(self, format_value=None) -> str:
-        """Generic ASCII tree (route-specific rendering lives in
-        :mod:`repro.analysis.tracing`, which knows how to format ids)."""
+        """Generic ASCII tree (route-specific rendering goes through
+        :func:`render_route`, which knows how to format ids)."""
         if format_value is None:
             format_value = repr
         lines: List[str] = []
@@ -93,3 +105,116 @@ class Span:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, children={len(self.children)})"
+
+
+# ---------------------------------------------------------------------- #
+# route explanation
+#
+# The rule taxonomy (RULE_* strings) lives in repro.pastry.routing, and
+# pastry.network imports this module -- so the pastry imports below are
+# function-level to keep the dependency one-way at import time.
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class HopExplanation:
+    """One step of a route, annotated."""
+
+    node_id: int
+    shared_prefix: int
+    distance_to_key: int
+    rule: str
+    next_node: Optional[int]
+
+
+def _classify_hop(network: "PastryNetwork", node_id: int, key: int,
+                  next_node: Optional[int]) -> str:
+    """Re-derive which routing rule links node_id -> next_node."""
+    from repro.pastry.routing import (
+        RULE_DELIVER_SELF, RULE_LEAF, RULE_RARE, RULE_TABLE,
+    )
+
+    state = network.nodes[node_id].state
+    if next_node is None:
+        return RULE_DELIVER_SELF
+    if state.leaf_set.covers(key) and next_node in state.leaf_set.members():
+        closest = state.leaf_set.closest_to(key, include_owner=True)
+        if closest == next_node:
+            return RULE_LEAF
+    table_hop = state.routing_table.next_hop_for(key)
+    if table_hop == next_node:
+        return RULE_TABLE
+    return RULE_RARE
+
+
+def explain_route(
+    network: "PastryNetwork", key: int, origin: int, **route_kwargs
+) -> List[HopExplanation]:
+    """Route *key* from *origin* and explain every hop.
+
+    The classification is derived from node state *after* the route ran,
+    so on a freshly built network it reflects exactly the decisions
+    taken; after concurrent repairs it is best-effort (noted per hop).
+    """
+    from repro.pastry.routing import RULE_EN_ROUTE
+
+    result: "RouteResult" = network.route(key, origin, **route_kwargs)
+    space = network.space
+    explanations: List[HopExplanation] = []
+    for index, node_id in enumerate(result.path):
+        next_node = result.path[index + 1] if index + 1 < len(result.path) else None
+        if next_node is None and result.reason == "en-route":
+            rule = RULE_EN_ROUTE
+        else:
+            rule = _classify_hop(network, node_id, key, next_node)
+        explanations.append(
+            HopExplanation(
+                node_id=node_id,
+                shared_prefix=space.shared_prefix_length(node_id, key),
+                distance_to_key=space.distance(node_id, key),
+                rule=rule,
+                next_node=next_node,
+            )
+        )
+    return explanations
+
+
+def span_to_explanations(span: Span) -> List[HopExplanation]:
+    """Convert a traced route span (``RouteResult.span``) into the same
+    :class:`HopExplanation` rows :func:`explain_route` produces, so the
+    decision-time trace renders through :func:`render_route` too."""
+    hops = [child for child in span.children if child.name == "hop"]
+    return [
+        HopExplanation(
+            node_id=child.attributes["node_id"],
+            shared_prefix=child.attributes["shared_prefix"],
+            distance_to_key=child.attributes["distance"],
+            rule=child.attributes["rule"],
+            next_node=child.attributes.get("next_node"),
+        )
+        for child in hops
+    ]
+
+
+def check_progress(explanations: List[HopExplanation]) -> bool:
+    """The route-progress invariant: along the path, the shared prefix
+    never shrinks unless the numeric distance shrinks instead."""
+    for previous, current in zip(explanations, explanations[1:]):
+        prefix_progress = current.shared_prefix >= previous.shared_prefix
+        numeric_progress = current.distance_to_key < previous.distance_to_key
+        if not (prefix_progress or numeric_progress):
+            return False
+    return True
+
+
+def render_route(network: "PastryNetwork",
+                 explanations: List[HopExplanation]) -> str:
+    """ASCII rendering of an explained route."""
+    fmt = network.space.format_id
+    lines = []
+    for index, hop in enumerate(explanations):
+        arrow = "   " if index == 0 else "-> "
+        lines.append(
+            f"{arrow}{fmt(hop.node_id)}  prefix={hop.shared_prefix:2d}  {hop.rule}"
+        )
+    return "\n".join(lines)

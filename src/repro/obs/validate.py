@@ -1,22 +1,156 @@
-"""Validate a JSONL event log against the event schema.
+"""Validate observability artifacts: event logs and metric expositions.
 
 CI's observability smoke step runs this over the export produced by
 ``repro metrics --events``::
 
     PYTHONPATH=src python -m repro.obs.validate events.jsonl
+    PYTHONPATH=src python -m repro.obs.validate --prometheus metrics.prom
 
-Exit status 0 means every line parsed and matched its event's schema;
-problems are listed one per line on stderr.
+Exit status 0 means every line parsed and matched its schema; problems
+are listed one per line on stderr.  :func:`check_prometheus_text` is
+the strict text-exposition parser the live ``metrics_text()`` tests
+use: every family must announce ``# HELP`` and ``# TYPE`` before its
+first sample, names and labels must match the format grammar, and no
+series may repeat.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.obs.events import validate_jsonl_file
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)'
+)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+
+#: Sample-name suffixes each TYPE admits beyond the family name itself.
+_TYPE_SUFFIXES: Dict[str, Tuple[str, ...]] = {
+    "counter": (),
+    "gauge": (),
+    "summary": ("_sum", "_count"),
+    "histogram": ("_bucket", "_sum", "_count"),
+    "untyped": (),
+}
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    """Which declared family does *sample_name* belong to, if any?"""
+    if sample_name in types:
+        return sample_name
+    for family, kind in types.items():
+        for suffix in _TYPE_SUFFIXES.get(kind, ()):
+            if sample_name == family + suffix:
+                return family
+    return None
+
+
+def check_prometheus_text(text: str) -> List[str]:
+    """Strictly parse a Prometheus text exposition; returns problems.
+
+    Enforced: line grammar (HELP/TYPE comments and samples), metric and
+    label name charsets, float-parseable values, one TYPE per family
+    declared *before* its first sample, a HELP line for every family,
+    HELP preceding TYPE, and no duplicate (name, labels) series.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    helps: Set[str] = set()
+    seen_samples: Set[Tuple[str, str]] = set()
+    sampled_families: Set[str] = set()
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Free-form comments are legal; only malformed HELP/TYPE
+                # pseudo-comments are errors.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    problems.append(f"line {line_number}: malformed {parts[1]} line")
+                continue
+            keyword, name = parts[1], parts[2]
+            if not _METRIC_NAME_RE.match(name):
+                problems.append(
+                    f"line {line_number}: invalid metric name {name!r} in {keyword}"
+                )
+                continue
+            if keyword == "HELP":
+                if name in helps:
+                    problems.append(f"line {line_number}: duplicate HELP for {name}")
+                helps.add(name)
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _TYPE_SUFFIXES:
+                    problems.append(
+                        f"line {line_number}: unknown TYPE {kind!r} for {name}"
+                    )
+                if name in types:
+                    problems.append(f"line {line_number}: duplicate TYPE for {name}")
+                if name in sampled_families:
+                    problems.append(
+                        f"line {line_number}: TYPE for {name} after its samples"
+                    )
+                if name not in helps:
+                    problems.append(
+                        f"line {line_number}: TYPE for {name} without preceding HELP"
+                    )
+                types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {line_number}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        label_text = match.group("labels")
+        labels = label_text if label_text is not None else ""
+        if label_text:
+            consumed = sum(
+                len(m.group(0)) for m in _LABEL_RE.finditer(label_text)
+            )
+            if consumed != len(label_text):
+                problems.append(
+                    f"line {line_number}: malformed labels {{{label_text}}}"
+                )
+        try:
+            float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {line_number}: non-numeric value {match.group('value')!r}"
+            )
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(
+                f"line {line_number}: sample {name} has no preceding TYPE"
+            )
+        else:
+            sampled_families.add(family)
+            kind = types[family]
+            if kind == "counter" and name == family and not name.endswith("_total"):
+                problems.append(
+                    f"line {line_number}: counter {name} missing _total suffix"
+                )
+        series = (name, labels)
+        if series in seen_samples:
+            problems.append(
+                f"line {line_number}: duplicate series {name}{{{labels}}}"
+            )
+        seen_samples.add(series)
+    for family in types:
+        if family not in sampled_families:
+            problems.append(f"family {family} declared but has no samples")
+    return problems
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -24,11 +158,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.validate",
         description="validate an observability JSONL event log",
     )
-    parser.add_argument("path", type=Path, help="JSONL file to validate")
+    parser.add_argument("path", type=Path, help="file to validate")
+    parser.add_argument(
+        "--prometheus", action="store_true",
+        help="treat the file as a Prometheus text exposition instead of "
+             "an event JSONL",
+    )
     args = parser.parse_args(argv)
     if not args.path.exists():
         print(f"no such file: {args.path}", file=sys.stderr)
         return 2
+    if args.prometheus:
+        problems = check_prometheus_text(args.path.read_text(encoding="utf-8"))
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(f"{args.path}: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"{args.path}: exposition valid")
+        return 0
     errors = validate_jsonl_file(args.path)
     lines = sum(
         1 for line in args.path.read_text(encoding="utf-8").splitlines() if line.strip()

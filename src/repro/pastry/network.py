@@ -324,6 +324,21 @@ class PastryNetwork:
             metrics = obs.metrics
             metrics.counter("route.requests", category=category).increment()
             metrics.histogram("route.hops", category=category).add(result.hops)
+            if result.delivered and len(result.path) > 1:
+                # Relative delay penalty (claim C4): network distance
+                # actually travelled over the direct origin-destination
+                # distance.  Same-point endpoints are skipped -- stretch
+                # is undefined when the direct distance is zero.
+                topology = self.topology
+                direct = topology.distance(result.path[0], result.destination)
+                if direct > 0:
+                    travelled = sum(
+                        topology.distance(a, b)
+                        for a, b in zip(result.path, result.path[1:])
+                    )
+                    metrics.histogram("route.stretch", category=category).add(
+                        travelled / direct
+                    )
             if not result.delivered:
                 metrics.counter(
                     "route.failed", category=category, reason=result.reason

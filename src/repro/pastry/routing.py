@@ -28,7 +28,7 @@ from repro.pastry.state import NodeState
 # The routing-rule taxonomy.  Every hop decision is one of these; the
 # policies report the rule *at decision time* through
 # ``next_hop_explained`` (span tracing), and the after-the-fact route
-# explainer in :mod:`repro.analysis.tracing` re-derives the same labels.
+# explainer in :mod:`repro.obs.spans` re-derives the same labels.
 RULE_DELIVER_SELF = "deliver (numerically closest)"
 RULE_LEAF = "leaf set (numeric jump to closest member)"
 RULE_TABLE = "routing table (prefix +1 digit)"

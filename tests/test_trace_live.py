@@ -1,0 +1,134 @@
+"""Distributed tracing over the live cluster: determinism and shape.
+
+The acceptance property for the tracing layer: a seeded insert under a
+fault plan yields ONE well-formed span tree covering every routing hop,
+replica store, retry attempt and injected wire fault -- and two runs of
+the same scenario export byte-identical JSONL.
+"""
+
+import asyncio
+import random
+
+from repro.core.files import SyntheticData
+from repro.core.smartcard import make_uncertified_card
+from repro.faults.plan import FaultPlan
+from repro.live.storage import LiveStorageCluster
+from repro.obs.validate import check_prometheus_text
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_certs(count, k=3, size=1500, seed=1):
+    rng = random.Random(seed)
+    card = make_uncertified_card(rng, usage_quota=1 << 40, backend="insecure_fast")
+    pairs = []
+    for i in range(count):
+        data = SyntheticData(i, size)
+        certificate = card.issue_file_certificate(
+            f"f{i}", data, k, salt=i, insertion_date=0
+        )
+        pairs.append((certificate, data))
+    return pairs
+
+
+async def faulty_insert_scenario():
+    """One insert on a 12-node cluster under 8% message drops (seed 5
+    makes the first two attempts time out, so the trace contains the
+    whole retry/reroute story)."""
+    cluster = LiveStorageCluster(seed=5)
+    await cluster.start(12, join_concurrency=4)
+    # Installed after bootstrap: the drops hit the operation, not the joins.
+    cluster.transport.faults = FaultPlan(seed=5, drop_rate=0.08)
+    (certificate, data), = make_certs(1)
+    result = await cluster.insert(certificate, data, cluster.live_ids()[0])
+    await cluster.shutdown()
+    return cluster, result
+
+
+class TestFaultyInsertTrace:
+    def test_byte_deterministic_jsonl(self):
+        first, _ = run(faulty_insert_scenario())
+        second, _ = run(faulty_insert_scenario())
+        exported = first.obs.traces.to_jsonl()
+        assert exported
+        assert exported == second.obs.traces.to_jsonl()
+
+    def test_one_tree_with_every_attempt_and_fault(self):
+        cluster, result = run(faulty_insert_scenario())
+        assert result["success"]
+        traces = cluster.obs.traces
+        assert len(traces.trace_ids()) == 1
+        (trace_id,) = traces.trace_ids()
+        tree = traces.assemble(trace_id)  # raises if malformed
+
+        assert tree.name == "live.past-insert"
+        assert tree.attributes["outcome"] == "ok"
+
+        spans = list(tree.walk())
+        attempts = [s for s in spans if s.name == "attempt"]
+        assert len(attempts) == tree.attributes["attempts"] >= 2
+        # The retry discipline shows in the tree: early attempts time
+        # out, a rerouted attempt eventually delivers.
+        assert attempts[0].attributes["outcome"] == "timeout"
+        assert attempts[-1].attributes["outcome"] == "delivered"
+        assert any(s.attributes.get("randomized") for s in attempts)
+
+        names = {s.name for s in spans}
+        # Hops, the root's replica fan-out, and the injected drops all
+        # land inside the same tree.
+        assert {"hop", "insert-root", "store", "wire-fault"} <= names
+        drops = [s for s in spans if s.name == "wire-fault"]
+        assert all(s.attributes["fault"] == "drop" for s in drops)
+
+    def test_slow_op_log_ranks_the_root_first(self):
+        cluster, _ = run(faulty_insert_scenario())
+        top = cluster.obs.traces.top_spans(3)
+        assert top[0].name == "live.past-insert"
+        assert top[0].duration >= top[1].duration >= top[2].duration
+
+    def test_metrics_exposition_is_strictly_valid(self):
+        cluster, _ = run(faulty_insert_scenario())
+        text = cluster.metrics_text()
+        assert check_prometheus_text(text) == []
+        assert "live_trace_spans" in text
+
+
+class TestInterleavedInsertTraces:
+    """Two concurrent inserts interleave on the wire but must yield two
+    disjoint, individually well-formed, byte-deterministic trees."""
+
+    async def _scenario(self):
+        cluster = LiveStorageCluster(seed=17)
+        await cluster.start(14, join_concurrency=5)
+        pairs = make_certs(2)
+        ids = cluster.live_ids()
+        results = await asyncio.gather(*(
+            cluster.insert(certificate, data, origin)
+            for (certificate, data), origin in zip(pairs, (ids[0], ids[-1]))
+        ))
+        await cluster.shutdown()
+        return cluster, results
+
+    def test_disjoint_well_formed_trees(self):
+        cluster, results = run(self._scenario())
+        assert all(result["success"] for result in results)
+        traces = cluster.obs.traces
+        trace_ids = traces.trace_ids()
+        assert len(trace_ids) == 2
+
+        span_sets = []
+        for trace_id in trace_ids:
+            tree = traces.assemble(trace_id)  # well-formedness enforced
+            assert tree.name == "live.past-insert"
+            assert tree.attributes["outcome"] == "ok"
+            span_sets.append(
+                {record.span_id for record in traces.trace_records(trace_id)}
+            )
+        assert span_sets[0].isdisjoint(span_sets[1])
+
+    def test_interleaving_is_byte_deterministic(self):
+        first, _ = run(self._scenario())
+        second, _ = run(self._scenario())
+        assert first.obs.traces.to_jsonl() == second.obs.traces.to_jsonl()

@@ -2,19 +2,21 @@
 
 import pytest
 
-from repro.analysis.tracing import (
-    RULE_DELIVER_SELF,
-    RULE_EN_ROUTE,
-    RULE_LEAF,
-    RULE_RARE,
-    RULE_TABLE,
+from repro.obs.recorder import Observer
+from repro.obs.spans import (
     check_progress,
     explain_route,
     render_route,
     span_to_explanations,
 )
-from repro.obs.recorder import Observer
 from repro.pastry.network import PastryNetwork
+from repro.pastry.routing import (
+    RULE_DELIVER_SELF,
+    RULE_EN_ROUTE,
+    RULE_LEAF,
+    RULE_RARE,
+    RULE_TABLE,
+)
 from repro.sim.rng import RngRegistry
 
 
@@ -185,10 +187,37 @@ class TestCheckProgress:
         assert check_progress([])
 
     def test_detects_regression(self, net):
-        from repro.analysis.tracing import HopExplanation
+        from repro.obs.spans import HopExplanation
 
         bad = [
             HopExplanation(1, shared_prefix=3, distance_to_key=10, rule="x", next_node=2),
             HopExplanation(2, shared_prefix=2, distance_to_key=20, rule="x", next_node=None),
         ]
         assert not check_progress(bad)
+
+
+class TestDeprecatedShim:
+    """repro.analysis.tracing survives as a warning shim onto obs.spans."""
+
+    def test_shim_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.analysis.tracing", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.analysis.tracing")
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert shim.explain_route is explain_route
+        assert shim.span_to_explanations is span_to_explanations
+        assert shim.check_progress is check_progress
+        assert shim.render_route is render_route
+        assert shim.RULE_LEAF == RULE_LEAF
+
+    def test_lint_knows_the_shim(self):
+        from repro.lint.rules import DEPRECATED_MODULES
+
+        assert DEPRECATED_MODULES["repro.analysis.tracing"] == "repro.obs.spans"
