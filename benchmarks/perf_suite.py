@@ -1,13 +1,19 @@
 """Perf-regression suite: time the simulator's canonical hot paths.
 
-Five workloads, chosen because every experiment in EXPERIMENTS.md spends
+Nine workloads, chosen because every experiment in EXPERIMENTS.md spends
 most of its wall-clock in one of them:
 
 * ``oracle_build``  -- oracle bootstrap of a large overlay (every E* run);
+* ``oracle_build_65536`` -- the 100k-scale cold start (full suite only);
+* ``oracle_incremental_churn`` -- joins/failures maintained in place by
+  the attached incremental oracle (the churn-at-scale path);
 * ``join_build``    -- arrival-protocol bootstrap (claim C3 path);
 * ``routes_deterministic`` -- plain prefix routing (C1/C2/C4);
 * ``routes_randomized``    -- randomized routing (C7);
-* ``lookups_replica_aware`` -- replica-aware lookups (C5).
+* ``lookups_replica_aware`` -- replica-aware lookups (C5);
+* ``engine_*_events`` -- bulk-scheduled discrete-event engine throughput;
+* ``node_state_bytes_per_node`` -- tracemalloc footprint of an
+  oracle-built overlay, per node (bytes, not seconds).
 
 Each workload is built deterministically from fixed seeds, run once as
 warm-up, then repeated; the *minimum* wall-clock over the repetitions is
@@ -30,6 +36,7 @@ import argparse
 import random
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Callable, Dict, List, Tuple
 
@@ -40,6 +47,7 @@ from repro.analysis import perfjson
 from repro.analysis.tables import print_table
 from repro.pastry.network import PastryNetwork
 from repro.pastry.routing import RandomizedRouting, ReplicaAwareRouting
+from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngRegistry
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
@@ -51,6 +59,12 @@ FULL = {
     "deterministic_routes": 10_000,
     "randomized_routes": 5_000,
     "replica_lookups": 2_000,
+    "churn_n": 4096,
+    "churn_events": 100,  # joins, plus as many failures
+    "engine_events": 1_000_000,
+    "engine_metric": "engine_million_events_s",
+    "large_oracle_n": 65_536,  # timed once, no warm-up (cold start *is* the workload)
+    "memory_n": 2048,
     "repeats": 3,
 }
 SMOKE = {
@@ -59,6 +73,12 @@ SMOKE = {
     "deterministic_routes": 1_000,
     "randomized_routes": 500,
     "replica_lookups": 250,
+    "churn_n": 4096,
+    "churn_events": 100,
+    "engine_events": 100_000,
+    "engine_metric": "engine_events_100000_s",
+    "large_oracle_n": 0,  # skipped in smoke
+    "memory_n": 2048,
     "repeats": 2,
 }
 
@@ -142,6 +162,71 @@ def run_suite(params: Dict[str, int]) -> Dict[str, float]:
 
     results[f"lookups_replica_aware_{lookup_count}_s"] = _timed(replica_lookups, repeats)
 
+    # --- incremental oracle maintenance under churn ------------------- #
+    # The workload mutates its network, so each timed run consumes a
+    # fresh pre-built fixture (fixture construction is not timed).
+    churn_n = params["churn_n"]
+    churn_events = params["churn_events"]
+
+    def _churn_fixture() -> PastryNetwork:
+        network = _fresh_network(0)
+        network.build(churn_n, method="oracle")
+        network.attach_incremental_oracle()
+        return network
+
+    fixtures = [_churn_fixture() for _ in range(repeats + 1)]
+
+    def incremental_churn() -> None:
+        network = fixtures.pop()
+        rng = random.Random(5)
+        for _ in range(churn_events):
+            network.add_node()
+        for _ in range(churn_events):
+            live = network.live_ids()
+            network.mark_failed(live[rng.randrange(len(live))])
+
+    results[f"oracle_incremental_churn_{churn_n}_s"] = _timed(
+        incremental_churn, repeats
+    )
+
+    # --- bulk-scheduled engine throughput ----------------------------- #
+    engine_count = params["engine_events"]
+
+    def engine_events() -> None:
+        engine = SimulationEngine()
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+
+        # ~1000 distinct timestamps: exercises both the single-heapify
+        # bulk load and the batched same-instant draining.
+        engine.schedule_many(
+            ((float(i % 1000), tick) for i in range(engine_count))
+        )
+        engine.run()
+        assert fired[0] == engine_count
+
+    results[params["engine_metric"]] = _timed(engine_events, repeats)
+
+    # --- per-node memory footprint (bytes, not seconds) --------------- #
+    memory_n = params["memory_n"]
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    probe_network = _fresh_network(3)
+    probe_network.build(memory_n, method="oracle")
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert probe_network.live_count() == memory_n
+    results["node_state_bytes_per_node"] = round((after - before) / memory_n, 1)
+
+    # --- the 100k-scale cold start (full suite only) ------------------ #
+    large_n = params["large_oracle_n"]
+    if large_n:
+        start = time.perf_counter()
+        _fresh_network(0).build(large_n, method="oracle")
+        results[f"oracle_build_{large_n}_s"] = time.perf_counter() - start
+
     return results
 
 
@@ -203,6 +288,20 @@ def main(argv: List[str] = None) -> int:
         metavar="LABEL",
         help="also print a speedup table against this recorded label",
     )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="LABEL",
+        help="regression gate: exit nonzero if any shared metric is "
+        "slower than this recorded label by more than the tolerance",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=1.0,
+        help="fractional slowdown allowed by --check-against "
+        "(default 1.0, i.e. fail only on a >2x regression)",
+    )
     args = parser.parse_args(argv)
 
     params = SMOKE if args.smoke else FULL
@@ -222,6 +321,31 @@ def main(argv: List[str] = None) -> int:
             _print_comparison(history, args.compare_against, label)
         except KeyError as error:
             print(f"comparison skipped: {error}")
+
+    if args.check_against:
+        if args.no_record:
+            # Splice the unrecorded run into an in-memory copy so the
+            # gate can still see it.
+            history = {
+                "schema": history["schema"],
+                "runs": history["runs"] + [{"label": label, "results": results}],
+            }
+        try:
+            failing = perfjson.regressions(
+                history, args.check_against, label, tolerance=args.check_tolerance
+            )
+        except KeyError as error:
+            print(f"regression gate failed: {error}")
+            return 1
+        if failing:
+            print(
+                f"\nPERF REGRESSION vs '{args.check_against}' "
+                f"(> {1.0 + args.check_tolerance:.1f}x slower):"
+            )
+            for line in failing:
+                print(f"  {line}")
+            return 1
+        print(f"\nregression gate vs '{args.check_against}': clean")
     return 0
 
 

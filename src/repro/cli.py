@@ -17,7 +17,10 @@ first:
                      (exits nonzero on any violation);
 * ``trace``       -- distributed trace of one live insert + lookup:
                      per-operation span trees (hops, fan-out, retries)
-                     and the top-N slow-op log.
+                     and the top-N slow-op log;
+* ``deploy``      -- large-scale bare overlay (oracle cold start +
+                     incremental churn maintenance) probed against
+                     claims C1 and C2 (exits nonzero on failure).
 
 Every command takes ``--seed`` so results are reproducible.
 """
@@ -273,6 +276,87 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    """Deploy a large bare overlay and watch the scale claims.
+
+    Oracle-builds ``--nodes`` nodes (the cold start), attaches the
+    incremental oracle so subsequent churn is maintained in place,
+    applies ``--churn`` random joins/failures, drives ``--lookups``
+    routed lookups, then evaluates claims C1 (hop bound) and C2
+    (per-node state bound) over the live census.  Exits nonzero if
+    either claim fails -- this is the 100k-node smoke a deployment
+    operator runs first.
+    """
+    import time
+
+    from repro.obs.claims import evaluate_claims, record_overlay_census, to_json_dict
+    from repro.pastry.network import PastryNetwork
+    from repro.pastry.nodeid import IdSpace
+
+    observer = Observer()
+    space = IdSpace(b=args.b)
+    network = PastryNetwork(
+        space=space,
+        rngs=RngRegistry(args.seed),
+        leaf_capacity=args.leaf_capacity,
+        observer=observer,
+    )
+    start = time.perf_counter()
+    network.build(args.nodes, method="oracle")
+    build_seconds = time.perf_counter() - start
+    print(
+        f"built {network.live_count()}-node overlay (oracle) "
+        f"in {build_seconds:.1f}s",
+        file=sys.stderr,
+    )
+
+    network.attach_incremental_oracle()
+    rng = random.Random(args.seed + 1)
+    joins = failures = 0
+    start = time.perf_counter()
+    for _ in range(args.churn):
+        if rng.random() < 0.5 or network.live_count() <= args.nodes // 2:
+            network.add_node()
+            joins += 1
+        else:
+            live = network.live_ids()
+            network.mark_failed(live[rng.randrange(len(live))])
+            failures += 1
+    churn_seconds = time.perf_counter() - start
+    if args.churn:
+        print(
+            f"incremental maintenance: {joins} joins + {failures} failures "
+            f"in {churn_seconds:.2f}s",
+            file=sys.stderr,
+        )
+
+    live = network.live_ids()
+    for _ in range(args.lookups):
+        key = space.random_id(rng)
+        network.route(key, live[rng.randrange(len(live))], category="lookup")
+    record_overlay_census(network)
+    params = {
+        "final_node_count": network.live_count(),
+        "bits_per_digit": space.b,
+        "leaf_capacity": args.leaf_capacity,
+        "neighborhood_capacity": network.neighborhood_capacity,
+    }
+    verdicts = evaluate_claims(
+        observer.metrics.snapshot(), params, claims=["C1", "C2"]
+    )
+    if args.json:
+        document = to_json_dict(verdicts, params)
+        document["build_seconds"] = round(build_seconds, 3)
+        document["churn_seconds"] = round(churn_seconds, 3)
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        for verdict in verdicts:
+            status = "PASS" if verdict.passed else "FAIL"
+            print(f"{verdict.claim} {status}: {verdict.observed} "
+                  f"(target: {verdict.target})")
+    return 0 if all(verdict.passed for verdict in verdicts) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -358,6 +442,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", type=str, default=None,
                        help="also export the flat span records (JSONL)")
     trace.set_defaults(handler=_cmd_trace)
+
+    deploy = commands.add_parser(
+        "deploy",
+        help="large-scale overlay deployment: oracle build, incremental "
+             "churn, C1/C2 claim probes",
+    )
+    deploy.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    deploy.add_argument("--nodes", type=int, default=10_000,
+                        help="overlay size (100000 is the paper's scale)")
+    deploy.add_argument("--b", type=int, default=4,
+                        help="bits per digit (2^b routing-table columns)")
+    deploy.add_argument("--leaf-capacity", type=int, default=32)
+    deploy.add_argument("--churn", type=int, default=200,
+                        help="random joins/failures applied incrementally "
+                             "after the build")
+    deploy.add_argument("--lookups", type=int, default=500)
+    deploy.add_argument("--json", action="store_true",
+                        help="emit the claim verdicts and timings as JSON")
+    deploy.set_defaults(handler=_cmd_deploy)
 
     return parser
 

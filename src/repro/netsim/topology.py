@@ -13,7 +13,7 @@ import heapq
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.index import (
     GridProximityIndex,
@@ -43,6 +43,28 @@ class Topology(ABC):
     def path_distance(self, hops: List[int]) -> float:
         """Total distance along a sequence of endpoint addresses."""
         return sum(self.distance(a, b) for a, b in zip(hops, hops[1:]))
+
+    def unary_distance(self, origin: int) -> Callable[[int], float]:
+        """A one-argument ``distance(other)`` with *origin* fixed.
+
+        The oracle build evaluates millions of distances from the same
+        origin in a row; topologies with per-endpoint positions override
+        this to hoist the origin's coordinates out of the inner loop.
+        The default simply binds :meth:`distance`.
+        """
+        full_distance = self.distance
+        return lambda other: full_distance(origin, other)
+
+    def batch_distance(self, origin: int) -> Callable[[List[int]], List[float]]:
+        """A ``distances(others) -> [float]`` evaluator with *origin* fixed.
+
+        The oracle's table fill ranks whole candidate pools at once; a
+        batch evaluator lets topologies run the pool in one comprehension
+        instead of one closure call per candidate.  The default wraps
+        :meth:`unary_distance`.
+        """
+        unary = self.unary_distance(origin)
+        return lambda others: [unary(other) for other in others]
 
     def make_index(self) -> ProximityIndex:
         """A fresh, empty :class:`~repro.netsim.index.ProximityIndex`
@@ -103,6 +125,28 @@ class EuclideanPlaneTopology(Topology):
         xa, ya = self._points[a]
         xb, yb = self._points[b]
         return math.hypot(xa - xb, ya - yb)
+
+    def unary_distance(self, origin: int) -> Callable[[int], float]:
+        points = self._points
+        ox, oy = points[origin]
+        hypot = math.hypot
+
+        def from_origin(other: int) -> float:
+            x, y = points[other]
+            return hypot(x - ox, y - oy)
+
+        return from_origin
+
+    def batch_distance(self, origin: int) -> Callable[[List[int]], List[float]]:
+        points = self._points
+        ox, oy = points[origin]
+        hypot = math.hypot
+        get = points.__getitem__
+
+        def distances(others: List[int]) -> List[float]:
+            return [hypot(p[0] - ox, p[1] - oy) for p in map(get, others)]
+
+        return distances
 
     def make_index(self) -> ProximityIndex:
         return GridProximityIndex(self)

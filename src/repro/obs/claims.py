@@ -92,6 +92,29 @@ def record_deployment_census(network) -> None:
     metrics.gauge("census.inserts_rejected").set(float(network.inserts_rejected))
 
 
+def record_overlay_census(pastry) -> None:
+    """Stamp the per-node state census for a bare Pastry overlay.
+
+    Large-scale deployments (``repro deploy --nodes 100000``) run the
+    overlay without the PAST storage layer on top; this census fills
+    ``census.state_entries`` -- the C2 input -- from routing state alone,
+    leaving the storage gauges untouched.  Reset-on-call like
+    :func:`record_deployment_census`.
+    """
+    obs = pastry.obs
+    if not obs.enabled:
+        return
+    entries = obs.metrics.histogram("census.state_entries")
+    entries.reset()
+    nodes = pastry.nodes
+    for node_id in pastry.live_ids():
+        state = nodes[node_id].state
+        count = sum(1 for _ in state.routing_table.entries())
+        count += len(state.leaf_set.members())
+        count += len(state.neighborhood.members())
+        entries.add(count)
+
+
 # ---------------------------------------------------------------------- #
 # snapshot accessors
 # ---------------------------------------------------------------------- #
@@ -252,20 +275,34 @@ def _probe_c10(snapshot: dict, params: dict) -> ClaimVerdict:
     )
 
 
-_PROBES = (
-    _probe_c1,
-    _probe_c2,
-    _probe_c4,
-    _probe_c5,
-    _probe_c8,
-    _probe_c10,
-)
+_PROBES = {
+    "C1": _probe_c1,
+    "C2": _probe_c2,
+    "C4": _probe_c4,
+    "C5": _probe_c5,
+    "C8": _probe_c8,
+    "C10": _probe_c10,
+}
 
 
-def evaluate_claims(snapshot: dict, params: dict) -> List[ClaimVerdict]:
-    """Run every probe over *snapshot* (a ``MetricsRegistry.snapshot()``
-    dict) with deployment *params* (node count, b, l, |M|, k)."""
-    return [probe(snapshot, params) for probe in _PROBES]
+def evaluate_claims(
+    snapshot: dict, params: dict, claims: Optional[List[str]] = None
+) -> List[ClaimVerdict]:
+    """Run claim probes over *snapshot* (a ``MetricsRegistry.snapshot()``
+    dict) with deployment *params* (node count, b, l, |M|, k).
+
+    *claims* selects a subset by name (e.g. ``("C1", "C2")`` for a
+    routing-only overlay with no storage layer to probe); the default
+    runs every probe, in claim order.
+    """
+    if claims is None:
+        selected = list(_PROBES.values())
+    else:
+        unknown = sorted(set(claims) - set(_PROBES))
+        if unknown:
+            raise ValueError(f"unknown claims: {', '.join(unknown)}")
+        selected = [_PROBES[claim] for claim in claims]
+    return [probe(snapshot, params) for probe in selected]
 
 
 # ---------------------------------------------------------------------- #

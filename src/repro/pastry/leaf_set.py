@@ -38,6 +38,22 @@ from repro.pastry.versioning import next_version
 class LeafSet:
     """Leaf set of one node (the *owner*)."""
 
+    __slots__ = (
+        "space",
+        "owner",
+        "capacity",
+        "half",
+        "_larger",
+        "_larger_offsets",
+        "_smaller",
+        "_smaller_offsets",
+        "version",
+        "_members_cache",
+        "_ring_cache",
+        "_members_sorted_cache",
+        "_overlap_cache",
+    )
+
     def __init__(self, space: IdSpace, owner: int, capacity: int = 32) -> None:
         if capacity < 2 or capacity % 2 != 0:
             raise ValueError("leaf set capacity l must be an even number >= 2")
@@ -113,6 +129,28 @@ class LeafSet:
         side.insert(position, node_id)
         offsets.insert(position, offset)
         return True, True
+
+    def seed_from_ring(self, ids, index: int) -> None:
+        """Load both sides straight off a sorted live ring.
+
+        *ids* is the ascending ring of live ids with the owner at
+        *index*.  Each side becomes the ``min(l/2, count-1)`` ring
+        neighbours in that direction, nearest first -- byte-identical to
+        offering the whole +-l/2 window through :meth:`add` (which is
+        what the equivalence tests assert), at a fraction of the cost:
+        the ring order *is* the offset order, so no binary searches run.
+        """
+        count = len(ids)
+        owner = self.owner
+        size = self.space.size
+        reach = min(self.half, count - 1) if count > 0 else 0
+        larger = [ids[(index + k) % count] for k in range(1, reach + 1)]
+        smaller = [ids[(index - k) % count] for k in range(1, reach + 1)]
+        self._larger = larger
+        self._larger_offsets = [(n - owner) % size for n in larger]
+        self._smaller = smaller
+        self._smaller_offsets = [(owner - n) % size for n in smaller]
+        self._invalidate()
 
     def remove(self, node_id: int) -> bool:
         """Drop a (failed) node from both sides; True if it was present."""

@@ -17,6 +17,7 @@ ordering can never go stale).
 from __future__ import annotations
 
 import bisect
+from array import array
 from typing import Callable, List, Optional, Set
 
 from repro.pastry.versioning import next_version
@@ -25,6 +26,17 @@ from repro.pastry.versioning import next_version
 class NeighborhoodSet:
     """Neighborhood set of one node, ordered by proximity."""
 
+    __slots__ = (
+        "owner",
+        "capacity",
+        "_proximity",
+        "_members",
+        "_distances",
+        "_present",
+        "version",
+        "_members_cache",
+    )
+
     def __init__(self, owner: int, proximity: Callable[[int], float], capacity: int = 32) -> None:
         if capacity < 1:
             raise ValueError("neighborhood capacity must be >= 1")
@@ -32,7 +44,9 @@ class NeighborhoodSet:
         self.capacity = capacity
         self._proximity = proximity
         self._members: List[int] = []  # sorted nearest-first
-        self._distances: List[float] = []  # parallel to _members
+        # Parallel to _members; an array of C doubles rather than a list
+        # of boxed floats (the distances are only ever compared).
+        self._distances = array("d")
         self._present: set = set()  # O(1) membership alongside the lists
         self.version = next_version()
         self._members_cache: Optional[frozenset] = None
@@ -63,6 +77,22 @@ class NeighborhoodSet:
             self._distances.pop()
             self._present.discard(evicted)
         return True
+
+    def bulk_load(self, pairs: List[tuple]) -> None:
+        """Replace the membership with pre-ranked ``(distance, id)`` pairs.
+
+        *pairs* must be sorted ascending and contain no duplicates or the
+        owner.  Equivalent to offering the ids through :meth:`add` in
+        ascending-id order (ties on distance then resolve towards the
+        smaller id on both paths), without the per-candidate binary
+        search -- the oracle reseed path, which ranks candidates in bulk
+        anyway, loads the result directly.
+        """
+        del pairs[self.capacity :]
+        self._members = [node_id for _, node_id in pairs]
+        self._distances = array("d", [distance for distance, _ in pairs])
+        self._present = set(self._members)
+        self._invalidate()
 
     def remove(self, node_id: int) -> bool:
         """Drop a (failed) node; True if it was present."""

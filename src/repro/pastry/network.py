@@ -20,7 +20,9 @@ Two bootstrap methods:
 from __future__ import annotations
 
 import bisect
+import math
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -43,6 +45,22 @@ DEFAULT_NEIGHBORHOOD_CAPACITY = 32
 TABLE_QUALITY_PERFECT = "perfect"
 TABLE_QUALITY_GOOD = "good"
 TABLE_QUALITY_RANDOM = "random"
+
+
+def oracle_rows(space: IdSpace, count: int) -> int:
+    """Rows the oracle populates for a *count*-node overlay.
+
+    ceil(log_2^b N) rows hold nearly all entries; two extra rows catch
+    the stragglers whose prefixes collide deeper than expected.  The
+    incremental maintainer uses the same formula to detect when a
+    membership change crosses a row-count threshold.
+    """
+    if count <= 0:
+        return 0
+    return min(
+        space.digits,
+        max(1, math.ceil(math.log(max(count, 2), space.base))) + 2,
+    )
 
 
 @dataclass
@@ -98,11 +116,19 @@ class PastryNetwork:
         self.stats = observer.metrics if observer is not None else MetricsRegistry()
         self._message_counters: Dict[str, Counter] = {}
         self.nodes: Dict[int, PastryNode] = {}
-        self._live_sorted: List[int] = []  # sorted live ids, for ground truth
+        # Sorted live ids, for ground truth.  Ids narrow enough for a C
+        # unsigned-64 array live unboxed (one machine word per node
+        # instead of a pointer to a heap int); the default 128-bit space
+        # falls back to a plain list.
+        self._live_sorted = array("Q") if self.space.bits <= 64 else []
         # Spatial index over the *live* nodes, used to answer "who is the
         # proximally nearest live contact" in O(grid cell) instead of a
         # full scan (makes join-mode builds near-linear in N).
         self._live_index = self.topology.make_index()
+        # Optional incremental oracle maintainer (attach_incremental_oracle);
+        # when installed, membership changes update node state in place
+        # instead of requiring a full rebuild_state_oracle pass.
+        self._oracle = None
 
     # ------------------------------------------------------------------ #
     # membership
@@ -122,6 +148,8 @@ class PastryNetwork:
         self.nodes[node_id] = node
         bisect.insort(self._live_sorted, node_id)
         self._live_index.add(node_id)
+        if self._oracle is not None:
+            self._oracle.on_join(node_id)
         return node
 
     def is_live(self, node_id: int) -> bool:
@@ -148,6 +176,8 @@ class PastryNetwork:
             if index < len(self._live_sorted) and self._live_sorted[index] == node_id:
                 self._live_sorted.pop(index)
             self._live_index.discard(node_id)
+            if self._oracle is not None:
+                self._oracle.on_leave(node_id)
             if self.obs.enabled:
                 self.obs.metrics.counter("node.failures").increment()
                 self.obs.emit(NodeFailed(node_id=node_id))
@@ -161,6 +191,8 @@ class PastryNetwork:
             node.alive = True
             bisect.insort(self._live_sorted, node_id)
             self._live_index.add(node_id)
+            if self._oracle is not None:
+                self._oracle.on_revive(node_id)
             if self.obs.enabled:
                 self.obs.metrics.counter("node.recoveries").increment()
                 self.obs.emit(NodeRecovered(node_id=node_id))
@@ -420,68 +452,117 @@ class PastryNetwork:
             self.obs.metrics.counter("oracle.rebuilds").increment()
             self.obs.emit(OracleRebuilt(nodes=count))
         space = self.space
-        half = self.leaf_capacity // 2
         rng = self.rngs.stream("oracle-build")
 
         # --- leaf sets: straight off the sorted ring ---
         for index, node_id in enumerate(ids):
-            node = self.nodes[node_id]
-            node.state.leaf_set = type(node.state.leaf_set)(
-                space, node_id, self.leaf_capacity
-            )
-            for offset in range(1, min(half, count - 1) + 1):
-                node.state.leaf_set.add(ids[(index + offset) % count])
-                node.state.leaf_set.add(ids[(index - offset) % count])
+            state = self.nodes[node_id].state
+            state.leaf_set = type(state.leaf_set)(space, node_id, self.leaf_capacity)
+            state.leaf_set.seed_from_ring(ids, index)
 
         # --- routing tables: group candidates by (row, prefix, digit) ---
-        import math
-
-        max_rows = min(
-            space.digits,
-            max(1, math.ceil(math.log(max(count, 2), space.base))) + 2,
-        )
+        max_rows = oracle_rows(space, count)
+        prefix_of = space.prefix
+        digit_of = space.digit
+        base = space.base
         groups: Dict[tuple, List[int]] = {}
         for node_id in ids:
             for row in range(max_rows):
-                prefix = node_id >> (space.bits - row * space.b) if row > 0 else 0
-                digit = space.digit(node_id, row)
-                groups.setdefault((row, prefix, digit), []).append(node_id)
+                key = (row, prefix_of(node_id, row), digit_of(node_id, row))
+                cell = groups.get(key)
+                if cell is None:
+                    groups[key] = [node_id]
+                else:
+                    cell.append(node_id)
 
+        pick = self._pick_table_entry
+        groups_get = groups.get
         for node_id in ids:
             node = self.nodes[node_id]
-            node.state.routing_table = type(node.state.routing_table)(space, node_id)
-            table = node.state.routing_table
+            state = node.state
+            state.routing_table = type(state.routing_table)(space, node_id)
+            install = state.routing_table.install
+            distances = self.topology.batch_distance(node_id)
             for row in range(max_rows):
-                prefix = node_id >> (space.bits - row * space.b) if row > 0 else 0
-                own_digit = space.digit(node_id, row)
-                for col in range(space.base):
+                prefix = prefix_of(node_id, row)
+                own_digit = digit_of(node_id, row)
+                for col in range(base):
                     if col == own_digit:
                         continue
-                    candidates = groups.get((row, prefix, col))
-                    if not candidates:
-                        continue
-                    choice = self._pick_table_entry(node, candidates, rng)
-                    table.add(choice)
+                    candidates = groups_get((row, prefix, col))
+                    if candidates:
+                        install(row, col, pick(node, candidates, rng, distances))
 
-        # --- neighborhood sets: seed from leaf set + routing table ---
+        # --- neighborhood sets: reseed from leaf set + routing table ---
+        batch_distance = self.topology.batch_distance
         for node_id in ids:
-            node = self.nodes[node_id]
-            for known in node.state.known_nodes():
-                node.state.neighborhood.add(known)
+            self.nodes[node_id].state.reseed_neighborhood(batch_distance(node_id))
 
-    def _pick_table_entry(self, node: PastryNode, candidates: List[int], rng: random.Random) -> int:
-        if self.table_quality == TABLE_QUALITY_RANDOM or len(candidates) == 1:
-            if len(candidates) > 1:
-                return candidates[rng.randrange(len(candidates))]
+    def attach_incremental_oracle(self):
+        """Switch membership changes to in-place oracle maintenance.
+
+        Requires node state consistent with ``rebuild_state_oracle`` of
+        the current membership (a fresh rebuild is run if the network is
+        non-empty, making the cold-start explicit).  After attachment,
+        ``add_node`` / ``mark_failed`` / ``mark_recovered`` update only
+        the nodes whose leaf sets or routing-table cells actually change
+        (one ring-window of leaf sets, one table cell per row), so a
+        single churn event costs a scan over the changed node's
+        prefix-sharers -- two orders of magnitude less than a full
+        rebuild at large N.
+        """
+        from repro.pastry.oracle import IncrementalOracle  # cycle guard
+
+        if self._oracle is None:
+            if self._live_sorted:
+                self.rebuild_state_oracle()
+            self._oracle = IncrementalOracle(self)
+        return self._oracle
+
+    def detach_incremental_oracle(self) -> None:
+        """Stop maintaining state incrementally on membership changes."""
+        self._oracle = None
+
+    def _pick_table_entry(
+        self,
+        node: PastryNode,
+        candidates: List[int],
+        rng: random.Random,
+        distances=None,
+    ) -> int:
+        """Choose one routing-table entry from a candidate id group.
+
+        *distances*, when given, is a batch proximity evaluator with the
+        owner already bound (:meth:`Topology.batch_distance`); the rebuild
+        loop hoists it per node instead of re-binding per cell.
+        """
+        count = len(candidates)
+        if count == 1:
             return candidates[0]
-        if self.table_quality == TABLE_QUALITY_PERFECT:
+        if self.table_quality == TABLE_QUALITY_RANDOM:
+            return candidates[rng.randrange(count)]
+        if self.table_quality == TABLE_QUALITY_PERFECT or count <= 16:
             pool = candidates
-        else:  # TABLE_QUALITY_GOOD: proximally best of a bounded sample
-            sample_size = min(len(candidates), 16)
-            pool = rng.sample(candidates, sample_size)
-        distance = self.topology.distance
-        owner = node.node_id
-        return min(pool, key=lambda c: (distance(owner, c), c))
+        else:
+            # TABLE_QUALITY_GOOD: proximally best of a bounded sample.
+            # One rng draw selects a contiguous 16-wide window of the
+            # id-sorted group; ids are assigned independently of network
+            # position, so any fixed-size window is an unbiased proximity
+            # sample -- same distribution as rng.sample at a fraction of
+            # the generator draws.
+            start = rng.randrange(count - 15)
+            pool = candidates[start : start + 16]
+        if distances is None:
+            distances = self.topology.batch_distance(node.node_id)
+        ranked = distances(pool)
+        best = pool[0]
+        best_distance = ranked[0]
+        for index in range(1, len(pool)):
+            d = ranked[index]
+            if d < best_distance or (d == best_distance and pool[index] < best):
+                best = pool[index]
+                best_distance = d
+        return best
 
     # ------------------------------------------------------------------ #
     # diagnostics

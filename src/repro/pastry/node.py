@@ -45,6 +45,16 @@ class Application:
 class PastryNode:
     """One overlay node."""
 
+    __slots__ = (
+        "network",
+        "node_id",
+        "_proximity",
+        "alive",
+        "malicious",
+        "application",
+        "state",
+    )
+
     def __init__(
         self,
         network: "PastryNetwork",
@@ -54,9 +64,11 @@ class PastryNode:
     ) -> None:
         self.network = network
         self.node_id = network.space.validate(node_id)
-        # Bound once: the topology never changes for the network's
-        # lifetime, and proximity() runs inside table-admission loops.
-        self._topology_distance = network.topology.distance
+        # Bound once: the topology never changes (and endpoints are never
+        # re-registered) for the network's lifetime, and proximity() runs
+        # inside table-admission loops -- so the origin's position is
+        # hoisted into a unary closure up front.
+        self._proximity = network.topology.unary_distance(node_id)
         self.alive = True
         # A malicious node accepts messages but does not forward them
         # (the attack model of section 2.2, "Fault-tolerance").
@@ -67,7 +79,7 @@ class PastryNode:
             node_id=node_id,
             leaf_capacity=leaf_capacity,
             neighborhood_capacity=neighborhood_capacity,
-            proximity=self.proximity,
+            proximity=self._proximity,
         )
 
     @property
@@ -77,7 +89,7 @@ class PastryNode:
     def proximity(self, other_id: int) -> float:
         """Scalar network distance from this node to another (the metric
         used when choosing among routing-table candidates)."""
-        return self._topology_distance(self.node_id, other_id)
+        return self._proximity(other_id)
 
     def next_hop(self, key: int, policy=None, rng: Optional[random.Random] = None) -> Optional[int]:
         """This node's local routing decision for *key*.

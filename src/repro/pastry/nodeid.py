@@ -87,6 +87,18 @@ class IdSpace:
             value = (value << self.b) | d
         return value
 
+    def prefix(self, value: int, row: int) -> int:
+        """The first *row* base-2^b digits of *value*, packed into an int.
+
+        Row 0 is the empty prefix (always 0).  The oracle build and the
+        incremental maintainer both group routing-table candidates by
+        ``(row, prefix, digit)``; sharing this helper keeps the two
+        groupings bit-identical.
+        """
+        if row <= 0:
+            return 0
+        return value >> (self.bits - row * self.b)
+
     def shared_prefix_length(self, a: int, b_val: int) -> int:
         """Number of leading base-2^b digits *a* and *b_val* share."""
         diff = a ^ b_val

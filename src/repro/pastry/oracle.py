@@ -1,0 +1,335 @@
+"""Incremental oracle maintenance: O(changed-state) membership updates.
+
+``PastryNetwork.rebuild_state_oracle`` reconstructs *every* node's leaf
+set, routing table and neighborhood set from the global membership --
+perfect for cold-starting a large overlay, ruinous under churn, where a
+single join or silent failure forces an O(N log N) pass to keep the
+oracle-built state truthful.
+
+:class:`IncrementalOracle` keeps oracle-built state truthful in place.
+The key observation is that the rebuild's ``(row, prefix, digit)``
+candidate groups are *contiguous ranges of the sorted live ring*: the
+group is exactly the ids in ``[((prefix << b) | digit) << shift,
++2^shift)`` with ``shift = bits - (row+1)*b``.  The persistent candidate
+index is therefore the ring itself (which the network already maintains
+on every membership change) plus bisect arithmetic -- nothing extra to
+update, nothing extra to store.
+
+Per membership change the maintainer touches only:
+
+* the l/2 ring neighbours on each side of the changed position (their
+  leaf sets are rebuilt from the ring -- the same loop the full rebuild
+  runs, on a 2*(l/2)-node window instead of N);
+* owners of the routing-table cells the changed node occupies or ought
+  to occupy -- one cell per populated row, found by slicing the ring;
+* the neighborhood sets of exactly the nodes whose leaf set or table
+  changed (reseeded from leaf + table, the oracle's M-invariant).
+
+Equivalence contract (asserted by ``tests/test_oracle_incremental.py``):
+with ``table_quality="perfect"`` -- whose per-cell choice is the
+deterministic ``min`` over the whole group -- the incrementally
+maintained state is **byte-identical** to a fresh
+``rebuild_state_oracle`` after any interleaving of joins, failures and
+revivals.  The sampled qualities ("good"/"random") draw from an RNG
+stream the rebuild would consume differently, so for them the
+maintainer guarantees *structural validity* instead: every entry live,
+every entry in its correct slot, a cell vacant only when its candidate
+group is empty, and leaf sets still byte-identical (leaf construction
+never consults the RNG).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.pastry.network import (
+    TABLE_QUALITY_PERFECT,
+    TABLE_QUALITY_RANDOM,
+    PastryNetwork,
+    oracle_rows,
+)
+from repro.pastry.node import PastryNode
+
+
+class IncrementalOracle:
+    """In-place oracle maintenance for one :class:`PastryNetwork`.
+
+    Constructed via ``network.attach_incremental_oracle()``, which runs
+    the cold-start rebuild first; after that the network's membership
+    hooks call :meth:`on_join` / :meth:`on_leave` / :meth:`on_revive`.
+    """
+
+    __slots__ = ("network", "space", "_rng")
+
+    def __init__(self, network: PastryNetwork) -> None:
+        self.network = network
+        self.space = network.space
+        # Sampled-quality re-picks draw from their own stream so they
+        # never perturb the rebuild's "oracle-build" sequence.
+        self._rng = network.rngs.stream("oracle-incremental")
+
+    # ------------------------------------------------------------------ #
+    # membership events (ring already updated by the network)
+    # ------------------------------------------------------------------ #
+
+    def on_join(self, joiner: int) -> None:
+        """A node was added to the live ring (state empty or stale)."""
+        net = self.network
+        ids = net._live_sorted
+        count = len(ids)
+        space = self.space
+        half = net.leaf_capacity // 2
+        changed: Set[int] = set()
+
+        # Crossing a row-count threshold grows every pre-existing node's
+        # table by the new rows (rare: happens when N passes a power of
+        # the digit base; amortised O(1) rows per join).
+        old_rows = oracle_rows(space, count - 1)
+        max_rows = oracle_rows(space, count)
+        if max_rows > old_rows:
+            for node_id in ids:
+                if node_id == joiner:
+                    continue
+                node = net.nodes[node_id]
+                for row in range(old_rows, max_rows):
+                    if self._fill_row(node, row):
+                        changed.add(node_id)
+
+        # The joiner's own state, built exactly as the rebuild would.
+        j_index = bisect_left(ids, joiner)
+        self._rebuild_own_state(net.nodes[joiner], j_index, max_rows)
+        changed.add(joiner)
+
+        # Ring neighbours within l/2 positions gain (or shift) a leaf.
+        for node_id in self._window_ids(j_index, half, exclude=joiner):
+            self._rebuild_leaf(node_id)
+            changed.add(node_id)
+
+        # Offer the joiner to the one table cell per row it can occupy:
+        # owners share the row's prefix but differ in the joiner's digit.
+        for row in range(max_rows):
+            col = space.digit(joiner, row)
+            prefix = space.prefix(joiner, row)
+            for owner_id in self._owners(row, prefix, col):
+                if self._offer(net.nodes[owner_id], row, col, joiner):
+                    changed.add(owner_id)
+
+        self._reseed(changed)
+
+    def on_leave(self, departed: int) -> None:
+        """A node left the live ring (silent failure or departure)."""
+        net = self.network
+        ids = net._live_sorted
+        count = len(ids)
+        if count == 0:
+            return
+        space = self.space
+        half = net.leaf_capacity // 2
+        changed: Set[int] = set()
+
+        old_rows = oracle_rows(space, count + 1)
+        max_rows = oracle_rows(space, count)
+        if max_rows < old_rows:
+            # Shrinking across a threshold vacates the now-unpopulated
+            # deep rows everywhere, as a rebuild at the new size would.
+            for node_id in ids:
+                node = net.nodes[node_id]
+                for row in range(max_rows, old_rows):
+                    if node.state.routing_table.clear_row(row):
+                        changed.add(node_id)
+
+        # Leaf sets that referenced the departed node: every node within
+        # l/2 ring positions of its former slot.
+        d_index = bisect_left(ids, departed)
+        for node_id in self._window_ids(d_index, half):
+            self._rebuild_leaf(node_id)
+            changed.add(node_id)
+
+        # Table cells occupied by the departed node: one per row, owned
+        # by the prefix-sharers; re-pick from the shrunken group (or
+        # vacate the cell when the group emptied).
+        for row in range(max_rows):
+            col = space.digit(departed, row)
+            prefix = space.prefix(departed, row)
+            lo, hi = self._group_slice(row, prefix, col)
+            for owner_id in self._owners(row, prefix, col):
+                node = net.nodes[owner_id]
+                table = node.state.routing_table
+                if table.lookup(row, col) != departed:
+                    continue
+                if lo >= hi:
+                    table.clear(row, col)
+                else:
+                    table.install(row, col, self._pick(node, lo, hi))
+                changed.add(owner_id)
+
+        self._reseed(changed)
+
+    def on_revive(self, node_id: int) -> None:
+        """A failed node came back: its retained state is stale, so it is
+        rebuilt from scratch and announced exactly like a join."""
+        self.on_join(node_id)
+
+    # ------------------------------------------------------------------ #
+    # ring slicing: the persistent (row, prefix, digit) candidate index
+    # ------------------------------------------------------------------ #
+
+    def _group_slice(self, row: int, prefix: int, digit: int) -> Tuple[int, int]:
+        """Ring index range holding group (row, prefix, digit)."""
+        space = self.space
+        shift = space.bits - (row + 1) * space.b
+        low_id = ((prefix << space.b) | digit) << shift
+        ids = self.network._live_sorted
+        return (
+            bisect_left(ids, low_id),
+            bisect_left(ids, low_id + (1 << shift)),
+        )
+
+    def _owners(self, row: int, prefix: int, digit: int) -> Iterator[int]:
+        """Live ids sharing the row's prefix whose digit differs from
+        *digit* -- the owners of cell (row, *digit*).  Two chained ring
+        ranges: the prefix range minus the digit group's subrange."""
+        ids = self.network._live_sorted
+        space = self.space
+        if row == 0:
+            range_lo, range_hi = 0, len(ids)
+        else:
+            shift = space.bits - row * space.b
+            low_id = prefix << shift
+            range_lo = bisect_left(ids, low_id)
+            range_hi = bisect_left(ids, low_id + (1 << shift))
+        group_lo, group_hi = self._group_slice(row, prefix, digit)
+        for index in range(range_lo, group_lo):
+            yield ids[index]
+        for index in range(group_hi, range_hi):
+            yield ids[index]
+
+    def _window_ids(
+        self, center_index: int, half: int, exclude: Optional[int] = None
+    ) -> List[int]:
+        """Ids within *half* ring positions of *center_index* (both
+        directions, wrapping), sorted; *exclude* is dropped if present."""
+        ids = self.network._live_sorted
+        count = len(ids)
+        reach = min(half, count - 1) if count > 1 else 0
+        window: Set[int] = set()
+        for offset in range(-reach, reach + 1):
+            window.add(ids[(center_index + offset) % count])
+        if exclude is not None:
+            window.discard(exclude)
+        return sorted(window)
+
+    # ------------------------------------------------------------------ #
+    # per-node reconstruction (identical to the rebuild's loops)
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_leaf(self, node_id: int) -> None:
+        """Fresh leaf set off the current ring -- the rebuild's loop run
+        for one node."""
+        net = self.network
+        ids = net._live_sorted
+        count = len(ids)
+        node = net.nodes[node_id]
+        leaf = type(node.state.leaf_set)(self.space, node_id, net.leaf_capacity)
+        node.state.leaf_set = leaf
+        if count:
+            leaf.seed_from_ring(ids, bisect_left(ids, node_id))
+
+    def _rebuild_own_state(self, node: PastryNode, index: int, max_rows: int) -> None:
+        """Fresh leaf set and routing table for a joining/revived node
+        (any retained state is stale by definition)."""
+        self._rebuild_leaf(node.node_id)
+        node.state.routing_table = type(node.state.routing_table)(
+            self.space, node.node_id
+        )
+        for row in range(max_rows):
+            self._fill_row(node, row)
+
+    def _fill_row(self, node: PastryNode, row: int) -> bool:
+        """Populate every cell of *row* from the ring groups; True if any
+        cell was filled."""
+        space = self.space
+        node_id = node.node_id
+        prefix = space.prefix(node_id, row)
+        own_digit = space.digit(node_id, row)
+        table = node.state.routing_table
+        filled = False
+        for col in range(space.base):
+            if col == own_digit:
+                continue
+            lo, hi = self._group_slice(row, prefix, col)
+            if lo >= hi:
+                continue
+            table.install(row, col, self._pick(node, lo, hi))
+            filled = True
+        return filled
+
+    # ------------------------------------------------------------------ #
+    # cell decisions
+    # ------------------------------------------------------------------ #
+
+    def _pick(self, node: PastryNode, lo: int, hi: int) -> int:
+        """Choose the cell entry from the ring slice [lo, hi).
+
+        Perfect quality replicates the rebuild's deterministic pick (min
+        by proximity, ties to the smaller id) without materialising the
+        slice; sampled qualities delegate to the network's picker with
+        the maintainer's own RNG stream.
+        """
+        net = self.network
+        ids = net._live_sorted
+        if net.table_quality == TABLE_QUALITY_PERFECT:
+            distance = node._proximity
+            best = ids[lo]
+            best_distance = distance(best)
+            for index in range(lo + 1, hi):
+                candidate = ids[index]
+                d = distance(candidate)
+                if d < best_distance:
+                    best_distance = d
+                    best = candidate
+            return best
+        return net._pick_table_entry(node, list(ids[lo:hi]), self._rng)
+
+    def _offer(self, node: PastryNode, row: int, col: int, candidate: int) -> bool:
+        """Offer *candidate* for cell (row, col); True if installed.
+
+        An empty cell always takes the candidate (its group was empty
+        before, so the rebuild would now pick the sole member).  Perfect
+        quality replaces the incumbent iff the candidate wins the
+        deterministic pick -- min over (old group + candidate) is then
+        min over the new group.  Good quality applies the same
+        improvement rule (strictly proximally closer wins); random
+        quality keeps the incumbent, any group member being valid.
+        """
+        table = node.state.routing_table
+        incumbent = table.lookup(row, col)
+        if incumbent == candidate:
+            return False
+        if incumbent is None:
+            table.install(row, col, candidate)
+            return True
+        net = self.network
+        if net.table_quality == TABLE_QUALITY_RANDOM:
+            return False
+        distance = node._proximity
+        if (distance(candidate), candidate) < (distance(incumbent), incumbent):
+            table.install(row, col, candidate)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # neighborhood invariant
+    # ------------------------------------------------------------------ #
+
+    def _reseed(self, changed: Set[int]) -> None:
+        """Re-derive the neighborhood set of every node whose leaf set or
+        routing table changed (M is a pure function of those two)."""
+        nodes = self.network.nodes
+        batch_distance = self.network.topology.batch_distance
+        for node_id in sorted(changed):
+            nodes[node_id].state.reseed_neighborhood(batch_distance(node_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncrementalOracle(nodes={self.network.live_count()})"

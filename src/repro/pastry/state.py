@@ -20,6 +20,17 @@ from repro.pastry.routing_table import RoutingTable
 class NodeState:
     """All routing state owned by one Pastry node."""
 
+    __slots__ = (
+        "space",
+        "node_id",
+        "proximity",
+        "routing_table",
+        "leaf_set",
+        "neighborhood",
+        "_known_cache",
+        "_known_versions",
+    )
+
     def __init__(
         self,
         space: IdSpace,
@@ -46,6 +57,38 @@ class NodeState:
         self.routing_table.add(node_id, self.proximity if use_proximity else None)
         self.leaf_set.add(node_id)
         self.neighborhood.add(node_id)
+
+    def reseed_neighborhood(self, distances: Optional[Callable] = None) -> None:
+        """Rebuild the neighborhood set from the current leaf set and
+        routing table.
+
+        This is the oracle's neighborhood invariant: M is always exactly
+        what a fresh proximity-ranked pass over leaf-set members and
+        routing-table entries would admit.  The incremental maintainer
+        calls this for every node whose leaf set or table changed; the
+        full rebuild uses the same pass, so the two stay byte-identical.
+        Candidates are ranked by ``(distance, id)`` in bulk and loaded
+        directly -- identical to offering them through ``add`` in
+        ascending-id order (the set is always the best-|M| by that key,
+        with distance ties resolved towards the smaller id on both
+        paths), without a binary search per candidate.  *distances*, when
+        given, is a batch proximity evaluator for this node
+        (:meth:`Topology.batch_distance`) used in place of the per-member
+        unary calls.
+        """
+        self.neighborhood = NeighborhoodSet(
+            self.node_id, self.proximity, self.neighborhood.capacity
+        )
+        pool = set(self.routing_table.entries())
+        pool |= self.leaf_set.members()
+        pool.discard(self.node_id)
+        if distances is None:
+            proximity = self.proximity
+            pairs = sorted((proximity(known), known) for known in pool)
+        else:
+            members = sorted(pool)
+            pairs = sorted(zip(distances(members), members))
+        self.neighborhood.bulk_load(pairs)
 
     def forget(self, node_id: int) -> bool:
         """Remove a failed node from every structure; True if any held it."""

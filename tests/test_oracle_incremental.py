@@ -1,0 +1,230 @@
+"""The incremental oracle's equivalence contract.
+
+``IncrementalOracle`` promises that with ``table_quality="perfect"`` the
+in-place maintenance of joins, silent failures and revivals leaves every
+node's state **byte-identical** to a fresh ``rebuild_state_oracle`` of
+the same membership; with sampled qualities it promises structural
+validity plus byte-identical leaf sets.  These tests drive randomized
+interleavings (crossing ``oracle_rows`` thresholds in both directions)
+across many seeds and compare against the rebuild at checkpoints.
+"""
+
+import random
+
+import pytest
+
+from repro.pastry.network import (
+    TABLE_QUALITY_GOOD,
+    TABLE_QUALITY_PERFECT,
+    PastryNetwork,
+    oracle_rows,
+)
+from repro.pastry.nodeid import IdSpace
+from repro.sim.rng import RngRegistry
+
+
+def _state_fingerprint(net):
+    """Every observable byte of every live node's state: both leaf-set
+    sides in offset order, every populated table row cell by cell, and
+    the neighborhood set in proximity order."""
+    out = {}
+    for node_id in net.live_ids():
+        state = net.nodes[node_id].state
+        table = state.routing_table
+        rows = tuple(
+            (row, tuple(table.row(row)))
+            for row in range(net.space.digits)
+            if table.row_entries(row)
+        )
+        out[node_id] = (
+            tuple(state.leaf_set.larger_side()),
+            tuple(state.leaf_set.smaller_side()),
+            rows,
+            tuple(state.neighborhood.ordered_members()),
+        )
+    return out
+
+
+def _leaf_fingerprint(net):
+    return {
+        node_id: (
+            tuple(net.nodes[node_id].state.leaf_set.larger_side()),
+            tuple(net.nodes[node_id].state.leaf_set.smaller_side()),
+        )
+        for node_id in net.live_ids()
+    }
+
+
+def _churn_step(net, rng, dead):
+    """One random membership event; keeps the network non-degenerate."""
+    live_count = net.live_count()
+    roll = rng.random()
+    if roll < 0.4 or (live_count < 6 and not dead):
+        net.add_node()
+    elif roll < 0.7 and live_count > 4:
+        victim = rng.choice(net.live_ids())
+        net.mark_failed(victim)
+        dead.append(victim)
+    elif dead:
+        net.mark_recovered(dead.pop(rng.randrange(len(dead))))
+    else:
+        net.add_node()
+
+
+def _make(seed, bits, b, quality, n):
+    net = PastryNetwork(
+        space=IdSpace(bits=bits, b=b),
+        rngs=RngRegistry(seed),
+        table_quality=quality,
+        leaf_capacity=8,
+        neighborhood_capacity=8,
+    )
+    net.build(n, method="oracle")
+    return net
+
+
+class TestPerfectQualityEquivalence:
+    """Incremental == rebuild, byte for byte, at perfect quality."""
+
+    # 13 small-space cases here + 7 wide-space cases below = 20 seeds.
+    # The b=2 cases start just below the 16->17 node boundary where
+    # ``oracle_rows`` grows, so the random walk crosses it early.
+    @pytest.mark.parametrize(
+        "seed,bits,b,n_start,ops",
+        [(s, 32, 4, 24, 40) for s in range(5)]
+        + [(s, 16, 2, 15, 60) for s in range(5, 13)],
+    )
+    def test_interleaved_churn_matches_rebuild(self, seed, bits, b, n_start, ops):
+        net = _make(seed, bits, b, TABLE_QUALITY_PERFECT, n_start)
+        net.attach_incremental_oracle()
+        rng = random.Random(seed * 7 + 1)
+        dead = []
+        row_counts = {oracle_rows(net.space, net.live_count())}
+
+        def checkpoint():
+            incremental = _state_fingerprint(net)
+            net.detach_incremental_oracle()
+            net.rebuild_state_oracle()
+            assert incremental == _state_fingerprint(net), (
+                f"incremental state diverged from rebuild (seed={seed})"
+            )
+            net.attach_incremental_oracle()
+
+        for op in range(ops):
+            _churn_step(net, rng, dead)
+            row_counts.add(oracle_rows(net.space, net.live_count()))
+            if op % 5 == 4:
+                checkpoint()
+        if b == 2:
+            # Drain back below the boundary so the run exercises the
+            # row-count *shrink* path as well as the grow path.
+            while net.live_count() > 13:
+                net.mark_failed(net.live_ids()[rng.randrange(net.live_count())])
+            row_counts.add(oracle_rows(net.space, net.live_count()))
+            checkpoint()
+            assert len(row_counts) > 1
+
+    @pytest.mark.parametrize("seed", range(13, 20))
+    def test_default_128bit_space(self, seed):
+        net = _make(seed, 128, 4, TABLE_QUALITY_PERFECT, 24)
+        net.attach_incremental_oracle()
+        rng = random.Random(seed)
+        dead = []
+        for _ in range(20):
+            _churn_step(net, rng, dead)
+        incremental = _state_fingerprint(net)
+        net.detach_incremental_oracle()
+        net.rebuild_state_oracle()
+        assert incremental == _state_fingerprint(net)
+
+
+class TestSampledQualityValidity:
+    """Sampled qualities cannot be byte-compared (different RNG streams)
+    but must stay structurally valid, with leaf sets byte-identical."""
+
+    def test_good_quality_structure_and_leaves(self):
+        net = _make(3, 32, 4, TABLE_QUALITY_GOOD, 32)
+        net.attach_incremental_oracle()
+        rng = random.Random(9)
+        dead = []
+        for _ in range(50):
+            _churn_step(net, rng, dead)
+        # Leaf sets never consult the RNG: still byte-identical.
+        incremental_leaves = _leaf_fingerprint(net)
+        incremental_tables = {
+            node_id: net.nodes[node_id].state.routing_table
+            for node_id in net.live_ids()
+        }
+        live = set(net.live_ids())
+        oracle = net._oracle
+        for node_id in sorted(live):
+            table = incremental_tables[node_id]
+            table.check_invariants()  # every entry in its correct slot
+            for entry in table.entries():
+                assert entry in live, "table references a dead node"
+            # A cell is vacant only when its candidate group is empty.
+            for row in range(oracle_rows(net.space, len(live))):
+                prefix = net.space.prefix(node_id, row)
+                own = net.space.digit(node_id, row)
+                for col in range(net.space.base):
+                    if col == own:
+                        continue
+                    lo, hi = oracle._group_slice(row, prefix, col)
+                    if table.lookup(row, col) is None:
+                        assert lo >= hi, (
+                            f"cell ({row},{col}) of {node_id:x} vacant "
+                            f"despite a non-empty candidate group"
+                        )
+        net.detach_incremental_oracle()
+        net.rebuild_state_oracle()
+        assert incremental_leaves == _leaf_fingerprint(net)
+
+
+class TestReviveDiscardsStaleState:
+    def test_revived_node_state_is_rebuilt_fresh(self):
+        net = _make(1, 32, 4, TABLE_QUALITY_PERFECT, 24)
+        net.attach_incremental_oracle()
+        victim = net.live_ids()[7]
+        net.mark_failed(victim)
+        # Churn while the victim is down so its retained state goes
+        # stale: kill one of its former leaf neighbors and add joiners.
+        stale_members = set(net.nodes[victim].state.leaf_set.members())
+        dead_neighbor = sorted(stale_members)[0]
+        net.mark_failed(dead_neighbor)
+        for _ in range(6):
+            net.add_node()
+        net.mark_recovered(victim)
+        fresh_members = set(net.nodes[victim].state.leaf_set.members())
+        incremental = _state_fingerprint(net)
+        net.detach_incremental_oracle()
+        net.rebuild_state_oracle()
+        assert incremental == _state_fingerprint(net)
+        # The revival did not resurrect the pre-failure snapshot: the
+        # stale leaf set names a node that is now dead.
+        assert dead_neighbor in stale_members
+        assert dead_neighbor not in fresh_members
+
+
+class TestAttachDetach:
+    def test_attach_runs_cold_start_rebuild(self):
+        net = PastryNetwork(
+            space=IdSpace(bits=32, b=4),
+            rngs=RngRegistry(11),
+            table_quality=TABLE_QUALITY_PERFECT,
+            leaf_capacity=8,
+            neighborhood_capacity=8,
+        )
+        for _ in range(16):
+            net.add_node()  # no oracle attached: state stays empty
+        net.attach_incremental_oracle()
+        reference = _make(11, 32, 4, TABLE_QUALITY_PERFECT, 16)
+        assert _state_fingerprint(net) == _state_fingerprint(reference)
+
+    def test_detach_stops_maintenance(self):
+        net = _make(2, 32, 4, TABLE_QUALITY_PERFECT, 16)
+        net.attach_incremental_oracle()
+        net.detach_incremental_oracle()
+        before = _state_fingerprint(net)
+        net.add_node()
+        after = {k: v for k, v in _state_fingerprint(net).items() if k in before}
+        assert before == after  # nobody learned about the new node

@@ -110,6 +110,139 @@ class TestRunBounds:
         assert eng.run() == 2
 
 
+class TestPendingCounter:
+    """pending() is a live O(1) counter -- it must stay exact through
+    every schedule/cancel/fire interleaving (regression tests for the
+    lazy-deletion bookkeeping)."""
+
+    def test_cancel_keeps_count_exact(self):
+        eng = SimulationEngine()
+        events = [eng.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert eng.pending() == 5
+        events[2].cancel()
+        events[4].cancel()
+        assert eng.pending() == 3
+        eng.run()
+        assert eng.pending() == 0
+
+    def test_double_cancel_counts_once(self):
+        eng = SimulationEngine()
+        event = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert eng.pending() == 1
+
+    def test_cancel_after_fire_does_not_go_negative(self):
+        eng = SimulationEngine()
+        event = eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.pending() == 0
+        event.cancel()
+        assert eng.pending() == 0
+
+    def test_cancel_during_batch_keeps_count_exact(self):
+        eng = SimulationEngine()
+        victim = []
+        eng.schedule(1.0, lambda: victim[0].cancel())
+        victim.append(eng.schedule(1.0, lambda: None))
+        eng.schedule(2.0, lambda: None)
+        eng.run(until=1.0)
+        assert eng.pending() == 1
+
+    def test_pending_tracks_scheduling_during_run(self):
+        eng = SimulationEngine()
+        eng.schedule(1.0, lambda: eng.schedule(5.0, lambda: None))
+        eng.run(until=2.0)
+        assert eng.pending() == 1
+
+
+class TestBulkScheduling:
+    def test_schedule_many_matches_individual_schedules(self):
+        bulk, single = SimulationEngine(), SimulationEngine()
+        order_bulk, order_single = [], []
+        items = [(float(3 - i % 4), i) for i in range(12)]
+        bulk.schedule_many(
+            (delay, lambda i=i: order_bulk.append(i)) for delay, i in items
+        )
+        for delay, i in items:
+            single.schedule(delay, lambda i=i: order_single.append(i))
+        bulk.run()
+        single.run()
+        assert order_bulk == order_single
+        assert bulk.now == single.now
+
+    def test_schedule_many_at_absolute_times(self):
+        eng = SimulationEngine()
+        seen = []
+        events = eng.schedule_many_at(
+            [(2.0, lambda: seen.append(eng.now)), (1.0, lambda: seen.append(eng.now))]
+        )
+        assert len(events) == 2
+        assert eng.pending() == 2
+        eng.run()
+        assert seen == [1.0, 2.0]
+
+    def test_schedule_many_at_rejects_past_times(self):
+        eng = SimulationEngine()
+        eng.schedule(2.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_many_at([(1.0, lambda: None)])
+
+    def test_bulk_events_are_cancellable(self):
+        eng = SimulationEngine()
+        fired = []
+        events = eng.schedule_many([(1.0, lambda: fired.append(1))])
+        events[0].cancel()
+        assert eng.pending() == 0
+        eng.run()
+        assert fired == []
+
+
+class TestBatchedDelivery:
+    """Same-timestamp runs drain as one batch; the observable semantics
+    must match the historical one-pop-per-iteration loop exactly."""
+
+    def test_same_instant_chaining_joins_the_run(self):
+        eng = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Scheduled at the *current* instant: must fire before the
+            # clock moves on, after the already-drained batch.
+            eng.schedule(0.0, lambda: fired.append("chained"))
+
+        eng.schedule(1.0, first)
+        eng.schedule(1.0, lambda: fired.append("second"))
+        eng.schedule(2.0, lambda: fired.append("later"))
+        eng.run()
+        assert fired == ["first", "second", "chained", "later"]
+
+    def test_cancel_within_batch_is_honoured(self):
+        eng = SimulationEngine()
+        fired = []
+        victim = []
+        eng.schedule(1.0, lambda: victim[0].cancel())
+        victim.append(eng.schedule(1.0, lambda: fired.append("victim")))
+        eng.schedule(1.0, lambda: fired.append("survivor"))
+        eng.run()
+        assert fired == ["survivor"]
+
+    def test_max_events_respected_mid_batch(self):
+        eng = SimulationEngine()
+        fired = []
+        for i in range(6):
+            eng.schedule(1.0, lambda i=i: fired.append(i))
+        processed = eng.run(max_events=4)
+        assert processed == 4
+        assert fired == [0, 1, 2, 3]
+        # The rest are still queued and fire on the next run.
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+
 class TestPeriodic:
     def test_periodic_repeats_until_cancelled(self):
         eng = SimulationEngine()
