@@ -130,13 +130,27 @@ def regressions(
     """Metrics where *current* is slower than *baseline* by more than
     *tolerance* (fractional -- 0.25 allows 25% noise headroom).  Empty
     list means no regression.
+
+    A baseline metric that the current run did not record at all is a
+    hard failure, not a silent skip: a run that *loses* a workload
+    (renamed, dropped, or checked against the wrong-scale label) must
+    not pass the regression gate just because nothing intersected.
     """
     failing = []
+    current = get_run(history, current_label)
+    current_results = current["results"] if current is not None else {}
     for metric, base_value, cur_value, _ in compare(
         history, baseline_label, current_label
     ):
         if cur_value > base_value * (1.0 + tolerance):
             failing.append(
                 f"{metric}: {cur_value:.3f}s vs baseline {base_value:.3f}s"
+            )
+    baseline = get_run(history, baseline_label)
+    for metric in baseline["results"]:
+        if metric not in current_results:
+            failing.append(
+                f"{metric}: missing from run {current_label!r} "
+                f"(baseline has it -- a lost workload is a regression)"
             )
     return failing

@@ -20,7 +20,11 @@ first:
                      and the top-N slow-op log;
 * ``deploy``      -- large-scale bare overlay (oracle cold start +
                      incremental churn maintenance) probed against
-                     claims C1 and C2 (exits nonzero on failure).
+                     claims C1 and C2 (exits nonzero on failure);
+* ``scale-curves`` -- sweep overlay sizes, fit log/power scaling
+                     curves for hops, per-node state, join cost and
+                     maintenance bandwidth, and gate on the asymptotic
+                     claims (exits nonzero on regression).
 
 Every command takes ``--seed`` so results are reproducible.
 """
@@ -348,6 +352,9 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         document = to_json_dict(verdicts, params)
         document["build_seconds"] = round(build_seconds, 3)
         document["churn_seconds"] = round(churn_seconds, 3)
+        # What the deployment spent: per-category bytes plus the five
+        # most expensive nodes under the wire-size cost model.
+        document["ledger"] = observer.ledger.summary(top=5)
         print(json.dumps(document, sort_keys=True, indent=2))
     else:
         for verdict in verdicts:
@@ -355,6 +362,49 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
             print(f"{verdict.claim} {status}: {verdict.observed} "
                   f"(target: {verdict.target})")
     return 0 if all(verdict.passed for verdict in verdicts) else 1
+
+
+def _cmd_scale_curves(args: argparse.Namespace) -> int:
+    """Sweep overlay sizes and gate on the fitted scaling curves.
+
+    Runs :func:`repro.obs.scaling.run_scale_curves` over ``--sizes``,
+    prints the curve report (markdown by default, the full artifact with
+    ``--json``), optionally writes both artifacts, then evaluates the
+    asymptotic claims (C1-curve, C2-curve, C11) over the fitted
+    exponents.  Exits nonzero when any curve claim fails -- the same
+    regression gate ``repro.obs.report`` applies to the JSON artifact.
+    """
+    from repro.obs.claims import evaluate_claims
+    from repro.obs.scaling import render_scale_markdown, run_scale_curves
+
+    report = run_scale_curves(
+        sizes=args.sizes,
+        seed=args.seed,
+        lookups=args.lookups,
+        joins=args.joins,
+        churn_duration=args.churn_duration,
+        crashes=args.crashes,
+        restarts=args.restarts,
+    )
+    verdicts = evaluate_claims(
+        report["metrics"], report["params"], claims=report["claims"]
+    )
+    rendered_json = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    rendered_md = render_scale_markdown(report, verdicts)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered_json)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.md is not None:
+        with open(args.md, "w", encoding="utf-8") as handle:
+            handle.write(rendered_md)
+        print(f"wrote {args.md}", file=sys.stderr)
+    sys.stdout.write(rendered_json if args.json else rendered_md)
+    failed = [verdict for verdict in verdicts if not verdict.passed]
+    for verdict in failed:
+        print(f"claim regression: {verdict.claim} ({verdict.observed})",
+              file=sys.stderr)
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -461,6 +511,34 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--json", action="store_true",
                         help="emit the claim verdicts and timings as JSON")
     deploy.set_defaults(handler=_cmd_deploy)
+
+    curves = commands.add_parser(
+        "scale-curves",
+        help="N-sweep scaling observatory: fit log/power curves for "
+             "hops, state, join cost and maintenance bandwidth",
+    )
+    curves.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    curves.add_argument("--sizes", type=int, nargs="+",
+                        default=[512, 1024, 2048, 4096, 8192],
+                        help="overlay sizes to sweep (>= 4 for the "
+                             "curve claims to fit)")
+    curves.add_argument("--lookups", type=int, default=400,
+                        help="routed lookups measured per size")
+    curves.add_argument("--joins", type=int, default=16,
+                        help="protocol joins measured per size")
+    curves.add_argument("--churn-duration", type=float, default=60.0,
+                        help="sim-seconds of seeded churn per size")
+    curves.add_argument("--crashes", type=int, default=6)
+    curves.add_argument("--restarts", type=int, default=3)
+    curves.add_argument("--json", action="store_true",
+                        help="print the full JSON artifact instead of "
+                             "the markdown report")
+    curves.add_argument("--out", type=str, default=None,
+                        help="write the JSON artifact here (observatory-"
+                             "ready: repro.obs.report --report <out>)")
+    curves.add_argument("--md", type=str, default=None,
+                        help="write the markdown report here")
+    curves.set_defaults(handler=_cmd_scale_curves)
 
     return parser
 

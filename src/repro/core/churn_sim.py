@@ -272,8 +272,12 @@ class ChurnSimulation:
         self._engine = engine
         obs = self.network.obs
         if obs.enabled:
-            # Events published during the run carry sim-time timestamps.
+            # Events published during the run carry sim-time timestamps,
+            # and the cost ledger bins charges into sim-time windows
+            # (bytes/node/sim-second rates).
             obs.clock = lambda: engine.now
+            if obs.ledger is not None:
+                obs.ledger.clock = lambda: engine.now
         # The churn and fault schedules are fully known up front, so they
         # bulk-load in one heapify pass each (schedule_many_at) instead
         # of one heap-push per event.
@@ -298,6 +302,8 @@ class ChurnSimulation:
         engine.run(until=duration)
         if obs.enabled:
             obs.clock = None
+            if obs.ledger is not None:
+                obs.ledger.clock = None
 
         census = replication_census(self.network)
         counter = self._metrics.counter

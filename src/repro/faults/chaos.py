@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan, build_schedule
-from repro.obs.claims import record_deployment_census
+from repro.obs.claims import POINT_CLAIMS, record_deployment_census
 
 # Leaf capacity for chaos runs: l=8 means floor(l/2)=4, so the C6
 # boundary (4 adjacent failures) stays a tractable event in a ~30 node
@@ -112,6 +112,12 @@ def run_chaos(
         "replicas_restored": report.replicas_restored,
         "final_node_count": report.final_node_count,
         "metrics": observer.metrics.snapshot(),
+        # What the run *spent*: every message charged to its activity
+        # category under the wire-size model (obs/cost_model).  The
+        # sim-time windows cover the churned portion of the run.
+        "ledger": observer.ledger.snapshot(),
+        # Which claims this artifact can answer (repro.obs.report).
+        "claims": list(POINT_CLAIMS),
     }
     if events_path is not None:
         result["events_written"] = observer.bus.write_jsonl(events_path)

@@ -28,8 +28,9 @@ DETERMINISTIC_SCOPES: Tuple[str, ...] = (
     "core/",
 )
 
-#: Modules that only survive as backwards-compatibility shims, with the
-#: replacement new code must import instead.
+#: Modules that were deleted after a deprecation cycle, with the
+#: replacement any stale import must switch to.  Entries stay listed
+#: after removal so a resurrected import is flagged with its fix.
 DEPRECATED_MODULES: Dict[str, str] = {
     "repro.sim.trace": "repro.obs.metrics",
     "repro.analysis.tracing": "repro.obs.spans",
@@ -506,12 +507,11 @@ class DeprecatedImport(Rule):
     id = "NEW001"
     title = "import of a deprecated shim module"
     rationale = (
-        "sim/trace.py survives only as a re-export shim (PR 2 moved the "
-        "metrics classes to repro.obs.metrics); it warns on import and "
-        "will eventually be deleted.  New code must import the "
-        "replacement directly."
+        "the PR 2/3 re-export shims (sim/trace.py, analysis/tracing.py) "
+        "were deleted after their deprecation cycle; any import of them "
+        "now fails at runtime.  This rule catches stale imports at lint "
+        "time and names the replacement module."
     )
-    exempt = ("sim/trace.py",)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

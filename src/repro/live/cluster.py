@@ -382,6 +382,10 @@ class LiveCluster:
             # as the hop/attempt spans, so a trace shows *where* the
             # wire swallowed a message, not just that a retry fired.
             self.transport.traces = self.obs.traces
+            # Every live message crosses the transport, so the cost
+            # ledger charges there (real payload sizes for data-bearing
+            # messages; modelled sizes otherwise).
+            self.transport.ledger = self.obs.ledger
             for name, help_text in LIVE_METRIC_HELP.items():
                 self.obs.metrics.describe(name, help_text)
         self.nodes: Dict[int, LiveNode] = {}

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.netsim.latency import LatencyModel
+from repro.obs.cost_model import ID_BYTES, WIRE_HEADER_BYTES
 from repro.obs.trace_context import TraceCollector, TraceContext
 
 
@@ -40,6 +41,22 @@ class Message:
     payload: dict = field(default_factory=dict)
     message_id: int = 0
     traceparent: Optional[str] = None
+
+    def wire_bytes(self, model) -> int:
+        """Estimated serialized size under a cost model.
+
+        Data-bearing messages (store-request, lookup-result) are priced
+        from their *actual* payload bytes; a data slot that is present
+        but empty (a not-found lookup result) costs only the envelope.
+        Everything else takes the model's per-kind estimate.
+        """
+        data = self.payload.get("data") if self.payload else None
+        if data is not None:
+            length = data.size if hasattr(data, "size") else len(data)
+            return WIRE_HEADER_BYTES + ID_BYTES + length
+        if self.payload and "data" in self.payload:
+            return WIRE_HEADER_BYTES + ID_BYTES
+        return model.bytes_of(self.kind)
 
 
 class InProcessTransport:
@@ -60,6 +77,11 @@ class InProcessTransport:
         # Optional TraceCollector: injected faults on traced messages
         # are recorded as point spans under the message's context.
         self.traces: Optional[TraceCollector] = None
+        # Optional CostLedger (the cluster wires its observer's in): the
+        # transport is the one funnel every live message crosses, so
+        # charging here prices node, client and gossip traffic uniformly
+        # -- including the extra wire copy of an injected duplicate.
+        self.ledger = None
         self._sequence = itertools.count(1)
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -97,6 +119,15 @@ class InProcessTransport:
         arrives, which is what the retry/backoff layer handles.
         """
         message.message_id = next(self._sequence)
+        ledger = self.ledger
+        if ledger is not None:
+            # The sender spends the bytes whether or not the destination
+            # answers (a refused/dropped message still crossed the wire).
+            ledger.charge(
+                message.kind,
+                node=message.sender,
+                size=message.wire_bytes(ledger.model),
+            )
         if destination in self._dead or destination not in self._mailboxes:
             self.messages_dropped += 1
             return False
@@ -143,6 +174,13 @@ class InProcessTransport:
             queue.put_nowait(message)
         if fault is not None and fault.duplicate:
             self.faults_duplicated += 1
+            if ledger is not None:
+                # The duplicate is a second copy on the wire.
+                ledger.charge(
+                    message.kind,
+                    node=message.sender,
+                    size=message.wire_bytes(ledger.model),
+                )
             queue.put_nowait(message)
         return True
 

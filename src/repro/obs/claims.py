@@ -275,6 +275,85 @@ def _probe_c10(snapshot: dict, params: dict) -> ClaimVerdict:
     )
 
 
+# ---------------------------------------------------------------------- #
+# curve probes (scale-curve observatory inputs)
+# ---------------------------------------------------------------------- #
+#
+# Point probes check one deployment; curve probes check the *asymptote*:
+# ``repro.obs.scaling`` sweeps deployments across N, fits a.log2(N)+b
+# and c.N^p models to each measured quantity, and stamps the fitted
+# coefficients as ``scaling.*`` gauges.  A power-law exponent p near 0
+# is logarithmic growth; p >= 1 would be linear.  The thresholds leave
+# head-room over the paper's O(log N) claims so a verdict flip signals a
+# scaling regression, not sweep noise.
+
+def _curve_inputs(snapshot: dict, quantity: str):
+    return (
+        _gauge(snapshot, f"scaling.{quantity}.power_exponent"),
+        _gauge(snapshot, f"scaling.{quantity}.log_rmse"),
+        _gauge(snapshot, "scaling.sweep_points") or 0.0,
+    )
+
+
+def _probe_c1_curve(snapshot: dict, params: dict) -> ClaimVerdict:
+    exponent, rmse, points = _curve_inputs(snapshot, "hops")
+    target = "fitted exponent p <= 0.5 over >= 4 sweep sizes (O(log N) hops)"
+    if exponent is None or points < 4:
+        return ClaimVerdict(
+            "C1-curve", "Mean hops grow logarithmically across the N-sweep",
+            False, f"no hop curve fitted ({int(points)} sweep points)", target,
+            "run repro scale-curves with at least 4 sizes",
+        )
+    return ClaimVerdict(
+        "C1-curve", "Mean hops grow logarithmically across the N-sweep",
+        exponent <= 0.5,
+        f"power-law exponent {exponent:.3f}, log-fit rmse {rmse:.3f} hops "
+        f"over {int(points)} sizes",
+        target,
+    )
+
+
+def _probe_c2_curve(snapshot: dict, params: dict) -> ClaimVerdict:
+    exponent, rmse, points = _curve_inputs(snapshot, "state")
+    target = "fitted exponent p <= 0.5 over >= 4 sweep sizes (O(log N) state)"
+    if exponent is None or points < 4:
+        return ClaimVerdict(
+            "C2-curve", "Per-node state grows logarithmically across the N-sweep",
+            False, f"no state curve fitted ({int(points)} sweep points)", target,
+            "run repro scale-curves with at least 4 sizes",
+        )
+    return ClaimVerdict(
+        "C2-curve", "Per-node state grows logarithmically across the N-sweep",
+        exponent <= 0.5,
+        f"power-law exponent {exponent:.3f}, log-fit rmse {rmse:.3f} entries "
+        f"over {int(points)} sizes",
+        target,
+    )
+
+
+def _probe_c11(snapshot: dict, params: dict) -> ClaimVerdict:
+    exponent, _, points = _curve_inputs(snapshot, "maintenance")
+    rate = _gauge(snapshot, "scaling.maintenance.max_rate")
+    target = (
+        "per-node maintenance bytes/sim-second exponent p <= 0.8 "
+        "(sublinear in N under seeded churn)"
+    )
+    if exponent is None or points < 4 or rate is None or rate <= 0:
+        return ClaimVerdict(
+            "C11", "Maintenance bandwidth per node stays sublinear in N",
+            False,
+            f"no maintenance curve fitted ({int(points)} sweep points)", target,
+            "the churn segment recorded no repair/leaf-stabilize bytes",
+        )
+    return ClaimVerdict(
+        "C11", "Maintenance bandwidth per node stays sublinear in N",
+        exponent <= 0.8,
+        f"power-law exponent {exponent:.3f}; "
+        f"{rate:.1f} bytes/node/sim-second at the largest N",
+        target,
+    )
+
+
 _PROBES = {
     "C1": _probe_c1,
     "C2": _probe_c2,
@@ -282,7 +361,17 @@ _PROBES = {
     "C5": _probe_c5,
     "C8": _probe_c8,
     "C10": _probe_c10,
+    "C1-curve": _probe_c1_curve,
+    "C2-curve": _probe_c2_curve,
+    "C11": _probe_c11,
 }
+
+#: The single-deployment probes every chaos artifact answers (the
+#: pre-curve default, so legacy artifacts keep evaluating cleanly).
+POINT_CLAIMS = ("C1", "C2", "C4", "C5", "C8", "C10")
+
+#: The asymptotic probes a scale-curve artifact answers.
+CURVE_CLAIMS = ("C1-curve", "C2-curve", "C11")
 
 
 def evaluate_claims(
@@ -293,15 +382,16 @@ def evaluate_claims(
 
     *claims* selects a subset by name (e.g. ``("C1", "C2")`` for a
     routing-only overlay with no storage layer to probe); the default
-    runs every probe, in claim order.
+    runs the point probes (:data:`POINT_CLAIMS`) -- curve probes only
+    make sense on a scale-sweep artifact, whose ``claims`` list selects
+    them explicitly.
     """
     if claims is None:
-        selected = list(_PROBES.values())
-    else:
-        unknown = sorted(set(claims) - set(_PROBES))
-        if unknown:
-            raise ValueError(f"unknown claims: {', '.join(unknown)}")
-        selected = [_PROBES[claim] for claim in claims]
+        claims = POINT_CLAIMS
+    unknown = sorted(set(claims) - set(_PROBES))
+    if unknown:
+        raise ValueError(f"unknown claims: {', '.join(unknown)}")
+    selected = [_PROBES[claim] for claim in claims]
     return [probe(snapshot, params) for probe in selected]
 
 

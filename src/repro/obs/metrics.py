@@ -11,8 +11,8 @@ that record the same values produce byte-identical output -- traces are
 diffable across seeded runs.  :meth:`MetricsRegistry.to_prometheus`
 renders the standard text exposition for live (asyncio) nodes.
 
-This module supersedes the old ``repro.sim.trace`` classes, which remain
-importable as a thin deprecated shim.
+This module supersedes the old ``repro.sim.trace`` classes; the shim
+module has been deleted after its deprecation cycle.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.obs.events import Event, EventBus, EventRecord
+from repro.obs.ledger import CostLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span
 from repro.obs.trace_context import TraceCollector
@@ -40,6 +41,7 @@ class Observer:
         self,
         clock: Optional[Callable[[], float]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        ledger: Optional[CostLedger] = None,
     ) -> None:
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -48,6 +50,10 @@ class Observer:
         # Distributed tracing: flat span records keyed by trace id,
         # assembled into per-operation trees on demand (obs/trace_context).
         self.traces = TraceCollector()
+        # Cost accounting: message/byte charges per activity category
+        # (obs/ledger).  Instrumented layers cache a direct reference so
+        # the ledger-off path stays one ``is not None`` test.
+        self.ledger = ledger if ledger is not None else CostLedger()
 
     def _now(self) -> float:
         clock = self.clock
@@ -91,6 +97,7 @@ class NullObserver:
     metrics = None
     clock = None
     traces = None
+    ledger = None
 
     def emit(self, event: Event) -> None:
         pass

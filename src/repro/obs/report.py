@@ -67,7 +67,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    verdicts = evaluate_claims(snapshot, params)
+    # Artifacts declare which claims they can answer (a chaos run lists
+    # the point claims, a scale-curve sweep the asymptotic ones); legacy
+    # artifacts without the list fall back to the point-claim default.
+    claims = report.get("claims")
+    if claims is not None and (
+        not isinstance(claims, list)
+        or not all(isinstance(name, str) for name in claims)
+    ):
+        print(f"{args.report}: 'claims' must be a list of claim names",
+              file=sys.stderr)
+        return 2
+    try:
+        verdicts = evaluate_claims(snapshot, params, claims=claims)
+    except ValueError as error:
+        print(f"{args.report}: {error}", file=sys.stderr)
+        return 2
     violations = len(report.get("violations", []))
     if args.events is not None and args.events.exists():
         violations = max(violations, count_violations(args.events))

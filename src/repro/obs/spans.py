@@ -12,8 +12,8 @@ The route-explanation half answers "which rule fired at this node?":
 re-deriving the decision from the deciding node's state, while
 :func:`span_to_explanations` converts a decision-time route span into
 the same :class:`HopExplanation` rows, so both sources render
-identically.  (This API lived in ``repro.analysis.tracing``, which is
-now a deprecated shim onto this module.)
+identically.  (This API originally lived in ``repro.analysis.tracing``;
+that shim has since been deleted.)
 
 Spans carry no wall-clock state: attributes and structure only, plus an
 optional sim-time interval, so a seeded run serialises byte-identically.

@@ -65,7 +65,7 @@ def repair_leaf_set(network: "PastryNetwork", node: PastryNode, dead_id: int) ->
     if donor_id is None:
         return 0  # totally isolated; nothing to repair from
     # Request + reply.
-    network.count_message("repair", 2)
+    network.count_message("repair", 2, node=node.node_id)
     donor = network.nodes[donor_id]
     for member in donor.state.leaf_set.members() | {donor_id}:
         if member != node.node_id and network.is_live(member):
@@ -78,7 +78,7 @@ def repair_leaf_set(network: "PastryNetwork", node: PastryNode, dead_id: int) ->
             continue
         peer = network.nodes[member]
         if node.node_id not in peer.state.leaf_set:
-            network.count_message("repair")
+            network.count_message("repair", kind="repair-probe", node=node.node_id)
             peer.learn(node.node_id)
     return network.stats.counter("messages.repair").value - before
 
@@ -111,7 +111,7 @@ def repair_routing_entry(
             if not network.is_live(mate_id):
                 node.state.forget(mate_id)
                 continue
-            network.count_message("repair", 2)  # request + reply
+            network.count_message("repair", 2, node=node.node_id)  # request + reply
             mate = network.nodes[mate_id]
             candidate = mate.state.routing_table.lookup(row, col)
             if candidate is None:
@@ -126,7 +126,7 @@ def repair_routing_entry(
                 # The liveness probe on the new entry doubles as mutual
                 # discovery: the candidate learns the prober, so a repair
                 # never creates a one-directional leaf-set reference.
-                network.count_message("repair")
+                network.count_message("repair", kind="repair-probe", node=node.node_id)
                 network.nodes[candidate].learn(node.node_id)
                 if table.lookup(row, col) is not None:
                     return network.stats.counter("messages.repair").value - before
@@ -218,7 +218,10 @@ def stabilize_leaf_sets(network: "PastryNetwork") -> int:
             if not network.is_live(member):
                 node.on_dead_entry(member)
                 continue
-            network.count_message("repair", 2)
+            # Ledger: the periodic exchange is leaf-set *stabilization*
+            # traffic, not failure repair, even though it lands in the
+            # same repair counter the callers diff.
+            network.count_message("repair", 2, kind="leafset-exchange", node=node_id)
             peer = network.nodes[member]
             for known in peer.state.leaf_set.members() | {member}:
                 if known != node_id and network.is_live(known):
@@ -232,7 +235,7 @@ def stabilize_leaf_sets(network: "PastryNetwork") -> int:
                 continue
             peer = network.nodes[member]
             if node_id not in peer.state.leaf_set:
-                network.count_message("repair")
+                network.count_message("repair", kind="leafset-announce", node=node_id)
                 peer.learn(node_id)
     return network.stats.counter("messages.repair").value - before
 
@@ -248,7 +251,7 @@ def recover_node(network: "PastryNetwork", node_id: int) -> int:
     # happened to trip over them.
     for known in sorted(node.state.known_nodes()):
         if not network.is_live(known):
-            network.count_message("repair")
+            network.count_message("repair", kind="repair-probe", node=node_id)
             node.state.forget(known)
     last_known = sorted(node.state.leaf_set.members())
     # Drop stale members; refresh from the live ones.
@@ -256,7 +259,7 @@ def recover_node(network: "PastryNetwork", node_id: int) -> int:
         if not network.is_live(member):
             node.state.forget(member)
             continue
-        network.count_message("repair", 2)  # request + reply
+        network.count_message("repair", 2, node=node_id)  # request + reply
         donor = network.nodes[member]
         for known in donor.state.leaf_set.members() | {member}:
             if known != node.node_id and network.is_live(known):
@@ -264,7 +267,7 @@ def recover_node(network: "PastryNetwork", node_id: int) -> int:
     # Announce presence so neighbours re-admit the node.
     for member in sorted(node.state.leaf_set.members()):
         if network.is_live(member):
-            network.count_message("repair")
+            network.count_message("repair", kind="repair-probe", node=node_id)
             network.nodes[member].learn(node.node_id)
     return network.stats.counter("messages.repair").value - before
 
@@ -316,7 +319,7 @@ class KeepAliveProtocol:
         node = self.network.nodes[node_id]
         now = self.engine.now
         for neighbour_id in node.state.leaf_set.members():
-            self.network.count_message("keepalive")
+            self.network.count_message("keepalive", node=node_id)
             key = (node_id, neighbour_id)
             if self.network.is_live(neighbour_id):
                 self._last_heard[key] = now  # probe answered immediately

@@ -56,7 +56,7 @@ def join_network(
     before = network.stats.counter("messages.join").value
 
     # X -> A: the initial contact message.
-    network.count_message("join")
+    network.count_message("join", kind="join-contact", node=new_node.node_id)
 
     # A routes the join message towards X's id; the nodes encountered are
     # exactly the ones whose state X copies from.  The arriving node is
@@ -72,13 +72,13 @@ def join_network(
     node_z = network.nodes[path[-1]]
 
     # Neighborhood set from A (one state-transfer message).
-    network.count_message("join")
+    network.count_message("join", kind="join-neighborhood", node=node_a.node_id)
     new_node.learn(node_a.node_id)
     for member in node_a.state.neighborhood.ordered_members():
         new_node.learn(member)
 
     # Leaf set from Z (one state-transfer message).
-    network.count_message("join")
+    network.count_message("join", kind="join-leafset", node=node_z.node_id)
     new_node.learn(node_z.node_id)
     for member in node_z.state.leaf_set.members():
         new_node.learn(member)
@@ -88,7 +88,7 @@ def join_network(
     for row_index, hop_id in enumerate(path):
         if row_index >= network.space.digits:
             break
-        network.count_message("join")
+        network.count_message("join", kind="join-row", node=hop_id)
         hop = network.nodes[hop_id]
         new_node.learn(hop_id)
         new_node.state.routing_table.install_row(
@@ -99,7 +99,7 @@ def join_network(
     for known_id in sorted(new_node.state.known_nodes()):
         if not network.is_live(known_id):
             continue
-        network.count_message("join")
+        network.count_message("join", kind="join-announce", node=new_node.node_id)
         network.nodes[known_id].learn(new_node.node_id)
 
     messages = network.stats.counter("messages.join").value - before

@@ -115,6 +115,10 @@ class PastryNetwork:
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.stats = observer.metrics if observer is not None else MetricsRegistry()
         self._message_counters: Dict[str, Counter] = {}
+        # Cost accounting: a direct reference to the observer's ledger
+        # (None with the null observer), so the per-message charge site
+        # costs one ``is not None`` test when the ledger is off.
+        self._ledger = getattr(self.obs, "ledger", None)
         self.nodes: Dict[int, PastryNode] = {}
         # Sorted live ids, for ground truth.  Ids narrow enough for a C
         # unsigned-64 array live unboxed (one machine word per node
@@ -228,17 +232,33 @@ class PastryNetwork:
     # transport
     # ------------------------------------------------------------------ #
 
-    def count_message(self, category: str, amount: int = 1) -> None:
+    def count_message(
+        self,
+        category: str,
+        amount: int = 1,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> None:
         """Record protocol traffic (join, repair, keep-alive, routing).
 
         Runs once per hop, so the counter object is memoised per category
         -- instruments are create-on-first-use and never replaced, which
-        makes caching them safe."""
+        makes caching them safe.
+
+        *kind* names the concrete message for the cost ledger's wire-size
+        model (defaults to *category* -- callers whose one counter bucket
+        spans several message shapes pass the specific kind); *node* is
+        the sending node, for per-node spend attribution.  Both are
+        ignored unless an observer (and thus a ledger) is installed.
+        """
         counter = self._message_counters.get(category)
         if counter is None:
             counter = self.stats.counter(f"messages.{category}")
             self._message_counters[category] = counter
         counter.increment(amount)
+        ledger = self._ledger
+        if ledger is not None:
+            ledger.charge(kind if kind is not None else category, node=node, count=amount)
 
     def route(
         self,
@@ -279,7 +299,7 @@ class PastryNetwork:
         while True:
             if current.malicious and current.node_id != origin:
                 # The node accepts the message and silently drops it.
-                self.count_message(category)
+                self.count_message(category, node=current.node_id)
                 if span is not None:
                     self._span_hop(span, current.node_id, key, "dropped (malicious)", None)
                 return self._finish_route(
@@ -319,7 +339,7 @@ class PastryNetwork:
                     category,
                     span,
                 )
-            self.count_message(category)
+            self.count_message(category, node=current.node_id)
             if span is not None:
                 self._span_hop(span, current.node_id, key, rule, hop)
             path.append(hop)

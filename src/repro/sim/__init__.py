@@ -8,9 +8,9 @@ This package provides the three services every other subsystem builds on:
 * :mod:`repro.sim.engine` -- a classic discrete-event engine (priority queue
   of timestamped events) used by the protocols that need a notion of time:
   keep-alives, failure detection, audits.
-The counters and histograms that used to live in :mod:`repro.sim.trace`
-moved to :mod:`repro.obs.metrics` (the trace module survives only as a
-deprecated shim); the legacy names are still re-exported here.
+The counters and histograms that used to live in ``repro.sim.trace``
+moved to :mod:`repro.obs.metrics` (the shim module has since been
+deleted); the legacy names are still re-exported here.
 """
 
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry

@@ -285,9 +285,9 @@ class TestNEW001DeprecatedImport:
         write(tmp_path, "core/c.py", "from repro.sim import trace\n")
         assert rules_fired(tmp_path) == ["NEW001"]
 
-    def test_the_shim_itself_is_exempt(self, tmp_path):
+    def test_no_file_is_exempt_since_the_shims_were_deleted(self, tmp_path):
         write(tmp_path, "sim/trace.py", "import repro.sim.trace\n")
-        assert rules_fired(tmp_path) == []
+        assert rules_fired(tmp_path) == ["NEW001"]
 
     def test_the_replacement_is_fine(self, tmp_path):
         write(tmp_path, "core/d.py", "from repro.obs.metrics import Counter\n")

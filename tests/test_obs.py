@@ -11,6 +11,8 @@ import asyncio
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs import (
     NULL_OBSERVER,
@@ -105,10 +107,85 @@ class TestMetricsRegistry:
         assert 'route_hops_sum 10' in text
         assert 'quantile="0.5"' in text
 
-    def test_legacy_shim_importable(self):
-        from repro.sim.trace import StatsRegistry
+    def test_legacy_shims_removed(self):
+        # The PR 2/3 re-export shims are gone; the obs layer is the only
+        # import surface now (NEW001 still flags any stale import).
+        import importlib
 
-        assert StatsRegistry is MetricsRegistry
+        for shim in ("repro.sim.trace", "repro.analysis.tracing"):
+            with pytest.raises(ModuleNotFoundError):
+                importlib.import_module(shim)
+
+
+class TestHistogramStatistics:
+    """Coverage migrated from the deleted shim tests (test_sim_trace)."""
+
+    def test_mean(self):
+        histogram = Histogram()
+        histogram.extend([1, 2, 3, 4])
+        assert histogram.mean == 2.5
+
+    def test_empty_statistics_are_zero(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.stddev == 0.0
+
+    def test_stddev_matches_manual(self):
+        import math
+
+        histogram = Histogram()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        histogram.extend(values)
+        mean = sum(values) / len(values)
+        expected = math.sqrt(
+            sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        )
+        assert histogram.stddev == pytest.approx(expected)
+
+    def test_min_max(self):
+        histogram = Histogram()
+        histogram.extend([5, -2, 9])
+        assert histogram.minimum == -2
+        assert histogram.maximum == 9
+
+    def test_bucketize(self):
+        histogram = Histogram()
+        histogram.extend([0.1, 0.9, 1.5, 2.2])
+        assert histogram.bucketize(1.0) == {0.0: 2, 1.0: 1, 2.0: 1}
+
+    def test_bucketize_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            Histogram().bucketize(0)
+
+    def test_frequency(self):
+        histogram = Histogram()
+        histogram.extend([1, 1, 2])
+        assert histogram.frequency() == {1: 2, 2: 1}
+
+    def test_summary_keys(self):
+        histogram = Histogram()
+        histogram.extend([1, 2, 3])
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "mean", "stddev", "min", "p50", "p95", "p99", "max"
+        }
+        assert summary["count"] == 3
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=2, max_size=50))
+    def test_mean_within_min_max(self, values):
+        histogram = Histogram()
+        histogram.extend(values)
+        assert histogram.minimum - 1e-6 <= histogram.mean <= histogram.maximum + 1e-6
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_percentiles_monotone(self, values):
+        histogram = Histogram()
+        histogram.extend(values)
+        assert (histogram.percentile(25)
+                <= histogram.percentile(50)
+                <= histogram.percentile(75))
 
 
 class TestHistogramEdgeCases:

@@ -1,0 +1,67 @@
+"""Tests for the perf-history file format (``repro.analysis.perfjson``).
+
+The important contract is the regression gate: a current run that is
+slower than the baseline fails, and -- since the label-drift fix -- so
+does a run that silently *lost* a workload the baseline recorded
+(renamed metric, dropped benchmark, or a check against a wrong-scale
+label would otherwise pass on an empty intersection).
+"""
+
+import pytest
+
+from repro.analysis import perfjson
+
+
+def history_with(baseline, current):
+    return {
+        "schema": perfjson.SCHEMA_VERSION,
+        "runs": [
+            {"label": "base", "results": baseline},
+            {"label": "cur", "results": current},
+        ],
+    }
+
+
+class TestCompare:
+    def test_rows_cover_the_intersection_with_speedups(self):
+        history = history_with({"a_s": 2.0, "b_s": 1.0}, {"a_s": 1.0})
+        rows = perfjson.compare(history, "base", "cur")
+        assert rows == [("a_s", 2.0, 1.0, 2.0)]
+
+    def test_unknown_label_raises(self):
+        history = history_with({}, {})
+        with pytest.raises(KeyError):
+            perfjson.compare(history, "nope", "cur")
+
+
+class TestRegressions:
+    def test_within_tolerance_is_clean(self):
+        history = history_with({"a_s": 1.0}, {"a_s": 1.2})
+        assert perfjson.regressions(history, "base", "cur", tolerance=0.25) == []
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        history = history_with({"a_s": 1.0}, {"a_s": 1.3})
+        failing = perfjson.regressions(history, "base", "cur", tolerance=0.25)
+        assert len(failing) == 1
+        assert failing[0].startswith("a_s:")
+
+    def test_missing_baseline_metric_is_a_hard_failure(self):
+        history = history_with({"a_s": 1.0, "gone_s": 1.0}, {"a_s": 1.0})
+        failing = perfjson.regressions(history, "base", "cur", tolerance=0.25)
+        assert len(failing) == 1
+        assert "gone_s" in failing[0] and "missing" in failing[0]
+
+    def test_empty_intersection_fails_every_baseline_metric(self):
+        # The label-drift scenario: checking a smoke run against a
+        # full-scale baseline shares no metric names.  That used to pass
+        # vacuously; now every lost workload is reported.
+        history = history_with(
+            {"routes_10000_s": 1.0, "build_65536_s": 2.0},
+            {"routes_1000_s": 0.1},
+        )
+        failing = perfjson.regressions(history, "base", "cur")
+        assert len(failing) == 2
+
+    def test_extra_current_metrics_are_fine(self):
+        history = history_with({"a_s": 1.0}, {"a_s": 1.0, "new_s": 5.0})
+        assert perfjson.regressions(history, "base", "cur") == []

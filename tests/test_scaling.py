@@ -1,0 +1,152 @@
+"""Tests for the scale-curve observatory (``repro.obs.scaling``).
+
+The model fits are checked against synthetic series with known shapes;
+the sweep itself runs at toy sizes (the CI-scale pipeline) and is
+asserted byte-deterministic, observatory-ready (``repro.obs.report``
+contract) and gated by the asymptotic claims C1-curve/C2-curve/C11.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.claims import CURVE_CLAIMS, evaluate_claims
+from repro.obs.scaling import (
+    fit_log,
+    fit_power,
+    render_scale_markdown,
+    run_scale_curves,
+)
+
+SIZES = (64, 128, 256, 512)
+SWEEP_KWARGS = dict(
+    sizes=SIZES, seed=3, lookups=40, joins=4,
+    churn_duration=20.0, crashes=3, restarts=1,
+)
+
+
+class TestModelFits:
+    def test_log_fit_recovers_exact_coefficients(self):
+        ys = [2.5 * math.log2(n) + 1.0 for n in SIZES]
+        fit = fit_log(SIZES, ys)
+        assert fit["a"] == pytest.approx(2.5, abs=1e-6)
+        assert fit["b"] == pytest.approx(1.0, abs=1e-6)
+        assert fit["rmse"] == pytest.approx(0.0, abs=1e-6)
+        assert fit["r2"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_power_fit_recovers_exponent(self):
+        ys = [0.5 * n ** 0.75 for n in SIZES]
+        fit = fit_power(SIZES, ys)
+        assert fit["exponent"] == pytest.approx(0.75, abs=1e-6)
+        assert fit["c"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_power_fit_flags_linear_growth(self):
+        ys = [3.0 * n for n in SIZES]
+        assert fit_power(SIZES, ys)["exponent"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_power_fit_refuses_nonpositive_samples(self):
+        assert fit_power(SIZES, [1.0, 2.0, 0.0, 3.0]) is None
+
+    def test_residuals_are_reported_per_point(self):
+        ys = [1.0, 2.0, 2.0, 3.0]
+        fit = fit_log(SIZES, ys)
+        assert len(fit["residuals"]) == len(SIZES)
+
+
+class TestSweepValidation:
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            run_scale_curves(sizes=(128,))
+
+    def test_tiny_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            run_scale_curves(sizes=(8, 16))
+
+    def test_nonpositive_churn_rejected(self):
+        with pytest.raises(ValueError):
+            run_scale_curves(sizes=(64, 128), churn_duration=0.0)
+
+
+class TestSweepPipeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scale_curves(**SWEEP_KWARGS)
+
+    def test_one_point_per_size_with_all_quantities(self, report):
+        assert [point["n"] for point in report["sweep"]] == list(SIZES)
+        for point in report["sweep"]:
+            assert point["mean_hops"] > 0
+            assert point["state_entries_mean"] > 0
+            assert point["join_messages_mean"] > 0
+            assert point["maintenance_bytes"] > 0
+
+    def test_curves_cover_every_quantity(self, report):
+        assert set(report["curves"]) == {
+            "hops", "state_entries", "join_messages", "maintenance_rate"
+        }
+        for fits in report["curves"].values():
+            assert "rmse" in fits["log"] and "residuals" in fits["log"]
+
+    def test_byte_deterministic_per_seed(self, report):
+        again = run_scale_curves(**SWEEP_KWARGS)
+        assert (
+            json.dumps(report, sort_keys=True)
+            == json.dumps(again, sort_keys=True)
+        )
+
+    def test_curve_claims_pass_on_the_artifact(self, report):
+        assert report["claims"] == list(CURVE_CLAIMS)
+        verdicts = evaluate_claims(
+            report["metrics"], report["params"], claims=report["claims"]
+        )
+        assert [v.claim for v in verdicts] == list(CURVE_CLAIMS)
+        assert all(v.passed for v in verdicts), [
+            (v.claim, v.observed) for v in verdicts if not v.passed
+        ]
+
+    def test_markdown_report_lists_every_size(self, report):
+        rendered = render_scale_markdown(report)
+        for n in SIZES:
+            assert f"| {n} |" in rendered
+        assert "## Fitted curves" in rendered
+
+    def test_observatory_gates_on_the_artifact(self, report, tmp_path, capsys):
+        from repro.obs.report import main as report_main
+
+        path = tmp_path / "scale-curves.json"
+        path.write_text(json.dumps(report, sort_keys=True), encoding="utf-8")
+        assert report_main(["--report", str(path)]) == 0
+        out = capsys.readouterr().out
+        for claim in CURVE_CLAIMS:
+            assert claim in out
+
+    def test_observatory_fails_a_doctored_exponent(self, report, tmp_path, capsys):
+        from repro.obs.report import main as report_main
+
+        doctored = json.loads(json.dumps(report))
+        doctored["metrics"]["gauges"]["scaling.hops.power_exponent"] = 1.2
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored), encoding="utf-8")
+        assert report_main(["--report", str(path)]) == 1
+        capsys.readouterr()
+
+
+class TestCliIntegration:
+    def test_scale_curves_command_writes_both_artifacts(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "curves.json"
+        md = tmp_path / "curves.md"
+        code = cli_main([
+            "--seed", "3", "scale-curves",
+            "--sizes", "64", "128", "256", "512",
+            "--lookups", "30", "--joins", "3",
+            "--churn-duration", "15", "--crashes", "2", "--restarts", "1",
+            "--json", "--out", str(out), "--md", str(md),
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sizes"] == [64, 128, 256, 512]
+        assert json.loads(out.read_text(encoding="utf-8")) == document
+        assert "# Scale-curve report" in md.read_text(encoding="utf-8")

@@ -196,26 +196,14 @@ class TestCheckProgress:
         assert not check_progress(bad)
 
 
-class TestDeprecatedShim:
-    """repro.analysis.tracing survives as a warning shim onto obs.spans."""
+class TestRemovedShim:
+    """repro.analysis.tracing was deleted; lint still flags stale imports."""
 
-    def test_shim_warns_and_reexports(self):
+    def test_shim_gone(self):
         import importlib
-        import sys
-        import warnings
 
-        sys.modules.pop("repro.analysis.tracing", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.analysis.tracing")
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert shim.explain_route is explain_route
-        assert shim.span_to_explanations is span_to_explanations
-        assert shim.check_progress is check_progress
-        assert shim.render_route is render_route
-        assert shim.RULE_LEAF == RULE_LEAF
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.analysis.tracing")
 
     def test_lint_knows_the_shim(self):
         from repro.lint.rules import DEPRECATED_MODULES
