@@ -12,6 +12,9 @@ most of its wall-clock in one of them:
 * ``routes_randomized``    -- randomized routing (C7);
 * ``lookups_replica_aware`` -- replica-aware lookups (C5);
 * ``engine_*_events`` -- bulk-scheduled discrete-event engine throughput;
+* ``live_socket_roundtrip`` -- routed request/response round-trips over
+  the asyncio TCP transport (frame encode, socket write, decode,
+  mailbox delivery -- the live wire's hot path);
 * ``node_state_bytes_per_node`` -- tracemalloc footprint of an
   oracle-built overlay, per node (bytes, not seconds).
 
@@ -65,6 +68,8 @@ FULL = {
     "engine_metric": "engine_million_events_s",
     "large_oracle_n": 65_536,  # timed once, no warm-up (cold start *is* the workload)
     "memory_n": 2048,
+    "socket_nodes": 24,
+    "socket_roundtrips": 500,
     "repeats": 3,
 }
 SMOKE = {
@@ -79,6 +84,8 @@ SMOKE = {
     "engine_metric": "engine_events_100000_s",
     "large_oracle_n": 0,  # skipped in smoke
     "memory_n": 2048,
+    "socket_nodes": 12,
+    "socket_roundtrips": 100,
     "repeats": 2,
 }
 
@@ -98,6 +105,43 @@ def _timed(workload: Callable[[], None], repeats: int) -> float:
 
 def _fresh_network(seed: int = 0) -> PastryNetwork:
     return PastryNetwork(rngs=RngRegistry(seed))
+
+
+def _timed_socket_roundtrips(count: int, nodes: int, repeats: int) -> float:
+    """Best-of-*repeats* for *count* routed round-trips over the asyncio
+    TCP transport.
+
+    The cluster bootstrap (listeners, joins) runs once outside the timed
+    region on a private event loop; each timed repetition is purely the
+    wire hot path -- encode, frame, socket write, read, decode, deliver,
+    and the reply leg back.
+    """
+    import asyncio
+
+    from repro.live.net import SocketTransport
+    from repro.live.storage import LiveStorageCluster
+
+    loop = asyncio.new_event_loop()
+    try:
+        cluster = LiveStorageCluster(seed=0, transport=SocketTransport())
+        loop.run_until_complete(cluster.start(nodes, join_concurrency=8))
+        rng = random.Random(7)
+        ids = cluster.live_ids()
+        pairs = [
+            (cluster.space.random_id(rng), ids[rng.randrange(len(ids))])
+            for _ in range(count)
+        ]
+
+        async def roundtrips() -> None:
+            for key, origin in pairs:
+                await cluster.route(key, origin)
+
+        elapsed = _timed(lambda: loop.run_until_complete(roundtrips()),
+                         repeats)
+        loop.run_until_complete(cluster.shutdown())
+        return elapsed
+    finally:
+        loop.close()
 
 
 def _routing_fixture(n: int) -> Tuple[PastryNetwork, List[Tuple[int, int]]]:
@@ -209,6 +253,14 @@ def run_suite(params: Dict[str, int]) -> Dict[str, float]:
 
     results[params["engine_metric"]] = _timed(engine_events, repeats)
 
+    # --- socket-transport round-trips --------------------------------- #
+    roundtrips = params["socket_roundtrips"]
+    if roundtrips:
+        results[f"live_socket_roundtrip_{roundtrips}_s"] = (
+            _timed_socket_roundtrips(roundtrips, params["socket_nodes"],
+                                     repeats)
+        )
+
     # --- per-node memory footprint (bytes, not seconds) --------------- #
     memory_n = params["memory_n"]
     tracemalloc.start()
@@ -241,7 +293,7 @@ def _print_results(results: Dict[str, float], label: str) -> None:
 
 def _ops_of(metric: str) -> int:
     """The workload size embedded in a metric name (0 if not meaningful)."""
-    if metric.startswith(("routes_", "lookups_")):
+    if metric.startswith(("routes_", "lookups_", "live_socket_roundtrip_")):
         return int(metric.rsplit("_", 2)[-2])
     return 0
 

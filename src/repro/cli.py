@@ -407,6 +407,69 @@ def _cmd_scale_curves(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    """Drive a live cluster with the 1:3 store:retrieve load harness.
+
+    Boots ``--nodes`` storage nodes over the asyncio TCP transport
+    (``--transport inproc`` falls back to the mailbox baseline), runs
+    the seeded load profile, and prints per-op p50/p95/p99 latencies
+    from the obs histograms.  ``--rate`` switches from the closed loop
+    (``--clients`` concurrent clients) to open-loop seeded Poisson
+    arrivals.  This is the CI smoke for the socket stack: it exits 0
+    only if the cluster built, every operation completed, and nothing
+    degraded.
+    """
+    import asyncio
+
+    from repro.live.net import SocketTransport
+    from repro.live.storage import LiveStorageCluster
+    from repro.workloads.load_harness import LoadHarness, LoadProfile
+
+    profile = LoadProfile(
+        clients=args.clients,
+        operations=args.ops,
+        arrival_rate=args.rate,
+        file_size=args.file_size,
+        replication_factor=args.k,
+    )
+
+    async def scenario():
+        transport = SocketTransport() if args.transport == "socket" else None
+        cluster = LiveStorageCluster(seed=args.seed, transport=transport)
+        await cluster.start(args.nodes,
+                            join_concurrency=args.join_concurrency)
+        harness = LoadHarness(cluster, profile, seed=args.seed)
+        report = await harness.run()
+        stats = {
+            "transport": args.transport,
+            "bytes_sent": getattr(cluster.transport, "bytes_sent", None),
+            "messages_sent": cluster.transport.messages_sent,
+        }
+        await cluster.shutdown()
+        return report, stats
+
+    report, stats = asyncio.run(scenario())
+    if args.json:
+        document = json.loads(report.to_json())
+        document["transport"] = stats
+        rendered = json.dumps(document, sort_keys=True, indent=2)
+    else:
+        rendered = report.format_text()
+        if stats["bytes_sent"] is not None:
+            rendered += (f"\n  wire: {stats['messages_sent']} messages, "
+                         f"{stats['bytes_sent']} frame bytes")
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(rendered)
+    degraded = sum(report.errors.values())
+    if degraded:
+        print(f"{degraded} operations degraded", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -539,6 +602,33 @@ def build_parser() -> argparse.ArgumentParser:
     curves.add_argument("--md", type=str, default=None,
                         help="write the markdown report here")
     curves.set_defaults(handler=_cmd_scale_curves)
+
+    load = commands.add_parser(
+        "load",
+        help="load-test a live cluster over real sockets: 1:3 "
+             "store:retrieve mix, p50/p95/p99 latency report",
+    )
+    load.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    load.add_argument("--nodes", type=int, default=32)
+    load.add_argument("--clients", type=int, default=8,
+                      help="closed-loop concurrent clients")
+    load.add_argument("--ops", type=int, default=200,
+                      help="total operations (stores + retrieves)")
+    load.add_argument("--rate", type=float, default=0.0,
+                      help="> 0: open-loop Poisson arrivals at this "
+                           "rate (ops/s) instead of the closed loop")
+    load.add_argument("--file-size", type=int, default=2048,
+                      help="bytes of real content per stored file")
+    load.add_argument("--k", type=int, default=3,
+                      help="replication factor for stores")
+    load.add_argument("--join-concurrency", type=int, default=8)
+    load.add_argument("--transport", choices=["socket", "inproc"],
+                      default="socket")
+    load.add_argument("--json", action="store_true",
+                      help="emit the latency report as JSON")
+    load.add_argument("--out", type=str, default=None,
+                      help="also write the report to this path")
+    load.set_defaults(handler=_cmd_load)
 
     return parser
 

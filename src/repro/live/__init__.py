@@ -12,7 +12,11 @@ messages over in-process queues:
   latency, message counting, and delivery failure to dead nodes;
 * :mod:`repro.live.cluster` -- the node task (message loop: route,
   join, state exchange, announce) and the cluster orchestrator that
-  bootstraps overlays with *concurrent* joins.
+  bootstraps overlays with *concurrent* joins;
+* :mod:`repro.live.net` -- the same ``send()`` contract over real
+  localhost TCP sockets (length-prefixed JSON frames, per-peer
+  connection pool, bounded send queues), proven behaviourally
+  equivalent by the seeded conformance suite.
 
 The protocols are byte-compatible with the synchronous simulator: the
 integration tests assert that a live-built overlay routes every sampled
@@ -20,6 +24,18 @@ key to the same ground-truth root.
 """
 
 from repro.live.cluster import LiveCluster, LiveNode
-from repro.live.transport import InProcessTransport, Message
+from repro.live.transport import (
+    InProcessTransport,
+    Message,
+    SendResult,
+    TransportBase,
+)
 
-__all__ = ["LiveCluster", "LiveNode", "InProcessTransport", "Message"]
+__all__ = [
+    "LiveCluster",
+    "LiveNode",
+    "InProcessTransport",
+    "Message",
+    "SendResult",
+    "TransportBase",
+]

@@ -111,15 +111,24 @@ class LiveNode:
     # helpers
     # ------------------------------------------------------------------ #
 
-    async def _send(self, destination: int, message: Message) -> bool:
-        """Send, treating failure as discovery of the peer's death."""
+    async def _send(self, destination: int, message: Message):
+        """Send; a *dead-peer* result is the discovery of that death.
+
+        Only ``peer_dead`` outcomes forget the destination: a send that
+        merely timed out under backpressure (``timed_out``) may have a
+        live-but-slow peer behind it, and treating it as a death used to
+        turn load spikes into false failure cascades (every slow send
+        purged a healthy peer from the sender's state).  The returned
+        :class:`~repro.live.transport.SendResult` is truthy iff the
+        message was accepted towards the wire.
+        """
         obs = self.cluster.obs
         if obs.enabled:
             obs.metrics.counter("live.messages", kind=message.kind).increment()
-        delivered = await self.cluster.transport.send(destination, message)
-        if not delivered:
+        result = await self.cluster.transport.send(destination, message)
+        if result.peer_dead:
             self.state.forget(destination)
-        return delivered
+        return result
 
     def _trace_child(self, header: str, *qualifiers: object) -> TraceContext:
         """Derive this node's next child context under *header*.
@@ -354,6 +363,7 @@ class LiveCluster:
         observer: Optional[Observer] = None,
         fault_plan=None,
         retry: Optional[RetryPolicy] = None,
+        transport=None,
     ) -> None:
         self.space = space if space is not None else IdSpace(128, 4)
         self.rngs = RngRegistry(seed)
@@ -371,7 +381,14 @@ class LiveCluster:
         # *fault_plan* threads message-level chaos through the transport;
         # *retry* is the backoff discipline every client-facing operation
         # runs under (one-shot waits were how lost replies used to hang).
-        self.transport = InProcessTransport(faults=fault_plan)
+        # *transport* swaps the wire implementation (the asyncio TCP
+        # transport in repro.live.net, say) -- the cluster, retry layer,
+        # fault plan, tracing and ledger all run unchanged over it.
+        if transport is None:
+            transport = InProcessTransport(faults=fault_plan)
+        elif fault_plan is not None:
+            transport.faults = fault_plan
+        self.transport = transport
         self.retry = retry if retry is not None else RetryPolicy()
         self._backoff_rng = self.rngs.stream("retry-backoff")
         # Trace ids are drawn from their own stream so adding/removing
@@ -468,17 +485,24 @@ class LiveCluster:
             await self._quiesce()
 
     async def _quiesce(self, settle_checks: int = 3) -> None:
-        """Wait until every mailbox has been empty for a few checks."""
+        """Wait until the transport has been idle for a few checks.
+
+        ``idle()`` covers mailboxes *and* whatever in-flight state the
+        transport tracks (socket send queues, un-delivered frames), so
+        the settle loop does not declare quiet while bytes are still on
+        the wire.
+        """
         clear = 0
         while clear < settle_checks:
             await asyncio.sleep(0.005)
-            if all(q.empty() for q in self.transport._mailboxes.values()):
+            if self.transport.idle():
                 clear += 1
             else:
                 clear = 0
 
     async def shutdown(self) -> None:
         await asyncio.gather(*(node.stop() for node in self.nodes.values()))
+        await self.transport.aclose()
 
     def kill(self, node_id: int) -> None:
         """Silent failure: the node stops responding; peers discover it

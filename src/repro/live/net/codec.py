@@ -1,0 +1,173 @@
+"""JSON codec for live-layer messages.
+
+The in-process transport hands :class:`~repro.live.transport.Message`
+objects across by reference, so payloads could carry anything.  The wire
+cannot: everything must serialize.  The live protocols use plain JSON
+values (arbitrary-precision ints are fine -- Python's ``json`` round-trips
+them exactly) plus a small closed set of domain objects, each encoded as
+a tagged JSON object under the ``"__past__"`` key:
+
+===================  =====================================================
+tag                  object
+===================  =====================================================
+``bytes``            raw bytes (base64)
+``synthetic-data``   :class:`repro.core.files.SyntheticData` -- (seed, size)
+``real-data``        :class:`repro.core.files.RealData` -- bytes (base64)
+``public-key``       :class:`repro.crypto.keys.PublicKey`, either backend
+``signed-envelope``  :class:`repro.crypto.signatures.SignedEnvelope`
+``file-certificate`` :class:`repro.core.certificates.FileCertificate`
+===================  =====================================================
+
+Anything outside this set raises :class:`CodecError` at *encode* time --
+a new protocol message with an unserializable payload fails loudly in the
+sender's test, not as a mysterious decode error on the peer.
+
+One normalization is deliberate: **tuples become lists** (JSON has no
+tuple).  The protocols only use tuples as positional pairs that are
+iterated, never as dict keys or identity-compared values, so the
+normalization is harmless -- and the conformance suite runs the full
+insert/lookup protocol over both transports to prove it.
+
+Note on sizes: a :class:`SyntheticData` payload crosses the wire as its
+(seed, size) *description*, not its materialized bytes -- that is the
+point of synthetic content.  Byte-realistic load (and real-frame ledger
+pricing) therefore uses :class:`RealData`, as the load harness does.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from repro.core.certificates import FileCertificate
+from repro.core.files import RealData, SyntheticData
+from repro.crypto.keys import PublicKey, _FastPublicKey
+from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.signatures import SignedEnvelope
+from repro.live.transport import Message
+
+TAG = "__past__"
+
+
+class CodecError(ValueError):
+    """A value cannot be encoded, or a frame cannot be decoded."""
+
+
+def _encode_obj(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_encode_obj(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"non-string dict key on the wire: {key!r}")
+            if key == TAG:
+                raise CodecError(f"payload key {TAG!r} collides with the codec tag")
+            out[key] = _encode_obj(item)
+        return out
+    if isinstance(value, bytes):
+        return {TAG: "bytes", "b64": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, SyntheticData):
+        return {TAG: "synthetic-data", "seed": value.seed, "size": value.size}
+    if isinstance(value, RealData):
+        return {TAG: "real-data",
+                "b64": base64.b64encode(value.to_bytes()).decode("ascii")}
+    if isinstance(value, FileCertificate):
+        return {TAG: "file-certificate",
+                "envelope": _encode_obj(value.envelope)}
+    if isinstance(value, SignedEnvelope):
+        return {
+            TAG: "signed-envelope",
+            "kind": value.kind,
+            "fields": _encode_obj(dict(value.fields)),
+            "signer": _encode_obj(value.signer),
+            "signature": value.signature,
+        }
+    if isinstance(value, PublicKey):
+        impl = value._impl
+        if isinstance(impl, _FastPublicKey):
+            return {TAG: "public-key", "backend": "fast",
+                    "secret": impl.secret.hex()}
+        if isinstance(impl, RsaPublicKey):
+            return {TAG: "public-key", "backend": "rsa",
+                    "n": impl.n, "e": impl.e}
+        raise CodecError(f"unknown public-key backend: {type(impl).__name__}")
+    raise CodecError(f"cannot serialize {type(value).__name__} on the wire")
+
+
+def _decode_obj(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode_obj(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get(TAG)
+    if tag is None:
+        return {key: _decode_obj(item) for key, item in value.items()}
+    try:
+        if tag == "bytes":
+            return base64.b64decode(value["b64"])
+        if tag == "synthetic-data":
+            return SyntheticData(seed=value["seed"], size=value["size"])
+        if tag == "real-data":
+            return RealData(base64.b64decode(value["b64"]))
+        if tag == "file-certificate":
+            return FileCertificate(envelope=_decode_obj(value["envelope"]))
+        if tag == "signed-envelope":
+            return SignedEnvelope(
+                kind=value["kind"],
+                fields=_decode_obj(value["fields"]),
+                signer=_decode_obj(value["signer"]),
+                signature=value["signature"],
+            )
+        if tag == "public-key":
+            if value["backend"] == "fast":
+                return PublicKey(_FastPublicKey(secret=bytes.fromhex(value["secret"])))
+            if value["backend"] == "rsa":
+                return PublicKey(RsaPublicKey(n=value["n"], e=value["e"]))
+            raise CodecError(f"unknown public-key backend tag: {value['backend']!r}")
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise CodecError(f"malformed {tag!r} object on the wire: {exc}") from exc
+    raise CodecError(f"unknown wire tag: {tag!r}")
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize one message into a frame payload (compact, sorted keys,
+    so identical messages encode to identical bytes)."""
+    body = {
+        "kind": message.kind,
+        "sender": message.sender,
+        "payload": _encode_obj(message.payload),
+        "message_id": message.message_id,
+    }
+    if message.traceparent is not None:
+        body["traceparent"] = message.traceparent
+    try:
+        return json.dumps(body, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"unencodable message {message.kind!r}: {exc}") from exc
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse one frame payload back into a :class:`Message`."""
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise CodecError("frame payload is not a JSON object")
+    try:
+        return Message(
+            kind=body["kind"],
+            sender=body["sender"],
+            payload=_decode_obj(body["payload"]),
+            message_id=body.get("message_id", 0),
+            traceparent=body.get("traceparent"),
+        )
+    except KeyError as exc:
+        raise CodecError(f"frame payload missing field: {exc}") from exc

@@ -1,23 +1,44 @@
-"""In-process asyncio transport: mailboxes, latency, failures, faults.
+"""Live transports: the ``send()`` contract and the in-process baseline.
 
-Each node owns an ``asyncio.Queue`` mailbox.  ``send`` optionally sleeps
-a latency drawn from a latency model before enqueueing, so messages
-genuinely overtake each other when routes differ -- the concurrency the
-live tests exercise.  Sends to unregistered or dead addresses fail
-(return False), which is how a live node discovers a peer's death.
+The live layer speaks to its peers through a *transport* -- an object
+with one asynchronous delivery primitive (:meth:`TransportBase.send`)
+plus registration, liveness marking and mailbox receive.  Two
+implementations share the contract:
 
-A :class:`~repro.faults.plan.FaultPlan` can be attached (construction
-or later, via the public ``faults`` attribute) to inject message-level
-chaos: drops (silent loss -- the send *appears* to succeed, unlike a
-dead peer, so only a timeout reveals it), duplicates, extra delay, and
-reorders (deferred enqueue that lets later messages overtake).
+* :class:`InProcessTransport` (here) -- mailbox-per-node queues with
+  optional modelled latency: the deterministic baseline every
+  conformance test compares against;
+* :class:`repro.live.net.SocketTransport` -- real asyncio TCP over
+  localhost with length-prefixed JSON frames, a per-peer connection
+  pool and bounded send queues (backpressure).
 
-Every message carries an optional W3C-style ``traceparent`` header
-(:mod:`repro.obs.trace_context`).  When a :class:`TraceCollector` is
-attached (the cluster wires its observer's in), the transport records a
-point span for each fault it injects on a traced message -- so a trace
-of a failed insert shows *where* the wire swallowed, duplicated or
-reordered it, not just that a retry eventually fired.
+``send`` returns a typed :class:`SendResult`, not a bare bool, because
+three different failures used to collapse into one falsy value:
+
+* **dead peer** (connection refused / marked dead): the sender has
+  *discovered a death* and should forget the peer;
+* **timeout** (send queue full under backpressure, or the wire stalled):
+  the peer may be alive but slow -- forgetting it would amplify load
+  spikes into false failure cascades;
+* **injected drop** (a :class:`~repro.faults.plan.FaultPlan` swallowed
+  the message): the send *appears* to succeed -- only a missing reply
+  reveals it, which is what the retry/backoff layer handles.
+
+``SendResult`` is truthy exactly when the message was accepted towards
+the wire (delivered, or silently dropped by an injected fault), so
+pre-existing ``if not await send(...)`` call sites keep their meaning;
+callers that need the distinction read ``.status`` / ``.peer_dead`` /
+``.timed_out``.
+
+A :class:`FaultPlan` can be attached (construction or later, via the
+public ``faults`` attribute) to inject message-level chaos: drops,
+duplicates, extra delay, and reorders.  Every message carries an
+optional W3C-style ``traceparent`` header; when a ``TraceCollector``
+is attached the transport records a point span for each fault it
+injects on a traced message.  When a ``CostLedger`` is attached every
+send is charged -- the in-process transport prices by the wire-size
+model (real payload bytes for data-bearing messages), the socket
+transport by the *actual* encoded frame length.
 """
 
 from __future__ import annotations
@@ -30,6 +51,51 @@ from typing import Dict, Optional, Set
 from repro.netsim.latency import LatencyModel
 from repro.obs.cost_model import ID_BYTES, WIRE_HEADER_BYTES
 from repro.obs.trace_context import TraceCollector, TraceContext
+
+# SendResult.status values.  DELIVERED/DROPPED are "accepted" (truthy);
+# DEAD/UNKNOWN mean the sender just discovered the peer is unreachable;
+# TIMEOUT means the wire did not accept the message in time -- the peer
+# may be alive (backpressure), so it must NOT be treated as a death.
+SEND_DELIVERED = "delivered"
+SEND_DROPPED = "injected-drop"
+SEND_DEAD = "dead-peer"
+SEND_UNKNOWN = "unknown-peer"
+SEND_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class SendResult:
+    """The typed outcome of one :meth:`TransportBase.send` call."""
+
+    status: str
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """The message went towards the wire (even if a fault ate it)."""
+        return self.status in (SEND_DELIVERED, SEND_DROPPED)
+
+    @property
+    def peer_dead(self) -> bool:
+        """The peer is known unreachable: forget it and repair."""
+        return self.status in (SEND_DEAD, SEND_UNKNOWN)
+
+    @property
+    def timed_out(self) -> bool:
+        """The wire stalled (backpressure); liveness is *unknown*."""
+        return self.status == SEND_TIMEOUT
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+# Pre-built results for the hot path (SendResult is frozen, so sharing
+# instances is safe); sites with a useful detail build their own.
+RESULT_DELIVERED = SendResult(SEND_DELIVERED)
+RESULT_DROPPED = SendResult(SEND_DROPPED)
+RESULT_DEAD = SendResult(SEND_DEAD)
+RESULT_UNKNOWN = SendResult(SEND_UNKNOWN)
+RESULT_TIMEOUT = SendResult(SEND_TIMEOUT)
 
 
 @dataclass
@@ -59,20 +125,18 @@ class Message:
         return model.bytes_of(self.kind)
 
 
-class InProcessTransport:
-    """Mailbox-per-node message passing with failure semantics."""
+class TransportBase:
+    """Shared liveness/fault/observability plumbing for live transports.
 
-    def __init__(self, latency: Optional[LatencyModel] = None,
-                 latency_scale: float = 0.001,
-                 faults=None) -> None:
-        """*latency_scale* converts latency-model units into seconds of
-        real asyncio sleep (keep it small; the point is ordering, not
-        wall-clock realism).  *faults* is an optional
-        :class:`~repro.faults.plan.FaultPlan` consulted per send."""
+    Subclasses implement :meth:`send`; everything else -- registration
+    bookkeeping, the dead set, fault tracing, counters, the mailbox
+    receive side -- is common.  Both shipped transports deliver into
+    per-address ``asyncio.Queue`` mailboxes, so ``receive`` lives here.
+    """
+
+    def __init__(self, faults=None) -> None:
         self._mailboxes: Dict[int, asyncio.Queue] = {}
         self._dead: Set[int] = set()
-        self._latency = latency
-        self._latency_scale = latency_scale
         self.faults = faults
         # Optional TraceCollector: injected faults on traced messages
         # are recorded as point spans under the message's context.
@@ -90,14 +154,21 @@ class InProcessTransport:
         self.faults_reordered = 0
         self.faults_delayed = 0
 
+    # ------------------------------------------------------------------ #
+    # registration and liveness
+    # ------------------------------------------------------------------ #
+
     def register(self, address: int) -> asyncio.Queue:
         """Create the mailbox for a new node."""
         if address in self._mailboxes:
             raise ValueError(f"address {address} already registered")
-        queue: asyncio.Queue = asyncio.Queue()
+        queue = self._make_mailbox()
         self._mailboxes[address] = queue
         self._dead.discard(address)
         return queue
+
+    def _make_mailbox(self) -> asyncio.Queue:
+        return asyncio.Queue()
 
     def mark_dead(self, address: int) -> None:
         """Future sends to *address* fail (the node stops responding)."""
@@ -109,80 +180,40 @@ class InProcessTransport:
     def is_dead(self, address: int) -> bool:
         return address in self._dead
 
-    async def send(self, destination: int, message: Message) -> bool:
-        """Deliver *message*; False if the destination is dead/unknown.
+    # ------------------------------------------------------------------ #
+    # contract
+    # ------------------------------------------------------------------ #
 
-        The failure is reported to the *sender* (models a timeout /
-        connection refusal), which is what triggers repair in the node
-        runtime.  An injected *drop* instead returns True without
-        delivering -- a lost packet looks like success until no reply
-        arrives, which is what the retry/backoff layer handles.
+    async def send(self, destination: int, message: Message) -> SendResult:
+        raise NotImplementedError
+
+    async def receive(self, address: int, timeout: Optional[float] = None) -> Optional[Message]:
+        """Next message for *address*, or None on timeout."""
+        queue = self._mailboxes[address]
+        if timeout is None:
+            return await queue.get()
+        try:
+            return await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    def idle(self) -> bool:
+        """No undelivered traffic anywhere the transport can see.
+
+        The cluster's quiesce loop polls this between settle checks;
+        transports with genuinely in-flight bytes (socket buffers, send
+        queues) extend it so "every mailbox is empty" is not mistaken
+        for "the wire is silent".
         """
-        message.message_id = next(self._sequence)
-        ledger = self.ledger
-        if ledger is not None:
-            # The sender spends the bytes whether or not the destination
-            # answers (a refused/dropped message still crossed the wire).
-            ledger.charge(
-                message.kind,
-                node=message.sender,
-                size=message.wire_bytes(ledger.model),
-            )
-        if destination in self._dead or destination not in self._mailboxes:
-            self.messages_dropped += 1
-            return False
-        fault = None
-        if self.faults is not None:
-            fault = self.faults.message_fault(message.sender, destination)
-            if fault is not None and fault.drop:
-                self.faults_dropped += 1
-                self._trace_fault(message, destination, "drop")
-                return True
-            if fault is not None:
-                if fault.duplicate:
-                    self._trace_fault(message, destination, "duplicate")
-                if fault.delay > 0:
-                    self._trace_fault(message, destination, "delay",
-                                      amount=fault.delay)
-                if fault.defer > 0:
-                    self._trace_fault(message, destination, "reorder",
-                                      amount=fault.defer)
-        if self._latency is not None:
-            delay = self._latency.delay(message.sender, destination)
-            if delay > 0:
-                await asyncio.sleep(delay * self._latency_scale)
-            # Re-check: the destination may have died mid-flight.
-            if destination in self._dead:
-                self.messages_dropped += 1
-                return False
-        if fault is not None and fault.delay > 0:
-            self.faults_delayed += 1
-            await asyncio.sleep(fault.delay * self._latency_scale)
-            if destination in self._dead:
-                self.messages_dropped += 1
-                return False
-        self.messages_sent += 1
-        queue = self._mailboxes[destination]
-        if fault is not None and fault.defer > 0:
-            # Reorder: enqueue later without blocking the sender, so
-            # messages sent after this one genuinely overtake it.
-            self.faults_reordered += 1
-            asyncio.get_running_loop().call_later(
-                fault.defer * self._latency_scale, queue.put_nowait, message
-            )
-        else:
-            queue.put_nowait(message)
-        if fault is not None and fault.duplicate:
-            self.faults_duplicated += 1
-            if ledger is not None:
-                # The duplicate is a second copy on the wire.
-                ledger.charge(
-                    message.kind,
-                    node=message.sender,
-                    size=message.wire_bytes(ledger.model),
-                )
-            queue.put_nowait(message)
-        return True
+        return all(queue.empty() for queue in self._mailboxes.values())
+
+    async def aclose(self) -> None:
+        """Release transport resources (servers, connections).  The
+        in-process baseline holds none; the socket transport overrides."""
+
+    # ------------------------------------------------------------------ #
+    # fault tracing
+    # ------------------------------------------------------------------ #
 
     def _trace_fault(self, message: Message, destination: int,
                      fault: str, amount: float = 0.0) -> None:
@@ -205,12 +236,104 @@ class InProcessTransport:
             **attributes,
         )
 
-    async def receive(self, address: int, timeout: Optional[float] = None) -> Optional[Message]:
-        """Next message for *address*, or None on timeout."""
-        queue = self._mailboxes[address]
-        if timeout is None:
-            return await queue.get()
-        try:
-            return await asyncio.wait_for(queue.get(), timeout)
-        except asyncio.TimeoutError:
-            return None
+
+class InProcessTransport(TransportBase):
+    """Mailbox-per-node message passing with failure semantics.
+
+    Each node owns an ``asyncio.Queue`` mailbox.  ``send`` optionally
+    sleeps a latency drawn from a latency model before enqueueing, so
+    messages genuinely overtake each other when routes differ -- the
+    concurrency the live tests exercise.  Sends to unregistered or dead
+    addresses fail (``SendResult.peer_dead``), which is how a live node
+    discovers a peer's death.
+    """
+
+    def __init__(self, latency: Optional[LatencyModel] = None,
+                 latency_scale: float = 0.001,
+                 faults=None) -> None:
+        """*latency_scale* converts latency-model units into seconds of
+        real asyncio sleep (keep it small; the point is ordering, not
+        wall-clock realism).  *faults* is an optional
+        :class:`~repro.faults.plan.FaultPlan` consulted per send."""
+        super().__init__(faults=faults)
+        self._latency = latency
+        self._latency_scale = latency_scale
+
+    async def send(self, destination: int, message: Message) -> SendResult:
+        """Deliver *message*; ``peer_dead`` if the destination is
+        dead/unknown.
+
+        The failure is reported to the *sender* (models a timeout /
+        connection refusal), which is what triggers repair in the node
+        runtime.  An injected *drop* instead returns an accepted result
+        without delivering -- a lost packet looks like success until no
+        reply arrives, which is what the retry/backoff layer handles.
+        """
+        message.message_id = next(self._sequence)
+        ledger = self.ledger
+        if ledger is not None:
+            # The sender spends the bytes whether or not the destination
+            # answers (a refused/dropped message still crossed the wire).
+            ledger.charge(
+                message.kind,
+                node=message.sender,
+                size=message.wire_bytes(ledger.model),
+            )
+        if destination in self._dead:
+            self.messages_dropped += 1
+            return RESULT_DEAD
+        if destination not in self._mailboxes:
+            self.messages_dropped += 1
+            return RESULT_UNKNOWN
+        fault = None
+        if self.faults is not None:
+            fault = self.faults.message_fault(message.sender, destination)
+            if fault is not None and fault.drop:
+                self.faults_dropped += 1
+                self._trace_fault(message, destination, "drop")
+                return RESULT_DROPPED
+            if fault is not None:
+                if fault.duplicate:
+                    self._trace_fault(message, destination, "duplicate")
+                if fault.delay > 0:
+                    self._trace_fault(message, destination, "delay",
+                                      amount=fault.delay)
+                if fault.defer > 0:
+                    self._trace_fault(message, destination, "reorder",
+                                      amount=fault.defer)
+        if self._latency is not None:
+            delay = self._latency.delay(message.sender, destination)
+            if delay > 0:
+                await asyncio.sleep(delay * self._latency_scale)
+            # Re-check: the destination may have died mid-flight.
+            if destination in self._dead:
+                self.messages_dropped += 1
+                return RESULT_DEAD
+        if fault is not None and fault.delay > 0:
+            self.faults_delayed += 1
+            await asyncio.sleep(fault.delay * self._latency_scale)
+            if destination in self._dead:
+                self.messages_dropped += 1
+                return RESULT_DEAD
+        self.messages_sent += 1
+        queue = self._mailboxes[destination]
+        if fault is not None and fault.defer > 0:
+            # Reorder: enqueue later without blocking the sender, so
+            # messages sent after this one genuinely overtake it.
+            self.faults_reordered += 1
+            asyncio.get_running_loop().call_later(
+                fault.defer * self._latency_scale, queue.put_nowait, message
+            )
+        else:
+            queue.put_nowait(message)
+        if fault is not None and fault.duplicate:
+            self.faults_duplicated += 1
+            if ledger is not None:
+                # The duplicate is a second copy on the wire.
+                ledger.charge(
+                    message.kind,
+                    node=message.sender,
+                    size=message.wire_bytes(ledger.model),
+                )
+            queue.put_nowait(message)
+        return RESULT_DELIVERED

@@ -10,7 +10,9 @@ results depend on:
 * heterogeneous node storage capacities
   (:mod:`repro.workloads.capacities`);
 * skewed request popularity (Zipf, :mod:`repro.workloads.popularity`);
-* node churn schedules (:mod:`repro.workloads.churn`).
+* node churn schedules (:mod:`repro.workloads.churn`);
+* a Locust-style live-cluster load harness
+  (:mod:`repro.workloads.load_harness`).
 """
 
 from repro.workloads.capacities import (
@@ -24,6 +26,7 @@ from repro.workloads.filesizes import (
     ParetoSizes,
     TraceLikeSizes,
 )
+from repro.workloads.load_harness import LoadHarness, LoadProfile, LoadReport
 from repro.workloads.popularity import ZipfPopularity, request_stream
 
 __all__ = [
@@ -37,4 +40,7 @@ __all__ = [
     "request_stream",
     "ChurnEvent",
     "poisson_churn_schedule",
+    "LoadHarness",
+    "LoadProfile",
+    "LoadReport",
 ]

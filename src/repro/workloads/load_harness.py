@@ -1,0 +1,336 @@
+"""Locust-style load generator for the live storage cluster.
+
+Drives a :class:`~repro.live.storage.LiveStorageCluster` -- over either
+transport, though the point is the socket one -- with a seeded stream of
+PAST operations in the canonical **1:3 store:retrieve mix**, and reports
+p50/p95/p99 latencies per operation from the obs histograms.
+
+Two driving modes, the standard load-testing pair:
+
+* **closed loop** (default): ``clients`` concurrent clients, each
+  issuing its next operation as soon as the previous one completes --
+  concurrency is fixed, arrival rate adapts to service rate.  With an
+  operation budget the schedule is *deterministic per seed*: each
+  client owns a pre-generated op sequence drawn from its own seeded rng
+  stream, so which operations run, on which files, from which origins
+  is independent of scheduling interleave (latencies, of course, are
+  not -- determinism claims are about the schedule and its results).
+* **open loop** (``arrival_rate > 0``): operations fire at seeded
+  exponential inter-arrival times regardless of completions -- fixed
+  offered load, unbounded concurrency, the mode that surfaces queueing
+  collapse (Kong et al.'s latency-SLO methodology).
+
+Determinism rules (enforced by the repo linter on ``workloads/``): no
+wall-clock reads -- latencies come from an injected monotonic *clock*
+(defaulting to the running loop's clock); all randomness from rngs
+seeded off the harness seed.
+
+Every store inserts fresh :class:`~repro.core.files.RealData` content
+(real bytes, not a synthetic size description), so over the socket
+transport the cost ledger's real-frame pricing and the wire itself
+carry genuine payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import DegradedError
+from repro.core.files import RealData
+from repro.core.smartcard import make_uncertified_card
+from repro.sim.rng import stable_seed
+
+OP_STORE = "store"
+OP_RETRIEVE = "retrieve"
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of the offered load."""
+
+    clients: int = 8
+    operations: int = 200
+    #: store:retrieve weights; the PAST evaluation's canonical 1:3 mix.
+    store_weight: int = 1
+    retrieve_weight: int = 3
+    #: > 0 switches to open-loop arrivals at this rate (ops/second);
+    #: ``clients`` is then ignored.
+    arrival_rate: float = 0.0
+    #: Bytes of RealData per stored file.
+    file_size: int = 2048
+    replication_factor: int = 3
+    #: Files inserted (uncounted) before the run so the first retrieves
+    #: have something to find.
+    warmup_files: int = 8
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise ValueError("operations must be >= 1")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.store_weight < 0 or self.retrieve_weight < 0 \
+                or self.store_weight + self.retrieve_weight == 0:
+            raise ValueError("mix weights must be non-negative, not both zero")
+        if self.warmup_files < 1 and self.retrieve_weight > 0:
+            raise ValueError("retrieves need at least one warmup file")
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced.
+
+    ``signature()`` is the deterministic slice -- what ran and what it
+    returned, no timing -- which two same-seed runs must agree on.
+    """
+
+    seed: int
+    mode: str
+    clients: int
+    wall_seconds: float = 0.0
+    ops: Dict[str, dict] = field(default_factory=dict)
+    errors: Dict[str, int] = field(default_factory=dict)
+    outcomes: List[str] = field(default_factory=list)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(op["count"] for op in self.ops.values())
+
+    @property
+    def store_fraction(self) -> float:
+        total = self.total_operations
+        store = self.ops.get(OP_STORE, {}).get("count", 0)
+        return store / total if total else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.total_operations / self.wall_seconds \
+            if self.wall_seconds > 0 else 0.0
+
+    def signature(self) -> dict:
+        """The schedule-and-results fingerprint (timing-free)."""
+        return {
+            "seed": self.seed,
+            "mode": self.mode,
+            "outcomes": sorted(self.outcomes),
+            "errors": dict(sorted(self.errors.items())),
+        }
+
+    def to_json(self) -> str:
+        body = {
+            "seed": self.seed,
+            "mode": self.mode,
+            "clients": self.clients,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_ops_per_s": round(self.throughput, 2),
+            "store_fraction": round(self.store_fraction, 4),
+            "ops": self.ops,
+            "errors": self.errors,
+        }
+        return json.dumps(body, indent=2, sort_keys=True)
+
+    def format_text(self) -> str:
+        lines = [
+            f"load run: seed={self.seed} mode={self.mode} "
+            f"clients={self.clients}",
+            f"  {self.total_operations} ops in {self.wall_seconds:.2f}s "
+            f"({self.throughput:.1f} ops/s), "
+            f"store fraction {self.store_fraction:.2f}",
+        ]
+        for op in sorted(self.ops):
+            stats = self.ops[op]
+            lines.append(
+                f"  {op:9s} n={stats['count']:5d} ok={stats['ok']:5d}  "
+                f"p50={stats['p50_ms']:8.2f}ms  "
+                f"p95={stats['p95_ms']:8.2f}ms  "
+                f"p99={stats['p99_ms']:8.2f}ms"
+            )
+        if self.errors:
+            lines.append(f"  errors: {self.errors}")
+        return "\n".join(lines)
+
+
+class LoadHarness:
+    """Run one load profile against a started storage cluster."""
+
+    def __init__(self, cluster, profile: Optional[LoadProfile] = None,
+                 seed: int = 0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.cluster = cluster
+        self.profile = profile if profile is not None else LoadProfile()
+        self.seed = seed
+        self._clock = clock
+        card_rng = random.Random(stable_seed(seed, "load-card"))
+        self._card = make_uncertified_card(
+            card_rng, usage_quota=1 << 50, backend="insecure_fast"
+        )
+        #: file_ids successfully stored, shared retrieve population.
+        self._stored: List[int] = []
+        self._name_sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # operation construction
+    # ------------------------------------------------------------------ #
+
+    def _fresh_file(self, rng: random.Random):
+        """A new certificate + RealData pair (unique name per harness)."""
+        self._name_sequence += 1
+        name = f"load-{self.seed}-{self._name_sequence}"
+        content_rng = random.Random(
+            stable_seed(self.seed, "content", self._name_sequence)
+        )
+        data = RealData(content_rng.randbytes(self.profile.file_size))
+        certificate = self._card.issue_file_certificate(
+            name, data, self.profile.replication_factor,
+            salt=self._name_sequence, insertion_date=0,
+        )
+        return certificate, data
+
+    async def _run_op(self, kind: str, rng: random.Random,
+                      report: LoadReport,
+                      histograms: Dict[str, list]) -> None:
+        origin = rng.choice(self.cluster.live_ids())
+        clock = self._clock
+        try:
+            if kind == OP_STORE:
+                certificate, data = self._fresh_file(rng)
+                start = clock()
+                result = await self.cluster.insert(certificate, data, origin)
+                elapsed = clock() - start
+                ok = bool(result.get("success"))
+                if ok:
+                    self._stored.append(certificate.file_id)
+            else:
+                file_id = rng.choice(self._stored)
+                start = clock()
+                result = await self.cluster.lookup(file_id, origin)
+                elapsed = clock() - start
+                ok = result.get("data") is not None
+            histograms[kind].append(elapsed)
+            report.outcomes.append(f"{kind}:{'ok' if ok else 'miss'}")
+        except DegradedError:
+            report.errors[kind] = report.errors.get(kind, 0) + 1
+            report.outcomes.append(f"{kind}:degraded")
+
+    def _op_sequence(self) -> List[str]:
+        """The run's exact op multiset in seeded-shuffled order.
+
+        The mix is honored *exactly* (up to rounding), not just in
+        expectation -- per-op sampling at small N drifts several sigma
+        from 1:3, which would make the mix assertion flaky.
+        """
+        profile = self.profile
+        total_weight = profile.store_weight + profile.retrieve_weight
+        stores = round(profile.operations * profile.store_weight / total_weight)
+        ops = [OP_STORE] * stores \
+            + [OP_RETRIEVE] * (profile.operations - stores)
+        rng = random.Random(stable_seed(self.seed, "mix"))
+        rng.shuffle(ops)
+        return ops
+
+    def _schedules(self) -> List[List[str]]:
+        """The op sequence dealt round-robin to clients: deterministic
+        per seed and interleave-independent."""
+        ops = self._op_sequence()
+        return [ops[client::self.profile.clients]
+                for client in range(self.profile.clients)]
+
+    # ------------------------------------------------------------------ #
+    # driving loops
+    # ------------------------------------------------------------------ #
+
+    async def run(self) -> LoadReport:
+        profile = self.profile
+        if self._clock is None:
+            self._clock = asyncio.get_running_loop().time
+        open_loop = profile.arrival_rate > 0
+        report = LoadReport(
+            seed=self.seed,
+            mode="open" if open_loop else "closed",
+            clients=1 if open_loop else profile.clients,
+        )
+        histograms: Dict[str, list] = {OP_STORE: [], OP_RETRIEVE: []}
+
+        warmup_rng = random.Random(stable_seed(self.seed, "warmup"))
+        for _ in range(profile.warmup_files):
+            certificate, data = self._fresh_file(warmup_rng)
+            origin = warmup_rng.choice(self.cluster.live_ids())
+            result = await self.cluster.insert(certificate, data, origin)
+            if result.get("success"):
+                self._stored.append(certificate.file_id)
+        if not self._stored and profile.retrieve_weight > 0:
+            raise RuntimeError("warmup stored nothing; cluster unhealthy")
+
+        start = self._clock()
+        if open_loop:
+            await self._run_open_loop(report, histograms)
+        else:
+            await self._run_closed_loop(report, histograms)
+        report.wall_seconds = self._clock() - start
+        self._summarise(report, histograms)
+        return report
+
+    async def _run_closed_loop(self, report: LoadReport,
+                               histograms: Dict[str, list]) -> None:
+        async def client(index: int, schedule: List[str]) -> None:
+            rng = random.Random(stable_seed(self.seed, "client", index))
+            for kind in schedule:
+                await self._run_op(kind, rng, report, histograms)
+
+        await asyncio.gather(*(
+            client(index, schedule)
+            for index, schedule in enumerate(self._schedules())
+        ))
+
+    async def _run_open_loop(self, report: LoadReport,
+                             histograms: Dict[str, list]) -> None:
+        profile = self.profile
+        arrivals_rng = random.Random(stable_seed(self.seed, "arrivals"))
+        op_rng = random.Random(stable_seed(self.seed, "client", 0))
+        tasks: List[asyncio.Task] = []
+        loop = asyncio.get_running_loop()
+        for kind in self._op_sequence():
+            tasks.append(loop.create_task(
+                self._run_op(kind, op_rng, report, histograms)
+            ))
+            await asyncio.sleep(
+                arrivals_rng.expovariate(profile.arrival_rate)
+            )
+        await asyncio.gather(*tasks)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def _summarise(self, report: LoadReport,
+                   histograms: Dict[str, list]) -> None:
+        metrics = getattr(self.cluster.obs, "metrics", None)
+        for kind, samples in histograms.items():
+            if not samples:
+                continue
+            histogram = None
+            if metrics is not None:
+                # Publish into the obs registry so the percentiles the
+                # report quotes are the obs histograms' percentiles.
+                histogram = metrics.histogram("load.latency_seconds", op=kind)
+                histogram.extend(samples)
+            else:  # pragma: no cover - obs is on by default
+                from repro.obs.metrics import Histogram
+
+                histogram = Histogram("load.latency_seconds")
+                histogram.extend(samples)
+            ok = sum(
+                1 for outcome in report.outcomes
+                if outcome == f"{kind}:ok"
+            )
+            report.ops[kind] = {
+                "count": histogram.count,
+                "ok": ok,
+                "p50_ms": round(histogram.percentile(50) * 1000, 3),
+                "p95_ms": round(histogram.percentile(95) * 1000, 3),
+                "p99_ms": round(histogram.percentile(99) * 1000, 3),
+                "mean_ms": round(histogram.mean * 1000, 3),
+            }

@@ -48,14 +48,20 @@ class TestTransport:
             transport.mark_dead(1)
             return await transport.send(1, Message(kind="ping", sender=2))
 
-        assert run(scenario()) is False
+        result = run(scenario())
+        assert not result
+        assert result.peer_dead
+        assert result.status == "dead-peer"
 
     def test_send_to_unknown_fails(self):
         async def scenario():
             transport = InProcessTransport()
             return await transport.send(99, Message(kind="ping", sender=2))
 
-        assert run(scenario()) is False
+        result = run(scenario())
+        assert not result
+        assert result.peer_dead
+        assert result.status == "unknown-peer"
 
     def test_receive_timeout(self):
         async def scenario():

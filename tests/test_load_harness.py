@@ -1,0 +1,171 @@
+"""Load-harness contract: deterministic schedules, honest percentiles.
+
+The closed loop must produce the same schedule-and-results signature on
+every same-seed run (regardless of task interleave), honor the 1:3
+store:retrieve mix exactly, and report non-empty p50/p95/p99 drawn from
+the obs histograms.  Most cases drive the in-process transport so they
+stay hermetic and tier-1; one socket-marked case proves the same
+harness runs unchanged over real TCP.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live.storage import LiveStorageCluster
+from repro.workloads.load_harness import (
+    OP_RETRIEVE,
+    OP_STORE,
+    LoadHarness,
+    LoadProfile,
+    LoadReport,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _load_run(profile, seed=9, nodes=12, transport=None):
+    cluster = LiveStorageCluster(seed=17, transport=transport)
+    await cluster.start(nodes, join_concurrency=4)
+    report = await LoadHarness(cluster, profile, seed=seed).run()
+    await cluster.shutdown()
+    return report
+
+
+class TestProfileValidation:
+    def test_rejects_zero_operations(self):
+        with pytest.raises(ValueError):
+            LoadProfile(operations=0)
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            LoadProfile(clients=0)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            LoadProfile(store_weight=0, retrieve_weight=0)
+
+    def test_rejects_retrieves_without_warmup(self):
+        with pytest.raises(ValueError):
+            LoadProfile(warmup_files=0)
+
+    def test_store_only_profile_needs_no_warmup(self):
+        LoadProfile(store_weight=1, retrieve_weight=0, warmup_files=0)
+
+
+class TestSchedule:
+    """The pre-generated op schedule, checked without running anything."""
+
+    def test_mix_is_exact_not_sampled(self):
+        harness = LoadHarness(cluster=None, profile=LoadProfile(operations=40),
+                              seed=3)
+        ops = harness._op_sequence()
+        assert len(ops) == 40
+        assert ops.count(OP_STORE) == 10
+        assert ops.count(OP_RETRIEVE) == 30
+
+    def test_schedule_deterministic_per_seed(self):
+        profile = LoadProfile(operations=64)
+        first = LoadHarness(None, profile, seed=3)._schedules()
+        second = LoadHarness(None, profile, seed=3)._schedules()
+        other = LoadHarness(None, profile, seed=4)._schedules()
+        assert first == second
+        assert first != other
+
+    def test_schedules_partition_the_sequence(self):
+        profile = LoadProfile(operations=50, clients=7)
+        schedules = LoadHarness(None, profile, seed=3)._schedules()
+        assert len(schedules) == 7
+        assert sum(len(s) for s in schedules) == 50
+
+
+class TestClosedLoop:
+    def test_signature_deterministic_across_runs(self):
+        profile = LoadProfile(clients=4, operations=40)
+        first = run(_load_run(profile))
+        second = run(_load_run(profile))
+        assert first.signature() == second.signature()
+        assert first.mode == "closed"
+
+    def test_all_operations_succeed_on_healthy_cluster(self):
+        report = run(_load_run(LoadProfile(clients=4, operations=40)))
+        assert report.total_operations == 40
+        assert not report.errors
+        assert all(outcome.endswith(":ok") for outcome in report.outcomes)
+
+    def test_mix_within_tolerance(self):
+        report = run(_load_run(LoadProfile(clients=4, operations=40)))
+        # Exact by construction: round(40 * 1/4) stores.
+        assert report.store_fraction == pytest.approx(0.25)
+
+    def test_percentiles_present_and_ordered(self):
+        report = run(_load_run(LoadProfile(clients=4, operations=40)))
+        for kind in (OP_STORE, OP_RETRIEVE):
+            stats = report.ops[kind]
+            assert stats["count"] > 0
+            assert 0 < stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+
+    def test_percentiles_come_from_obs_histograms(self):
+        async def scenario():
+            cluster = LiveStorageCluster(seed=17)
+            await cluster.start(12, join_concurrency=4)
+            harness = LoadHarness(
+                cluster, LoadProfile(clients=4, operations=40), seed=9
+            )
+            report = await harness.run()
+            histogram = cluster.obs.metrics.histogram(
+                "load.latency_seconds", op=OP_STORE
+            )
+            await cluster.shutdown()
+            return report, histogram
+
+        report, histogram = run(scenario())
+        assert histogram.count == report.ops[OP_STORE]["count"]
+        assert report.ops[OP_STORE]["p95_ms"] == pytest.approx(
+            histogram.percentile(95) * 1000, abs=0.01
+        )
+
+
+class TestOpenLoop:
+    def test_open_loop_runs_the_same_schedule(self):
+        profile = LoadProfile(operations=24, arrival_rate=500.0)
+        report = run(_load_run(profile))
+        assert report.mode == "open"
+        assert report.total_operations == 24
+        assert not report.errors
+        assert report.store_fraction == pytest.approx(0.25)
+
+
+class TestReportShape:
+    def test_json_and_text_render(self):
+        report = run(_load_run(LoadProfile(clients=2, operations=16)))
+        text = report.format_text()
+        assert "store fraction" in text
+        assert "p50=" in text and "p99=" in text
+        import json
+
+        body = json.loads(report.to_json())
+        assert body["seed"] == 9
+        assert set(body["ops"]) == {OP_STORE, OP_RETRIEVE}
+
+    def test_empty_report_properties(self):
+        report = LoadReport(seed=0, mode="closed", clients=1)
+        assert report.total_operations == 0
+        assert report.store_fraction == 0.0
+        assert report.throughput == 0.0
+
+
+@pytest.mark.socket
+class TestOverSockets:
+    def test_closed_loop_signature_matches_inprocess(self):
+        """The harness is transport-agnostic: same seed, same schedule,
+        same outcomes over real TCP as in-process."""
+        from repro.live.net import SocketTransport
+
+        profile = LoadProfile(clients=4, operations=24)
+        over_sockets = run(_load_run(profile, transport=SocketTransport()))
+        in_process = run(_load_run(profile, transport=None))
+        assert over_sockets.signature() == in_process.signature()
+        assert not over_sockets.errors

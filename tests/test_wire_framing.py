@@ -1,0 +1,246 @@
+"""Property tests for the socket wire format.
+
+Framing first (length-prefixed frames over an arbitrarily-chunked byte
+stream): round-trips on randomized payloads, torn reads at *every* byte
+boundary, oversized-frame rejection, and garbage-prefix resync.  Then
+the message codec: every domain object the live protocols put in a
+payload must survive encode/decode, and anything else must fail loudly
+at encode time.
+
+These are pure unit tests -- no sockets are opened -- so they run in
+tier-1 everywhere.
+"""
+
+import random
+
+import pytest
+
+from repro.core.certificates import FileCertificate
+from repro.core.files import RealData, SyntheticData
+from repro.core.smartcard import make_uncertified_card
+from repro.crypto.keys import generate_keypair
+from repro.live.net import (
+    CodecError,
+    FrameDecoder,
+    FrameTooLarge,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from repro.live.net.framing import HEADER_BYTES, MAGIC
+from repro.live.transport import Message
+
+
+class TestFrameRoundTrip:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+
+    def test_empty_payload(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_randomized_payloads_randomized_chunking(self):
+        """100 random payloads concatenated, re-fed in random chunk
+        sizes: every payload comes back, in order, byte-identical."""
+        rng = random.Random(7)
+        payloads = [
+            rng.randbytes(rng.randrange(0, 400)) for _ in range(100)
+        ]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        position = 0
+        while position < len(stream):
+            step = rng.randrange(1, 37)
+            out.extend(decoder.feed(stream[position:position + step]))
+            position += step
+        assert out == payloads
+        assert decoder.pending() == 0
+        assert decoder.resynced_bytes == 0
+
+    def test_torn_at_every_byte_boundary(self):
+        """A frame split into two feeds at every possible offset --
+        including inside the magic and inside the length word."""
+        payload = b'{"kind":"route","sender":12}'
+        frame = encode_frame(payload)
+        for split in range(len(frame) + 1):
+            decoder = FrameDecoder()
+            out = decoder.feed(frame[:split])
+            out += decoder.feed(frame[split:])
+            assert out == [payload], f"split at byte {split}"
+
+    def test_many_frames_in_one_feed(self):
+        payloads = [b"a", b"bb", b"ccc"]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assert FrameDecoder().feed(stream) == payloads
+
+
+class TestFrameLimits:
+    def test_oversized_declared_length_rejected(self):
+        decoder = FrameDecoder(max_frame=64)
+        bogus = MAGIC + (65).to_bytes(4, "big")
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(bogus + b"\x00" * 65)
+
+    def test_limit_is_inclusive(self):
+        decoder = FrameDecoder(max_frame=64)
+        payload = b"x" * 64
+        assert decoder.feed(encode_frame(payload)) == [payload]
+
+    def test_encode_respects_limit(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(b"x" * 65, max_frame=64)
+
+    def test_oversized_rejection_does_not_allocate_declared_size(self):
+        """The decoder must refuse on the *header*, before the payload
+        arrives -- a hostile 4 GiB declaration costs nothing."""
+        decoder = FrameDecoder(max_frame=1024)
+        header = MAGIC + (0xFFFF_FFFF).to_bytes(4, "big")
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(header)
+        assert decoder.pending() < HEADER_BYTES
+
+
+class TestResync:
+    def test_garbage_prefix_skipped(self):
+        decoder = FrameDecoder()
+        garbage = b"\x00\x01\x02 not a frame \x03"
+        out = decoder.feed(garbage + encode_frame(b"ok"))
+        assert out == [b"ok"]
+        assert decoder.resynced_bytes == len(garbage)
+
+    def test_garbage_containing_partial_magic(self):
+        """Garbage that includes the first magic byte must not derail
+        the scan past the real frame start."""
+        decoder = FrameDecoder()
+        garbage = b"xx" + MAGIC[:1] + b"yy"
+        out = decoder.feed(garbage + encode_frame(b"ok"))
+        assert out == [b"ok"]
+
+    def test_magic_split_across_garbage_boundary_feeds(self):
+        """The stream tears right inside the magic after garbage: the
+        decoder must keep the dangling magic prefix across feeds."""
+        decoder = FrameDecoder()
+        frame = encode_frame(b"ok")
+        assert decoder.feed(b"junk" + frame[:1]) == []
+        assert decoder.feed(frame[1:]) == [b"ok"]
+
+    def test_resync_between_frames(self):
+        decoder = FrameDecoder()
+        stream = encode_frame(b"one") + b"corrupt!" + encode_frame(b"two")
+        assert decoder.feed(stream) == [b"one", b"two"]
+        assert decoder.resynced_bytes == len(b"corrupt!")
+
+    def test_pure_garbage_drains(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\x01\x02\x03\x04" * 10) == []
+        # Nothing but (possibly) a dangling magic prefix is retained.
+        assert decoder.pending() < len(MAGIC)
+
+
+def _card():
+    return make_uncertified_card(
+        random.Random(5), usage_quota=1 << 40, backend="insecure_fast"
+    )
+
+
+class TestMessageCodec:
+    def test_plain_payload_round_trip(self):
+        message = Message(
+            kind="route", sender=0xABCDEF,
+            payload={"key": 1 << 127, "trail": [1, 2, 3], "purpose": None,
+                     "nested": {"flag": True, "rate": 0.5}},
+            message_id=42,
+            traceparent="00-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.kind == message.kind
+        assert decoded.sender == message.sender
+        assert decoded.payload == message.payload
+        assert decoded.message_id == 42
+        assert decoded.traceparent == message.traceparent
+
+    def test_big_ints_survive(self):
+        """nodeIds/fileIds are 128-bit ints, signatures far larger --
+        JSON must carry them exactly, no float truncation."""
+        huge = (1 << 512) + 12345
+        message = Message(kind="ack", sender=(1 << 128) - 1,
+                          payload={"signature": huge})
+        assert decode_message(encode_message(message)).payload["signature"] == huge
+
+    def test_tuples_normalize_to_lists(self):
+        message = Message(kind="state", sender=1,
+                          payload={"rows": [(0, [1, None, 3]), (1, [4])]})
+        decoded = decode_message(encode_message(message))
+        assert decoded.payload["rows"] == [[0, [1, None, 3]], [1, [4]]]
+
+    def test_synthetic_and_real_data(self):
+        synthetic = SyntheticData(seed=9, size=5000)
+        real = RealData(b"\x00\x01binary\xff")
+        message = Message(kind="store", sender=1,
+                          payload={"a": synthetic, "b": real, "c": None})
+        decoded = decode_message(encode_message(message))
+        assert decoded.payload["a"] == synthetic
+        assert decoded.payload["b"] == real
+        assert decoded.payload["c"] is None
+
+    def test_certificate_round_trip_still_verifies(self):
+        data = RealData(b"certified content")
+        certificate = _card().issue_file_certificate(
+            "file", data, 3, salt=7, insertion_date=0
+        )
+        message = Message(kind="store-request", sender=2,
+                          payload={"certificate": certificate, "data": data})
+        decoded = decode_message(encode_message(message))
+        restored: FileCertificate = decoded.payload["certificate"]
+        assert restored == certificate
+        assert restored.verify(), "signature must survive the wire"
+
+    def test_rsa_public_key_round_trip(self):
+        keypair = generate_keypair(random.Random(11), backend="rsa", bits=256)
+        signature = keypair.sign(b"msg")
+        message = Message(kind="key", sender=1,
+                          payload={"key": keypair.public})
+        restored = decode_message(encode_message(message)).payload["key"]
+        assert restored == keypair.public
+        assert restored.verify(b"msg", signature)
+
+    def test_raw_bytes_round_trip(self):
+        message = Message(kind="blob", sender=1,
+                          payload={"bytes": bytes(range(256))})
+        decoded = decode_message(encode_message(message))
+        assert decoded.payload["bytes"] == bytes(range(256))
+
+    def test_unknown_object_fails_at_encode_time(self):
+        message = Message(kind="bad", sender=1, payload={"obj": object()})
+        with pytest.raises(CodecError):
+            encode_message(message)
+
+    def test_non_string_dict_key_rejected(self):
+        message = Message(kind="bad", sender=1, payload={"map": {1: "x"}})
+        with pytest.raises(CodecError):
+            encode_message(message)
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\xff\xfenot json")
+        with pytest.raises(CodecError):
+            decode_message(b"[1,2,3]")
+        with pytest.raises(CodecError):
+            decode_message(b'{"kind":"x"}')
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(
+                b'{"kind":"x","sender":1,'
+                b'"payload":{"v":{"__past__":"mystery"}}}'
+            )
+
+    def test_identical_messages_encode_identically(self):
+        def build():
+            return Message(kind="route", sender=3,
+                           payload={"b": 2, "a": 1, "trail": [5, 6]},
+                           message_id=9)
+
+        assert encode_message(build()) == encode_message(build())
