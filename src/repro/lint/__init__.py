@@ -3,11 +3,16 @@
 The runtime :class:`~repro.faults.invariants.InvariantChecker` (PR 3)
 verifies a *running* deployment; this package is its static-analysis
 analogue, verifying the *source tree* against the same invariants before
-the code ever runs.  ``python -m repro.lint src`` walks the tree with a
-small stdlib-``ast`` rule engine and exits nonzero on any finding; the
-CI ``lint`` job gates every PR on exactly that.
+the code ever runs.  ``python -m repro.lint src tests benchmarks`` walks
+the trees with a small stdlib-``ast`` rule engine and exits nonzero on
+any finding; the CI ``lint`` job gates every PR on exactly that.
 
-Rules (see DESIGN.md §9 for the full table and rationales):
+Since PR 9 the engine runs two passes over one parse: the per-file
+syntactic rules, then the **whole-program** rules, which consume a
+shared :class:`~repro.lint.index.ProjectIndex` (module map, import
+graph, per-class symbol tables, coroutine await positions).
+
+Per-file rules (see DESIGN.md §9):
 
 ========  ==============================================================
 DET001    unseeded / process-global RNG in a deterministic layer
@@ -20,9 +25,25 @@ ERR001    broad ``except`` that swallows the exception
 NEW001    import of a deprecated shim module
 ========  ==============================================================
 
+Whole-program rules (see DESIGN.md §14):
+
+========  ==============================================================
+ASYNC101  check-then-act on a shared attribute across an await point
+ASYNC102  task handle with no cancellation path from aclose/stop
+ASYNC103  lock held across an await into a stored user callback
+ASYNC104  Event/future waiter with no setter on the close path
+CONF001   message kind constructed/charged but missing from MESSAGE_COSTS
+CONF002   codec wire tag registered for only one of encode/decode
+CONF003   event emitted or defined outside the EVENT_TYPES schema
+CONF004   claim id produced but not declared in obs/claims.py
+CONF005   docs/PROTOCOLS.md cost table out of sync with MESSAGE_COSTS
+========  ==============================================================
+
 A legitimate exception carries ``# lint: disable=RULE -- why`` on the
 flagged line; the justification text is mandatory (an unjustified
 ``disable`` is itself reported as LINT000 and suppresses nothing).
+Output formats: human (default), ``--format json`` (or ``--json``), and
+``--format sarif`` for code-scanning upload.
 """
 
 from __future__ import annotations
@@ -38,6 +59,7 @@ from repro.lint.engine import (
     RULES,
     FileContext,
     Finding,
+    ProjectRule,
     Report,
     Rule,
     Suppression,
@@ -54,6 +76,7 @@ __all__ = [
     "RULES",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Report",
     "Rule",
     "Suppression",
@@ -67,7 +90,8 @@ __all__ = [
 
 
 def _default_paths() -> List[str]:
-    return ["src"] if Path("src").is_dir() else ["."]
+    paths = [p for p in ("src", "tests", "benchmarks") if Path(p).is_dir()]
+    return paths or ["."]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,11 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "paths", nargs="*",
-        help="files or directories to lint (default: src if present, else .)",
+        help=(
+            "files or directories to lint "
+            "(default: src, tests, benchmarks -- whichever exist)"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json", "sarif"), default=None,
+        help="output format (default: human)",
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="emit the machine-readable report (findings, counts) as JSON",
+        help="shorthand for --format json (kept for CI compatibility)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -96,7 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _print_rules() -> None:
     for rule in all_rules():
         scopes = ", ".join(rule.scopes) if rule.scopes else "(everywhere)"
+        kind = "project" if isinstance(rule, ProjectRule) else "file"
         print(f"{rule.id}  {rule.title}")
+        print(f"    kind: {kind}  domains: {', '.join(rule.domains)}")
         print(f"    scopes: {scopes}")
         print(f"    why: {rule.rationale}")
 
@@ -106,14 +139,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    output = args.format or ("json" if args.json else "human")
     paths = args.paths or _default_paths()
     try:
         report = lint_paths(paths)
     except FileNotFoundError as exc:
         print(f"repro.lint: no such path: {exc}", file=sys.stderr)
         return 2
-    if args.json:
+    if output == "json":
         print(report.to_json())
+    elif output == "sarif":
+        print(report.to_sarif(all_rules()))
     else:
         print(report.format_human())
     return 0 if report.clean else 1

@@ -1,0 +1,451 @@
+"""The async interleaving detector (ASYNC101-ASYNC104).
+
+Every rule here targets ``live/`` and ``live/net/`` -- the only layers
+that run on a real event loop -- and encodes an interleaving bug class
+this repo has actually hit.  The two PR-8 pool races are the regression
+anchors:
+
+* **retire-during-startup** (``NodeEndpoint.start`` committing
+  ``self._server`` after an await without re-checking ``self.closed``)
+  is the ASYNC101 shape;
+* the **stranded-``ready``-waiter** (``NodeEndpoint.aclose`` closing
+  without ``self.ready.set()``, leaving ``resolve()`` parked forever)
+  is the ASYNC104 shape.
+
+The analyses are deliberately narrow -- plain ``self.attr`` flag
+attributes, directly stored task handles, constructor-typed locks and
+events -- so a finding is almost always a real interleaving window.
+The rare deliberate exception carries a justified inline suppression,
+same as every other rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.engine import Finding, ProjectRule, register
+from repro.lint.index import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    self_attr_loads,
+    self_attr_target,
+)
+from repro.lint.rules import dotted_name
+
+#: The event-loop layers the detector sweeps.
+LIVE_PREFIX = "live/"
+
+#: Method names treated as shutdown entry points; anything reachable
+#: from them through ``self.m()`` calls is "on the close path".
+CLOSE_ENTRY_POINTS: Tuple[str, ...] = ("aclose", "close", "stop", "shutdown")
+
+
+def finding_at(rule, path: str, node: ast.AST, message: str) -> Finding:
+    """A Finding anchored at an AST node of an indexed module."""
+    return Finding(
+        rule=rule.id,
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+    )
+
+
+def _has_await(node: ast.AST) -> bool:
+    """Does *node* directly contain an await (nested defs excluded)?"""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(current, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+            return True
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Break, ast.Continue)
+    )
+
+
+def _self_writes(stmt: ast.stmt) -> List[str]:
+    """Attributes of ``self`` this (simple) statement assigns."""
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                targets.extend(target.elts)
+            else:
+                targets.append(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets.append(stmt.target)
+    writes = []
+    for target in targets:
+        attr = self_attr_target(target)
+        if attr is not None:
+            writes.append(attr)
+    return writes
+
+
+@register
+class StaleCheckAcrossAwait(ProjectRule):
+    id = "ASYNC101"
+    title = "check-then-act on a shared attribute across an await point"
+    rationale = (
+        "Between an `if self.x:` guard and the state change it protects, "
+        "every await is a scheduling point where another coroutine can "
+        "mutate self.x -- the PR-8 retire-during-startup race was exactly "
+        "this shape (NodeEndpoint.start committing self._server after "
+        "`await start_server` without re-checking self.closed, resurrecting "
+        "a listener aclose had already torn down).  Re-check the guard "
+        "after the last await before committing."
+    )
+    scopes = (LIVE_PREFIX,)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module, cls in index.iter_classes(domain="src", prefix=LIVE_PREFIX):
+            for name in sorted(cls.methods):
+                method = cls.methods[name]
+                if not method.is_async or name == "__init__":
+                    continue
+                # Attributes some *other* method reassigns: only those can
+                # change under this coroutine's feet mid-await.
+                shared = {
+                    attr
+                    for attr, writers in cls.attr_writes.items()
+                    if writers - {name}
+                }
+                if not shared:
+                    continue
+                yield from self._scan(
+                    method.node.body, {}, {}, module, cls, name, shared
+                )
+
+    def _scan(
+        self,
+        stmts: List[ast.stmt],
+        armed: Dict[str, int],
+        stale: Dict[str, int],
+        module: ModuleInfo,
+        cls: ClassInfo,
+        method: str,
+        shared: Set[str],
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                for attr in sorted(self_attr_loads(stmt.test) & shared):
+                    armed[attr] = stmt.lineno
+                    stale.pop(attr, None)
+                for branch in (stmt.body, stmt.orelse):
+                    # A terminating branch never reaches the fall-through
+                    # code, so its awaits do not stale the guard for it.
+                    if branch and not _terminates(branch):
+                        yield from self._scan(
+                            branch, armed, stale, module, cls, method, shared
+                        )
+                continue
+            if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+                if isinstance(stmt, ast.AsyncFor):
+                    for attr, line in armed.items():
+                        stale.setdefault(attr, stmt.lineno)
+                for branch in (stmt.body, stmt.orelse):
+                    if branch:
+                        yield from self._scan(
+                            branch, armed, stale, module, cls, method, shared
+                        )
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                if isinstance(stmt, ast.AsyncWith):
+                    for attr, line in armed.items():
+                        stale.setdefault(attr, stmt.lineno)
+                yield from self._scan(
+                    stmt.body, armed, stale, module, cls, method, shared
+                )
+                continue
+            if isinstance(stmt, ast.Try):
+                for branch in [stmt.body, stmt.orelse, stmt.finalbody] + [
+                    handler.body for handler in stmt.handlers
+                ]:
+                    if branch:
+                        yield from self._scan(
+                            branch, armed, stale, module, cls, method, shared
+                        )
+                continue
+            # Simple statement: an await stales every armed guard, then a
+            # store to self.* with a stale guard is the race window.
+            if _has_await(stmt):
+                for attr, line in armed.items():
+                    stale.setdefault(attr, stmt.lineno)
+            if _self_writes(stmt) and stale:
+                for attr in sorted(stale):
+                    writers = ", ".join(
+                        sorted(cls.attr_writes.get(attr, ()) - {method})
+                    )
+                    yield finding_at(
+                        self, module.path, stmt,
+                        f"self.{attr} was checked on line {armed[attr]} but "
+                        f"the await on line {stale[attr]} can interleave "
+                        f"{writers or 'another coroutine'} mutating it -- "
+                        f"re-check self.{attr} after the await before this "
+                        "state change",
+                    )
+                    armed.pop(attr, None)
+                stale.clear()
+
+
+@register
+class TaskWithoutCancellationPath(ProjectRule):
+    id = "ASYNC102"
+    title = "task handle with no cancellation path from aclose/stop"
+    rationale = (
+        "A task stored on self but never cancelled or awaited by any "
+        "method reachable from aclose/close/stop outlives its owner: "
+        "shutdown returns while the task still runs, and its exceptions "
+        "land after the harness stopped listening.  Every pool/transport "
+        "task here (PeerLink._task, NodePool._starters, "
+        "SocketTransport._retirements) is cancelled or awaited on the "
+        "close path -- new tasks must be too."
+    )
+    scopes = (LIVE_PREFIX,)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module, cls in index.iter_classes(domain="src", prefix=LIVE_PREFIX):
+            task_sites = self._task_attributes(cls)
+            if not task_sites:
+                continue
+            close_methods = cls.close_path_methods(CLOSE_ENTRY_POINTS)
+            if not close_methods:
+                yield finding_at(
+                    self, module.path, cls.node,
+                    f"class {cls.name} stores task handles "
+                    f"({', '.join(sorted(task_sites))}) but defines no "
+                    "aclose/close/stop to cancel them on shutdown",
+                )
+                continue
+            handled: Set[str] = set()
+            for fn in close_methods:
+                mentions = self_attr_loads(fn.node)
+                cancels = any(
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "cancel"
+                    for node in ast.walk(fn.node)
+                )
+                awaits = bool(fn.awaits)
+                if cancels or awaits:
+                    handled.update(mentions & set(task_sites))
+            for attr in sorted(task_sites):
+                if attr in handled:
+                    continue
+                yield finding_at(
+                    self, module.path, task_sites[attr],
+                    f"task handle self.{attr} is never cancelled or awaited "
+                    f"by any method reachable from "
+                    f"{'/'.join(n for n in CLOSE_ENTRY_POINTS if n in cls.methods)}"
+                    " -- shutdown leaks the running task",
+                )
+
+    @staticmethod
+    def _task_attributes(cls: ClassInfo) -> Dict[str, ast.AST]:
+        """self attributes holding task handles: direct assignment, or a
+        local create_task result pushed into a self container."""
+        sites: Dict[str, ast.AST] = {}
+        for name in sorted(cls.methods):
+            fn = cls.methods[name]
+            task_locals: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    tail = (dotted_name(node.value.func) or "").rsplit(".", 1)[-1]
+                    if tail not in {"create_task", "ensure_future"}:
+                        continue
+                    for target in node.targets:
+                        attr = self_attr_target(target)
+                        if attr is not None:
+                            sites.setdefault(attr, node)
+                        elif isinstance(target, ast.Name):
+                            task_locals.add(target.id)
+            if not task_locals:
+                continue
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in {"add", "append"}
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in task_locals
+                ):
+                    attr = self_attr_target(node.func.value)
+                    if attr is not None:
+                        sites.setdefault(attr, node)
+        return sites
+
+
+@register
+class LockHeldAcrossCallbackAwait(ProjectRule):
+    id = "ASYNC103"
+    title = "lock held across an await into a stored user callback"
+    rationale = (
+        "Awaiting a caller-supplied callback while holding an "
+        "asyncio.Lock/Condition/Semaphore hands the lock's critical "
+        "section to code the class does not control: a callback that "
+        "(re)enters the same object deadlocks, and a slow one extends "
+        "the lock hold over arbitrary protocol traffic.  Call callbacks "
+        "after releasing, or snapshot state and await outside the lock."
+    )
+    scopes = (LIVE_PREFIX,)
+
+    _LOCK_CTORS = {
+        "asyncio.Lock", "asyncio.Condition",
+        "asyncio.Semaphore", "asyncio.BoundedSemaphore",
+    }
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module, cls in index.iter_classes(domain="src", prefix=LIVE_PREFIX):
+            lock_attrs = {
+                attr for attr, ctor in cls.attr_types.items()
+                if ctor in self._LOCK_CTORS
+            }
+            if not lock_attrs:
+                continue
+            for name in sorted(cls.methods):
+                fn = cls.methods[name]
+                if not fn.is_async:
+                    continue
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.AsyncWith):
+                        continue
+                    held = {
+                        attr
+                        for item in node.items
+                        for attr in [self_attr_target(item.context_expr)]
+                        if attr in lock_attrs
+                    }
+                    if not held:
+                        continue
+                    for inner in ast.walk(node):
+                        if not (
+                            isinstance(inner, ast.Await)
+                            and isinstance(inner.value, ast.Call)
+                        ):
+                            continue
+                        callee = self_attr_target(inner.value.func)
+                        if callee is None or callee not in cls.callback_attrs:
+                            continue
+                        yield finding_at(
+                            self, module.path, inner,
+                            f"await self.{callee}(...) runs a stored user "
+                            f"callback while holding self."
+                            f"{'/'.join(sorted(held))} -- release the lock "
+                            "before awaiting foreign code",
+                        )
+
+
+@register
+class StrandedWaiter(ProjectRule):
+    id = "ASYNC104"
+    title = "Event/future waiter with no setter on the close path"
+    rationale = (
+        "An asyncio.Event (or stored future) that coroutines await must "
+        "be set on *every* exit, including teardown: the PR-8 stranded-"
+        "ready-waiter race was NodeEndpoint.aclose closing the endpoint "
+        "without self.ready.set(), parking NodePool.resolve forever on "
+        "an event nobody would ever fire.  aclose/close/stop must wake "
+        "waiters (who then re-check state and fail typed)."
+    )
+    scopes = (LIVE_PREFIX,)
+
+    _FUTURE_SETTERS = {"set_result", "set_exception", "cancel"}
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        event_waits, future_waits = self._collect_waiters(index)
+        for module, cls in index.iter_classes(domain="src", prefix=LIVE_PREFIX):
+            event_attrs = {
+                attr for attr, ctor in cls.attr_types.items()
+                if ctor == "asyncio.Event"
+            }
+            future_attrs = {
+                attr for attr, ctor in cls.attr_types.items()
+                if ctor.rsplit(".", 1)[-1] == "create_future"
+            }
+            if not event_attrs and not future_attrs:
+                continue
+            close_methods = cls.close_path_methods(CLOSE_ENTRY_POINTS)
+            if not close_methods:
+                continue
+            for attr in sorted(event_attrs):
+                waiter = event_waits.get(attr)
+                if waiter is None:
+                    continue
+                if self._close_path_calls(close_methods, attr, {"set"}):
+                    continue
+                yield finding_at(
+                    self, module.path, close_methods[0].node,
+                    f"asyncio.Event self.{attr} is awaited at "
+                    f"{waiter[0]}:{waiter[1]} but no close-path method of "
+                    f"{cls.name} calls self.{attr}.set() -- aclose strands "
+                    "the waiter",
+                )
+            for attr in sorted(future_attrs):
+                waiter = future_waits.get(attr)
+                if waiter is None:
+                    continue
+                if self._close_path_calls(
+                    close_methods, attr, self._FUTURE_SETTERS
+                ):
+                    continue
+                yield finding_at(
+                    self, module.path, close_methods[0].node,
+                    f"future self.{attr} is awaited at "
+                    f"{waiter[0]}:{waiter[1]} but no close-path method of "
+                    f"{cls.name} resolves or cancels it -- aclose strands "
+                    "the waiter",
+                )
+
+    @staticmethod
+    def _collect_waiters(
+        index: ProjectIndex,
+    ) -> Tuple[Dict[str, Tuple[str, int]], Dict[str, Tuple[str, int]]]:
+        """Attribute names awaited anywhere in the project.
+
+        ``<x>.attr.wait()`` marks *attr* as an event waiter;
+        ``await <x>.attr`` marks it as a future waiter.  Matching is by
+        attribute name -- the index does not do points-to analysis, and
+        name-level matching is exactly what catches the cross-module
+        pool race (resolve() waiting on an endpoint's ``ready``).
+        """
+        events: Dict[str, Tuple[str, int]] = {}
+        futures: Dict[str, Tuple[str, int]] = {}
+        for module in index.iter_modules(domain="src"):
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Await):
+                    continue
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "wait"
+                    and isinstance(value.func.value, ast.Attribute)
+                ):
+                    attr = value.func.value.attr
+                    events.setdefault(attr, (module.path, node.lineno))
+                elif isinstance(value, ast.Attribute):
+                    futures.setdefault(value.attr, (module.path, node.lineno))
+        return events, futures
+
+    @staticmethod
+    def _close_path_calls(close_methods, attr: str, setters: Set[str]) -> bool:
+        for fn in close_methods:
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in setters
+                    and self_attr_target(node.func.value) == attr
+                ):
+                    return True
+        return False

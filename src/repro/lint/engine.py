@@ -11,18 +11,25 @@ there are no dependencies, so the gate can run anywhere the tests run.
 Design:
 
 * a :class:`Rule` has an id, a human title, a *rationale* (which paper
-  claim or subsystem invariant it protects), and a tuple of path
-  *scopes* -- prefixes relative to the ``repro`` package root (empty =
-  the whole tree);
+  claim or subsystem invariant it protects), a tuple of path *scopes*
+  -- prefixes relative to the ``repro`` package root (empty = the whole
+  tree) -- and a tuple of *domains* (``src``/``tests``/``benchmarks``)
+  it runs in;
+* a :class:`ProjectRule` sees the whole tree at once through a
+  :class:`~repro.lint.index.ProjectIndex` (module map, import graph,
+  per-class symbol tables, coroutine await positions) instead of one
+  file -- the async interleaving detector and the protocol-conformance
+  checker are built on it;
 * rules register themselves in :data:`RULES` via :func:`register`;
 * findings on a line carrying ``# lint: disable=RULEID -- why`` are
   suppressed, but only when the ``-- why`` justification text is
   present; a bare ``disable`` both fails to suppress and is itself
   reported (:data:`LINT000`), so every suppression in the tree is
   forced to explain itself;
-* output is human-readable (``path:line:col: RULE message``) or JSON
-  (``--json``), and the process exits nonzero iff there are findings
-  -- the CI ``lint`` job gates on exactly that.
+* output is human-readable (``path:line:col: RULE message``), JSON
+  (``--format json`` / ``--json``) or SARIF 2.1.0 (``--format sarif``,
+  for code-scanning upload), and the process exits nonzero iff there
+  are findings -- the CI ``lint`` job gates on exactly that.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: Pseudo-rule id for malformed suppressions (``disable`` without a
 #: ``-- justification``).  Not suppressible, by construction.
@@ -40,6 +47,12 @@ LINT000 = "LINT000"
 
 #: Pseudo-rule id for files the parser rejects outright.
 PARSE001 = "PARSE001"
+
+#: The three scanned trees a rule can opt into.  ``src`` is anything
+#: inside (or laid out like) the ``repro`` package; the other two are
+#: the repo's test and benchmark trees, linted since PR 9 with
+#: per-domain rule sets.
+DOMAINS = ("src", "tests", "benchmarks")
 
 
 @dataclass(frozen=True)
@@ -102,6 +115,15 @@ def parse_suppressions(source: str) -> List[Suppression]:
     return suppressions
 
 
+def path_domain(rel: str) -> str:
+    """Which scanned domain a scoping path belongs to."""
+    if rel == "tests" or rel.startswith("tests/"):
+        return "tests"
+    if rel == "benchmarks" or rel.startswith("benchmarks/"):
+        return "benchmarks"
+    return "src"
+
+
 @dataclass
 class FileContext:
     """Everything a rule needs to inspect one file."""
@@ -110,6 +132,7 @@ class FileContext:
     rel: str  # path relative to the ``repro`` package root, for scoping
     source: str
     tree: ast.Module
+    domain: str = "src"  # src / tests / benchmarks (see path_domain)
 
     def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -132,10 +155,16 @@ class Rule:
     scopes: Tuple[str, ...] = ()
     #: paths exempt from the rule even when in scope
     exempt: Tuple[str, ...] = ()
+    #: scanned trees the rule runs in; package scopes only apply in ``src``
+    domains: Tuple[str, ...] = ("src",)
 
     def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.domain not in self.domains:
+            return False
         if any(ctx.rel == path for path in self.exempt):
             return False
+        if ctx.domain != "src":
+            return True
         if not self.scopes:
             return True
         return any(
@@ -143,6 +172,24 @@ class Rule:
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole scanned tree at once.
+
+    Instead of ``check(ctx)`` per file, a project rule implements
+    ``check_project(index)`` against the shared
+    :class:`~repro.lint.index.ProjectIndex` built after every file has
+    parsed.  Inline suppressions still apply: a project finding on a
+    line carrying a justified ``# lint: disable=RULE -- why`` in its
+    file is filtered exactly like a per-file finding.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -162,8 +209,9 @@ def register(cls: type) -> type:
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, importing the built-in rule set on demand."""
+    """Every registered rule, importing the built-in rule sets on demand."""
     from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+    from repro.lint import analyses as _analyses  # noqa: F401  (same)
 
     return [RULES[rule_id] for rule_id in sorted(RULES)]
 
@@ -201,7 +249,9 @@ def package_relative(file: Path, root: Path) -> str:
     regardless of where the tree was scanned from.  Files outside any
     ``repro`` directory (e.g. test fixture trees) scope relative to the
     scanned root, so fixture layouts like ``tmp/sim/x.py`` exercise the
-    same per-layer scoping the real tree does.
+    same per-layer scoping the real tree does.  Scanning the repo's
+    ``tests`` or ``benchmarks`` directory itself prefixes the directory
+    name, so those files land in their own rule domain.
     """
     parts = file.resolve().parts
     if "repro" in parts:
@@ -210,47 +260,60 @@ def package_relative(file: Path, root: Path) -> str:
         if inside:
             return "/".join(inside)
     try:
-        return file.resolve().relative_to(root.resolve()).as_posix()
+        rel = file.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
-        return file.name
+        rel = file.name
+    if root.name in ("tests", "benchmarks"):
+        return f"{root.name}/{rel}"
+    return rel
 
 
 # ---------------------------------------------------------------------- #
 # running
 # ---------------------------------------------------------------------- #
 
-def lint_file(
-    file: Path, root: Optional[Path] = None, rules: Optional[Iterable[Rule]] = None
-) -> List[Finding]:
-    """Lint one file; returns its (post-suppression) findings."""
-    root = root if root is not None else file.parent
+def _read_context(
+    file: Path, root: Path
+) -> Tuple[Optional[FileContext], List[Finding], Dict[int, Set[str]]]:
+    """Parse one file into (context, pre-findings, justified suppressions).
+
+    The context is None when the file does not parse; the PARSE001
+    finding is then the only entry in the findings list.  Unjustified
+    suppressions surface as LINT000 findings here, so both the per-file
+    and the project pass see the same suppression discipline.
+    """
     try:
         reported = file.relative_to(root).as_posix()
+        if root.name in ("tests", "benchmarks"):
+            reported = f"{root.name}/{reported}"
     except ValueError:
         reported = file.as_posix()
     source = file.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(file))
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule=PARSE001,
-                path=reported,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) or 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        finding = Finding(
+            rule=PARSE001,
+            path=reported,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) or 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return None, [finding], {}
+    rel = package_relative(file, root)
     ctx = FileContext(
         path=reported,
-        rel=package_relative(file, root),
+        rel=rel,
         source=source,
         tree=tree,
+        domain=path_domain(rel),
     )
-    suppressions = parse_suppressions(source)
     findings: List[Finding] = []
-    for suppression in suppressions:
-        if not suppression.justified:
+    justified: Dict[int, Set[str]] = {}
+    for suppression in parse_suppressions(source):
+        if suppression.justified:
+            justified.setdefault(suppression.line, set()).update(suppression.rules)
+        else:
             findings.append(
                 Finding(
                     rule=LINT000,
@@ -263,11 +326,24 @@ def lint_file(
                     ),
                 )
             )
-    justified: Dict[int, set] = {}
-    for suppression in suppressions:
-        if suppression.justified:
-            justified.setdefault(suppression.line, set()).update(suppression.rules)
+    return ctx, findings, justified
+
+
+def lint_file(
+    file: Path, root: Optional[Path] = None, rules: Optional[Iterable[Rule]] = None
+) -> List[Finding]:
+    """Lint one file; returns its (post-suppression) findings.
+
+    Project rules need the whole tree and are skipped here -- use
+    :func:`lint_paths` to run them.
+    """
+    root = root if root is not None else file.parent
+    ctx, findings, justified = _read_context(file, root)
+    if ctx is None:
+        return findings
     for rule in rules if rules is not None else all_rules():
+        if isinstance(rule, ProjectRule):
+            continue
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
@@ -305,6 +381,73 @@ class Report:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
 
+    def to_sarif(self, rules: Optional[Sequence[Rule]] = None) -> str:
+        """SARIF 2.1.0 for code-scanning upload (deterministic JSON)."""
+        descriptors: Dict[str, dict] = {
+            LINT000: {
+                "id": LINT000,
+                "shortDescription": {
+                    "text": "suppression without a justification"
+                },
+            },
+            PARSE001: {
+                "id": PARSE001,
+                "shortDescription": {"text": "file does not parse"},
+            },
+        }
+        for rule in rules if rules is not None else all_rules():
+            descriptors[rule.id] = {
+                "id": rule.id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+            }
+        for finding in self.findings:
+            descriptors.setdefault(
+                finding.rule,
+                {"id": finding.rule, "shortDescription": {"text": finding.rule}},
+            )
+        rule_ids = sorted(descriptors)
+        rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+        results = [
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+            for finding in self.findings
+        ]
+        document = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.lint",
+                            "informationUri": (
+                                "https://example.invalid/repro-lint"
+                            ),
+                            "rules": [descriptors[r] for r in rule_ids],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(document, sort_keys=True, indent=2)
+
     def format_human(self) -> str:
         lines = [finding.format() for finding in self.findings]
         noun = "finding" if len(self.findings) == 1 else "findings"
@@ -317,12 +460,46 @@ class Report:
 def lint_paths(
     paths: Sequence[str], rules: Optional[Iterable[Rule]] = None
 ) -> Report:
-    """Lint every Python file under *paths*; findings come back sorted."""
+    """Lint every Python file under *paths*; findings come back sorted.
+
+    Two passes share one parse: the per-file rules run as each file is
+    read, then the :class:`ProjectRule` set runs once over the
+    :class:`~repro.lint.index.ProjectIndex` built from all parsed files.
+    """
     rule_list = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in rule_list if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rule_list if isinstance(r, ProjectRule)]
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    suppressed: Dict[str, Dict[int, Set[str]]] = {}
+    roots: List[Path] = []
     files = 0
     for file, root in iter_python_files(paths):
         files += 1
-        findings.extend(lint_file(file, root, rule_list))
+        if root not in roots:
+            roots.append(root)
+        ctx, pre_findings, justified = _read_context(file, root)
+        findings.extend(pre_findings)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        suppressed[ctx.path] = justified
+        for rule in file_rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if finding.rule in justified.get(finding.line, ()):
+                    continue
+                findings.append(finding)
+    if project_rules and contexts:
+        from repro.lint.index import ProjectIndex
+
+        index = ProjectIndex.build(contexts, roots)
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                lines = suppressed.get(finding.path, {})
+                if finding.rule in lines.get(finding.line, ()):
+                    continue
+                findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return Report(findings=findings, files_checked=files)

@@ -122,6 +122,9 @@ class UnseededRandom(Rule):
         "silently re-couples results to process state."
     )
     scopes = DETERMINISTIC_SCOPES
+    # Unseeded RNG in a test or benchmark is a flaky-run hazard, not just
+    # a sim-layer one; deliberate exceptions suppress with a reason.
+    domains = ("src", "tests", "benchmarks")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         imports = ImportMap(ctx.tree)
@@ -181,6 +184,9 @@ class WallClockRead(Rule):
         "breaking the byte-determinism the C6/C7 regression tests pin."
     )
     scopes = DETERMINISTIC_SCOPES
+    # Tests asserting on wall-clock time are timing-flaky; benchmarks are
+    # exempt -- measuring wall time is their whole point.
+    domains = ("src", "tests")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         imports = ImportMap(ctx.tree)
@@ -303,6 +309,9 @@ class BlockingCallInAsync(Rule):
         "the C7 retry/reroute path exists to mask."
     )
     scopes = ("live/",)
+    # Async test/benchmark helpers share the one event loop with the
+    # cluster under test -- a blocking call there stalls it identically.
+    domains = ("src", "tests", "benchmarks")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         imports = ImportMap(ctx.tree)
@@ -335,6 +344,7 @@ class LostTask(Rule):
         "Keep the handle (assign/await/gather) so failures propagate."
     )
     scopes = ("live/",)
+    domains = ("src", "tests")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -455,6 +465,8 @@ class SwallowedException(Rule):
         "violations the chaos runs exist to catch."
     )
 
+    domains = ("src", "tests", "benchmarks")
+
     _BROAD = {"Exception", "BaseException"}
     _EMITTERS = {"publish", "emit"}
 
@@ -512,6 +524,7 @@ class DeprecatedImport(Rule):
         "now fails at runtime.  This rule catches stale imports at lint "
         "time and names the replacement module."
     )
+    domains = ("src", "tests", "benchmarks")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

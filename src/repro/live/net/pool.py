@@ -144,7 +144,9 @@ class PeerLink:
 
     async def _write(self, frame: bytes) -> None:
         if self._writer is None:
-            self._writer = await self._connect()
+            # Lazy connect: only the single _drain task ever calls _write,
+            # so nothing can interleave on _writer across this await.
+            self._writer = await self._connect()  # lint: disable=ASYNC101 -- only the single _drain task calls _write
         self._writer.write(frame)
         await self._writer.drain()
 

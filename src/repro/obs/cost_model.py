@@ -123,6 +123,10 @@ class CostModel:
     def cost(self, kind: str) -> Tuple[str, int]:
         return self.costs.get(kind, DEFAULT_COST)
 
+    def priced(self, kind: str) -> bool:
+        """Whether *kind* has an explicit entry (vs the DEFAULT_COST fallback)."""
+        return kind in self.costs
+
     def category(self, kind: str) -> str:
         return self.cost(kind)[0]
 

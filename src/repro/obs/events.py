@@ -167,6 +167,22 @@ class InvariantChecked(Event):
     violations: int
 
 
+@dataclass(frozen=True)
+class UnpricedKindCharged(Event):
+    """The cost ledger charged a kind missing from MESSAGE_COSTS.
+
+    Published once per unpriced kind per run (the runtime twin of lint
+    rule CONF001); every repeat still bumps the ``ledger.unpriced``
+    metrics counter.  ``message_kind`` is the offending kind --
+    distinct from the event's own ``kind`` tag.
+    """
+
+    kind: ClassVar[str] = "unpriced-kind-charged"
+    message_kind: str
+    fallback_category: str
+    fallback_bytes: int
+
+
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
     for cls in (
@@ -184,6 +200,7 @@ EVENT_TYPES: Dict[str, type] = {
         RetryAttempted,
         InvariantViolated,
         InvariantChecked,
+        UnpricedKindCharged,
     )
 }
 

@@ -36,7 +36,7 @@ class CostLedger:
     """
 
     __slots__ = ("model", "clock", "window", "_by_category", "_by_kind",
-                 "_node_bytes", "_windows")
+                 "_node_bytes", "_windows", "_unpriced", "on_unpriced")
 
     def __init__(
         self,
@@ -55,6 +55,15 @@ class CostLedger:
         self._node_bytes: Dict[int, int] = {}
         # window index -> {category: bytes}
         self._windows: Dict[int, Dict[str, int]] = {}
+        # kind -> charges seen for kinds absent from the cost model; the
+        # runtime twin of lint rule CONF001 (an unpriced kind still gets
+        # the DEFAULT_COST fallback, but loudly instead of silently).
+        self._unpriced: Dict[str, int] = {}
+        #: Called as ``hook(kind, category, fallback_bytes, first)`` on
+        #: every unpriced charge; ``first`` is True only the first time a
+        #: kind is seen.  The Observer wires this to a metrics counter
+        #: plus a one-shot warning event.
+        self.on_unpriced: Optional[Callable[[str, str, int, bool], None]] = None
 
     # ------------------------------------------------------------------ #
     # charging
@@ -74,6 +83,14 @@ class CostLedger:
         contents -- pass it; everything else takes the modelled cost).
         """
         category, per_message = self.model.cost(kind)
+        if not self.model.priced(kind):
+            # Fallback bytes are reported as modelled (pre-override), so
+            # the warning names the estimate actually filling the gap.
+            first = kind not in self._unpriced
+            self._unpriced[kind] = self._unpriced.get(kind, 0) + count
+            hook = self.on_unpriced
+            if hook is not None:
+                hook(kind, category, per_message, first)
         if size is not None:
             per_message = size
         total = per_message * count
@@ -107,6 +124,15 @@ class CostLedger:
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
+
+    @property
+    def unpriced(self) -> Dict[str, int]:
+        """kind -> messages charged without an explicit cost-model entry."""
+        return dict(sorted(self._unpriced.items()))
+
+    def unpriced_total(self) -> int:
+        """Messages charged against the DEFAULT_COST fallback overall."""
+        return sum(self._unpriced.values())
 
     def total_messages(self) -> int:
         return sum(cell[0] for cell in self._by_category.values())
@@ -173,6 +199,7 @@ class CostLedger:
                 kind: {"messages": cell[0], "bytes": cell[1]}
                 for kind, cell in sorted(self._by_kind.items())
             },
+            "unpriced": self.unpriced,
             "nodes_charged": len(self._node_bytes),
             "top_nodes": self.top_nodes(5),
             "window_seconds": self.window,
@@ -197,6 +224,7 @@ class CostLedger:
                 category: cell[1]
                 for category, cell in sorted(self._by_category.items())
             },
+            "unpriced_messages": self.unpriced_total(),
             "top_nodes": self.top_nodes(top),
         }
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.obs.events import Event, EventBus, EventRecord
+from repro.obs.events import Event, EventBus, EventRecord, UnpricedKindCharged
 from repro.obs.ledger import CostLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span
@@ -54,6 +54,22 @@ class Observer:
         # (obs/ledger).  Instrumented layers cache a direct reference so
         # the ledger-off path stays one ``is not None`` test.
         self.ledger = ledger if ledger is not None else CostLedger()
+        # Runtime twin of lint rule CONF001: an unpriced kind bumps a
+        # visible counter on every charge and warns (as an event) once.
+        self.ledger.on_unpriced = self._record_unpriced
+
+    def _record_unpriced(
+        self, kind: str, category: str, fallback_bytes: int, first: bool
+    ) -> None:
+        self.metrics.counter("ledger.unpriced", kind=kind).increment()
+        if first:
+            self.emit(
+                UnpricedKindCharged(
+                    message_kind=kind,
+                    fallback_category=category,
+                    fallback_bytes=fallback_bytes,
+                )
+            )
 
     def _now(self) -> float:
         clock = self.clock

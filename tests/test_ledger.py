@@ -100,6 +100,72 @@ class TestCostLedger:
         assert first == second
 
 
+class TestUnpricedKinds:
+    """CostLedger's runtime twin of lint rule CONF001: an unpriced kind
+    still charges (DEFAULT_COST fallback) but visibly, not silently."""
+
+    def test_unpriced_charges_are_counted_per_kind(self):
+        ledger = CostLedger()
+        ledger.charge("mystery")
+        ledger.charge("mystery", count=2)
+        ledger.charge("other-mystery")
+        ledger.charge("route")  # priced: must not appear
+        assert ledger.unpriced == {"mystery": 3, "other-mystery": 1}
+        assert ledger.unpriced_total() == 4
+
+    def test_priced_traffic_reports_no_unpriced(self):
+        ledger = CostLedger()
+        ledger.charge("route")
+        ledger.charge("insert", size=2048)
+        assert ledger.unpriced == {}
+        assert ledger.unpriced_total() == 0
+
+    def test_snapshot_and_summary_expose_the_gap(self):
+        ledger = CostLedger()
+        ledger.charge("mystery")
+        assert ledger.snapshot()["unpriced"] == {"mystery": 1}
+        assert ledger.summary()["unpriced_messages"] == 1
+
+    def test_hook_fires_every_charge_with_first_flag(self):
+        calls = []
+        ledger = CostLedger()
+        ledger.on_unpriced = lambda *args: calls.append(args)
+        ledger.charge("mystery")
+        ledger.charge("mystery")
+        assert calls == [
+            ("mystery", DEFAULT_COST[0], DEFAULT_COST[1], True),
+            ("mystery", DEFAULT_COST[0], DEFAULT_COST[1], False),
+        ]
+
+    def test_hook_reports_modelled_fallback_not_size_override(self):
+        calls = []
+        ledger = CostLedger()
+        ledger.on_unpriced = lambda *args: calls.append(args)
+        ledger.charge("mystery", size=9999)
+        assert calls[0][2] == DEFAULT_COST[1]
+        # The override still governs what was actually charged.
+        assert ledger.total_bytes() == 9999
+
+    def test_observer_counts_and_warns_once(self):
+        obs = Observer()
+        obs.ledger.charge("mystery")
+        obs.ledger.charge("mystery")
+        counter = obs.metrics.counter("ledger.unpriced", kind="mystery")
+        assert counter.value == 2
+        assert obs.bus.kinds() == ["unpriced-kind-charged"]
+        event = obs.bus.events()[0]
+        assert event.message_kind == "mystery"
+        assert event.fallback_category == DEFAULT_COST[0]
+        assert event.fallback_bytes == DEFAULT_COST[1]
+
+    def test_unpriced_event_records_validate_against_the_schema(self):
+        from repro.obs.events import validate_jsonl
+
+        obs = Observer()
+        obs.ledger.charge("mystery")
+        assert validate_jsonl(obs.bus.to_jsonl()) == []
+
+
 class TestObserverWiring:
     def test_observer_owns_a_ledger(self):
         assert isinstance(Observer().ledger, CostLedger)

@@ -150,7 +150,7 @@ class TestDeterministicBackoff:
         """RetryPolicy's determinism contract (lint rule DET001): with
         ``rng=None`` the backoff is the pure exponential schedule, and the
         process-global ``random`` module is never consulted either way."""
-        random.seed(4242)
+        random.seed(4242)  # lint: disable=DET001 -- seeds the global RNG to prove RetryPolicy never consumes it
         state_before = random.getstate()
         policy = RetryPolicy(attempts=6)
         assert policy.delays(None) == RetryPolicy(attempts=6, jitter=0.0).delays()
