@@ -15,6 +15,9 @@ most of its wall-clock in one of them:
 * ``live_socket_roundtrip`` -- routed request/response round-trips over
   the asyncio TCP transport (frame encode, socket write, decode,
   mailbox delivery -- the live wire's hot path);
+* ``telemetry_scrape_overhead`` -- full collector rounds (scrape +
+  subscribe of every node) over the socket cluster: the steady-state
+  cost the telemetry plane adds to a monitored deployment;
 * ``node_state_bytes_per_node`` -- tracemalloc footprint of an
   oracle-built overlay, per node (bytes, not seconds).
 
@@ -70,6 +73,7 @@ FULL = {
     "memory_n": 2048,
     "socket_nodes": 24,
     "socket_roundtrips": 500,
+    "telemetry_rounds": 20,
     "repeats": 3,
 }
 SMOKE = {
@@ -86,6 +90,7 @@ SMOKE = {
     "memory_n": 2048,
     "socket_nodes": 12,
     "socket_roundtrips": 100,
+    "telemetry_rounds": 5,
     "repeats": 2,
 }
 
@@ -137,6 +142,45 @@ def _timed_socket_roundtrips(count: int, nodes: int, repeats: int) -> float:
                 await cluster.route(key, origin)
 
         elapsed = _timed(lambda: loop.run_until_complete(roundtrips()),
+                         repeats)
+        loop.run_until_complete(cluster.shutdown())
+        return elapsed
+    finally:
+        loop.close()
+
+
+def _timed_telemetry_scrapes(rounds: int, nodes: int, repeats: int) -> float:
+    """Best-of-*repeats* for *rounds* full collector rounds -- one
+    ``scrape_all`` plus one ``subscribe_all`` of every node -- over the
+    asyncio TCP transport.  The cluster and collector are built once
+    outside the timed region; each timed repetition is the recurring
+    cost a monitoring loop imposes on a quiesced cluster."""
+    import asyncio
+    import itertools
+
+    from repro.live.net import SocketTransport
+    from repro.live.storage import LiveStorageCluster
+    from repro.obs.telemetry import TelemetryCollector
+
+    loop = asyncio.new_event_loop()
+    try:
+        cluster = LiveStorageCluster(seed=0, transport=SocketTransport())
+
+        async def boot() -> TelemetryCollector:
+            # The collector registers a live listener endpoint, so it
+            # must be built while the loop is running.
+            await cluster.start(nodes, join_concurrency=8)
+            return TelemetryCollector(cluster, window=1.0)
+
+        collector = loop.run_until_complete(boot())
+        ticks = itertools.count()  # strictly advancing sample clock
+
+        async def collector_rounds() -> None:
+            for _ in range(rounds):
+                await collector.scrape_all()
+                await collector.subscribe_all(at=float(next(ticks)))
+
+        elapsed = _timed(lambda: loop.run_until_complete(collector_rounds()),
                          repeats)
         loop.run_until_complete(cluster.shutdown())
         return elapsed
@@ -261,6 +305,14 @@ def run_suite(params: Dict[str, int]) -> Dict[str, float]:
                                      repeats)
         )
 
+    # --- telemetry collector rounds over sockets ---------------------- #
+    scrape_rounds = params["telemetry_rounds"]
+    if scrape_rounds:
+        results[f"telemetry_scrape_overhead_{scrape_rounds}_s"] = (
+            _timed_telemetry_scrapes(scrape_rounds, params["socket_nodes"],
+                                     repeats)
+        )
+
     # --- per-node memory footprint (bytes, not seconds) --------------- #
     memory_n = params["memory_n"]
     tracemalloc.start()
@@ -293,7 +345,8 @@ def _print_results(results: Dict[str, float], label: str) -> None:
 
 def _ops_of(metric: str) -> int:
     """The workload size embedded in a metric name (0 if not meaningful)."""
-    if metric.startswith(("routes_", "lookups_", "live_socket_roundtrip_")):
+    if metric.startswith(("routes_", "lookups_", "live_socket_roundtrip_",
+                          "telemetry_scrape_overhead_")):
         return int(metric.rsplit("_", 2)[-2])
     return 0
 

@@ -415,16 +415,27 @@ def _cmd_load(args: argparse.Namespace) -> int:
     the seeded load profile, and prints per-op p50/p95/p99 latencies
     from the obs histograms.  ``--rate`` switches from the closed loop
     (``--clients`` concurrent clients) to open-loop seeded Poisson
-    arrivals.  This is the CI smoke for the socket stack: it exits 0
-    only if the cluster built, every operation completed, and nothing
-    degraded.
+    arrivals.
+
+    The exit code is the SLO verdict: ``--slo p99_ms=50,degraded_pct=1``
+    gates the run on explicit objectives; without the flag the default
+    objective is zero degraded operations -- the same gate the old
+    binary degraded-op check applied.  While the load runs, metrics are
+    sampled into windowed series every ``--scrape-interval`` (through a
+    :class:`~repro.obs.telemetry.TelemetryCollector` scraping over the
+    live wire when ``--prom-out``/``--series-out`` ask for artifacts),
+    feeding the verdict's multi-window burn rates.
     """
     import asyncio
 
     from repro.live.net import SocketTransport
     from repro.live.storage import LiveStorageCluster
+    from repro.obs.events import SloBreached
+    from repro.obs.slo import DEFAULT_LOAD_SLO, evaluate_load_slo, parse_slo
+    from repro.obs.telemetry import TelemetryCollector
     from repro.workloads.load_harness import LoadHarness, LoadProfile
 
+    spec = parse_slo(args.slo) if args.slo else dict(DEFAULT_LOAD_SLO)
     profile = LoadProfile(
         clients=args.clients,
         operations=args.ops,
@@ -432,23 +443,79 @@ def _cmd_load(args: argparse.Namespace) -> int:
         file_size=args.file_size,
         replication_factor=args.k,
     )
+    interval = args.scrape_interval
+
+    async def watch(cluster, collector, stop: "asyncio.Event") -> None:
+        """Sample every window until *stop*; the stop flag is read
+        before each sample, so one final post-run sample always lands."""
+        tick = 0
+        while True:
+            stopping = stop.is_set()
+            at = tick * interval
+            if collector is not None:
+                await collector.scrape_all()
+                await collector.subscribe_all(at=at)
+            else:
+                cluster.transport.publish_wire_gauges(cluster.obs.metrics)
+                cluster.obs.timeseries.sample(cluster.obs.metrics, at=at)
+            tick += 1
+            if stopping:
+                return
+            try:
+                await asyncio.wait_for(stop.wait(), interval)
+            except asyncio.TimeoutError:
+                pass
 
     async def scenario():
         transport = SocketTransport() if args.transport == "socket" else None
         cluster = LiveStorageCluster(seed=args.seed, transport=transport)
         await cluster.start(args.nodes,
                             join_concurrency=args.join_concurrency)
+        obs = cluster.obs
+        collector = None
+        if args.prom_out or args.series_out:
+            collector = TelemetryCollector(cluster, window=interval)
+        stop = asyncio.Event()
+        watcher = asyncio.create_task(watch(cluster, collector, stop))
         harness = LoadHarness(cluster, profile, seed=args.seed)
         report = await harness.run()
+        stop.set()
+        await watcher
+        series = (collector.merged_series() if collector is not None
+                  else obs.timeseries.snapshot())
+        report.slo = evaluate_load_slo(
+            spec, report, obs.ledger.unpriced_total(), series_snapshot=series
+        )
+        for target in report.slo["targets"]:
+            if not target["ok"]:
+                obs.emit(SloBreached(
+                    name=target["name"],
+                    objective=target["objective"],
+                    observed=(target["observed"]
+                              if target["observed"] is not None else -1.0),
+                ))
+        artifacts = {}
+        if collector is not None:
+            artifacts["prom"] = collector.to_prometheus()
+            artifacts["series"] = series
         stats = {
             "transport": args.transport,
             "bytes_sent": getattr(cluster.transport, "bytes_sent", None),
             "messages_sent": cluster.transport.messages_sent,
         }
         await cluster.shutdown()
-        return report, stats
+        return report, stats, artifacts
 
-    report, stats = asyncio.run(scenario())
+    report, stats, artifacts = asyncio.run(scenario())
+    if args.prom_out is not None:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(artifacts["prom"])
+        print(f"wrote {args.prom_out}", file=sys.stderr)
+    if args.series_out is not None:
+        with open(args.series_out, "w", encoding="utf-8") as handle:
+            json.dump(artifacts["series"], handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.series_out}", file=sys.stderr)
     if args.json:
         document = json.loads(report.to_json())
         document["transport"] = stats
@@ -463,11 +530,106 @@ def _cmd_load(args: argparse.Namespace) -> int:
             handle.write(rendered + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
     print(rendered)
-    degraded = sum(report.errors.values())
-    if degraded:
-        print(f"{degraded} operations degraded", file=sys.stderr)
+    if not report.slo["ok"]:
+        missed = [target["name"] for target in report.slo["targets"]
+                  if not target["ok"]]
+        print(f"SLO breached: {', '.join(missed)}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live ops console: watch a socket cluster while load runs.
+
+    Boots a storage cluster, starts the load harness in the background,
+    and renders one console frame per ``--interval``: federated message
+    counters, latency percentiles, and per-node health rows -- all read
+    over the wire through the telemetry message kinds, exactly what an
+    external operator's console would see.  Stops after ``--frames``
+    frames or when the load completes, whichever is first.
+    """
+    import asyncio
+
+    from repro.live.net import SocketTransport
+    from repro.live.storage import LiveStorageCluster
+    from repro.obs.telemetry import TelemetryCollector, render_console
+    from repro.workloads.load_harness import LoadHarness, LoadProfile
+
+    profile = LoadProfile(clients=args.clients, operations=args.ops)
+
+    async def scenario():
+        transport = SocketTransport() if args.transport == "socket" else None
+        cluster = LiveStorageCluster(seed=args.seed, transport=transport)
+        await cluster.start(args.nodes,
+                            join_concurrency=args.join_concurrency)
+        collector = TelemetryCollector(cluster, window=args.interval)
+        harness = LoadHarness(cluster, profile, seed=args.seed)
+        load_task = asyncio.create_task(harness.run())
+        clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+        frame = 0
+        try:
+            while frame < args.frames:
+                finishing = load_task.done()
+                await collector.scrape_all()
+                await collector.subscribe_all(at=frame * args.interval)
+                health = await collector.probe_all()
+                text = render_console(collector, health, frame)
+                print(clear + text if clear else text + "\n", flush=True)
+                frame += 1
+                if finishing or frame >= args.frames:
+                    break
+                await asyncio.sleep(args.interval)
+        finally:
+            report = await load_task
+            await cluster.shutdown()
+        return report, frame
+
+    report, frames = asyncio.run(scenario())
+    print(f"rendered {frames} frames; load: {report.total_operations} ops, "
+          f"{sum(report.errors.values())} degraded", file=sys.stderr)
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Probe every node of a live cluster for a structured health verdict.
+
+    Boots the cluster, sends each node a ``health-probe`` over the wire,
+    and prints the verdicts (``--json`` for the machine-readable block).
+    Exit code 0 iff every node reports healthy -- the CI gate.
+    """
+    import asyncio
+
+    from repro.live.net import SocketTransport
+    from repro.live.storage import LiveStorageCluster
+    from repro.obs.telemetry import TelemetryCollector
+
+    async def scenario():
+        transport = SocketTransport() if args.transport == "socket" else None
+        cluster = LiveStorageCluster(seed=args.seed, transport=transport)
+        await cluster.start(args.nodes,
+                            join_concurrency=args.join_concurrency)
+        collector = TelemetryCollector(cluster)
+        verdict = await collector.probe_all()
+        await cluster.shutdown()
+        return verdict
+
+    verdict = asyncio.run(scenario())
+    if args.json:
+        print(json.dumps(verdict, sort_keys=True, indent=2))
+    else:
+        print(f"cluster: {'HEALTHY' if verdict['healthy'] else 'DEGRADED'} "
+              f"({len(verdict['nodes'])} nodes probed)")
+        for node in verdict["nodes"]:
+            status = "ok  " if node.get("healthy") else "FAIL"
+            checks = node.get("checks", {})
+            failed = [name for name, ok in sorted(checks.items()) if not ok]
+            detail = f" failed: {', '.join(failed)}" if failed else ""
+            print(f"  [{status}] {node['node'][:16]} "
+                  f"mailbox={node.get('mailbox_depth', 0)}"
+                  f"/{node.get('mailbox_limit', 0)} "
+                  f"inflight={node.get('in_flight', 0)} "
+                  f"resynced={node.get('resynced_bytes', 0)}{detail}")
+    return 0 if verdict["healthy"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -628,7 +790,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the latency report as JSON")
     load.add_argument("--out", type=str, default=None,
                       help="also write the report to this path")
+    load.add_argument("--slo", type=str, default=None,
+                      help="gate the run on objectives, e.g. "
+                           "p99_ms=50,degraded_pct=1 (default: "
+                           "degraded_pct=0); exits nonzero on breach")
+    load.add_argument("--scrape-interval", type=float, default=0.5,
+                      help="windowed-series sample interval in seconds")
+    load.add_argument("--prom-out", type=str, default=None,
+                      help="write the federated Prometheus exposition "
+                           "(scraped over the wire) to this path")
+    load.add_argument("--series-out", type=str, default=None,
+                      help="write the federated windowed series (JSON) "
+                           "to this path")
     load.set_defaults(handler=_cmd_load)
+
+    top = commands.add_parser(
+        "top",
+        help="live ops console: scrape a running cluster over the wire "
+             "while the load harness drives it",
+    )
+    top.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    top.add_argument("--nodes", type=int, default=8)
+    top.add_argument("--clients", type=int, default=4)
+    top.add_argument("--ops", type=int, default=200,
+                     help="load operations driven while the console runs")
+    top.add_argument("--frames", type=int, default=20,
+                     help="console frames to render before exiting")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="seconds between frames (= the series window)")
+    top.add_argument("--join-concurrency", type=int, default=8)
+    top.add_argument("--transport", choices=["socket", "inproc"],
+                     default="socket")
+    top.set_defaults(handler=_cmd_top)
+
+    health = commands.add_parser(
+        "health",
+        help="probe every live node for a structured health verdict "
+             "(exit 0 iff all healthy)",
+    )
+    health.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    health.add_argument("--nodes", type=int, default=8)
+    health.add_argument("--join-concurrency", type=int, default=8)
+    health.add_argument("--transport", choices=["socket", "inproc"],
+                        default="socket")
+    health.add_argument("--json", action="store_true",
+                        help="emit the verdict block as JSON")
+    health.set_defaults(handler=_cmd_health)
 
     return parser
 

@@ -78,6 +78,8 @@ class ChurnSimulation:
         min_live_nodes: int = 8,
         fault_plan=None,
         checker=None,
+        sampler=None,
+        sample_interval: float = 20.0,
     ) -> None:
         """Rates are events per simulated time unit.  Setting
         ``maintenance_interval`` to None disables failure recovery -- the
@@ -89,6 +91,12 @@ class ChurnSimulation:
         Poisson churn; *checker* is an optional
         :class:`repro.faults.invariants.InvariantChecker` run after every
         injected event.
+
+        *sampler* is an optional callable invoked with the engine's
+        current sim time every *sample_interval* units -- the hook the
+        telemetry layer uses to sample metrics into windowed series
+        under the injected clock (so two same-seed runs sample at
+        byte-identical instants).
         """
         self.network = network
         self.handles = handles
@@ -101,6 +109,8 @@ class ChurnSimulation:
         self.min_live_nodes = min_live_nodes
         self.fault_plan = fault_plan
         self.checker = checker
+        self.sampler = sampler
+        self.sample_interval = sample_interval
         self.report = ChurnReport()
         # Tallying goes through the metrics registry (the network
         # observer's when one is installed, so churn counters appear in
@@ -262,6 +272,9 @@ class ChurnSimulation:
         if self.checker is not None:
             self.checker.check_all()
 
+    def _sample(self) -> None:
+        self.sampler(self._engine.now)
+
     # ------------------------------------------------------------------ #
     # driver
     # ------------------------------------------------------------------ #
@@ -299,6 +312,8 @@ class ChurnSimulation:
         if self.maintenance_interval is not None:
             engine.schedule_periodic(self.maintenance_interval, self._maintain)
         engine.schedule_periodic(self.lookup_interval, self._lookup)
+        if self.sampler is not None:
+            engine.schedule_periodic(self.sample_interval, self._sample)
         engine.run(until=duration)
         if obs.enabled:
             obs.clock = None

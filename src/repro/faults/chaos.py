@@ -52,9 +52,15 @@ def run_chaos(
     from repro.core.files import SyntheticData
     from repro.core.network import PastNetwork
     from repro.obs.recorder import Observer
+    from repro.obs.slo import evaluate_chaos_slo
+    from repro.obs.timeseries import TimeSeriesRecorder
     from repro.sim.rng import RngRegistry
 
     observer = Observer()
+    # Windowed series sampled under the sim clock: one 20-unit window
+    # per sample, so two same-seed runs emit byte-identical series.
+    timeseries = TimeSeriesRecorder(window=20.0)
+    observer.timeseries = timeseries
     network = PastNetwork(
         rngs=RngRegistry(seed),
         observer=observer,
@@ -81,6 +87,8 @@ def run_chaos(
         lookup_interval=2.0,
         fault_plan=plan,
         checker=checker,
+        sampler=lambda at: timeseries.sample(observer.metrics, at=at),
+        sample_interval=20.0,
     )
     checker.check_all()  # clean baseline before any chaos
     report = simulation.run(duration)
@@ -116,6 +124,16 @@ def run_chaos(
         # category under the wire-size model (obs/cost_model).  The
         # sim-time windows cover the churned portion of the run.
         "ledger": observer.ledger.snapshot(),
+        # The windowed time-series and the SLO verdict over it: both are
+        # functions of the seeded schedule only, so they are part of the
+        # byte-deterministic artifact contract.
+        "timeseries": timeseries.snapshot(),
+        "slo": evaluate_chaos_slo(
+            report.availability,
+            report.files_lost,
+            observer.ledger.unpriced_total(),
+            series_snapshot=timeseries.snapshot(),
+        ),
         # Which claims this artifact can answer (repro.obs.report).
         "claims": list(POINT_CLAIMS),
     }

@@ -32,6 +32,7 @@ from repro.live.transport import InProcessTransport, Message
 from repro.netsim.topology import EuclideanPlaneTopology, Topology
 from repro.obs.events import NodeFailed, NodeJoined, RetryAttempted
 from repro.obs.recorder import Observer
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.trace_context import TraceContext
 from repro.pastry.nodeid import IdSpace
 from repro.pastry.routing import DeterministicRouting, RandomizedRouting
@@ -52,6 +53,13 @@ LIVE_METRIC_HELP = {
     "live.trace.spans": "Span records collected from live traces.",
     "node.failures": "Nodes that stopped responding.",
     "storage.used_bytes": "Bytes stored across live replicas.",
+    "wire.resynced_bytes": "Garbage bytes skipped resynchronizing frame streams.",
+    "wire.send_queue_depth": "Frames queued on outbound links awaiting writers.",
+    "wire.in_flight": "Frames accepted toward the wire but not yet delivered.",
+    "wire.mailbox_backlog": "Undelivered messages across all mailboxes.",
+    "load.ops": "Load-harness operations, by op and outcome.",
+    "load.latency_seconds": "Load-harness operation latency, by op.",
+    "ledger.unpriced": "Ledger charges for kinds missing from MESSAGE_COSTS.",
 }
 
 
@@ -349,6 +357,121 @@ class LiveNode:
             if member != self.node_id:
                 self.state.learn(member)
 
+    # ------------------------------------------------------------------ #
+    # telemetry plane (scrape / subscribe / probe over the normal wire)
+    # ------------------------------------------------------------------ #
+
+    def _telemetry_state(self) -> dict:
+        """This node's structural state section: plain JSON, derived
+        only from protocol state (no clocks), so snapshots stay
+        deterministic per seed."""
+        state = {
+            "joined": self.joined.is_set(),
+            "known_nodes": len(self.state.known_nodes()),
+            "leaf_set": len(self.state.leaf_set.members()),
+            "mailbox_depth": self.cluster.transport.mailbox_depth(self.node_id),
+        }
+        store = getattr(self, "store", None)
+        if store is not None:
+            state["store_files"] = store.replica_count()
+            state["store_bytes"] = store.used
+        return state
+
+    async def _on_telemetry_scrape(self, message: Message) -> None:
+        """Serve a full metrics/ledger/span snapshot to a collector."""
+        obs = self.cluster.obs
+        payload: dict = {
+            "request_id": message.payload.get("request_id"),
+            "node": f"{self.node_id:032x}",
+            "state": self._telemetry_state(),
+        }
+        if obs.enabled:
+            # Refresh the derived gauges first, so the export the
+            # collector federates is the same view a local snapshot or
+            # /metrics scrape would see.
+            self.cluster.transport.publish_wire_gauges(obs.metrics)
+            obs.metrics.gauge("live.trace.spans").set(float(len(obs.traces)))
+            payload["registry"] = obs.metrics.export()
+            payload["ledger"] = obs.ledger.summary(top=5)
+            span_count = int(message.payload.get("spans", 0) or 0)
+            if span_count > 0:
+                payload["spans"] = [
+                    record.to_dict()
+                    for record in obs.traces.records()[-span_count:]
+                ]
+        await self._send(
+            message.sender,
+            Message(kind="telemetry-snapshot", sender=self.node_id,
+                    payload=payload),
+        )
+
+    async def _on_telemetry_subscribe(self, message: Message) -> None:
+        """Stream windowed series increments to a collector.
+
+        The subscriber owns the clock: a request carrying ``at`` makes
+        this node sample its registry into the window covering that
+        logical instant before answering, and ``since`` bounds the reply
+        to windows the subscriber has not seen yet.
+        """
+        obs = self.cluster.obs
+        payload: dict = {
+            "request_id": message.payload.get("request_id"),
+            "node": f"{self.node_id:032x}",
+        }
+        recorder = getattr(obs, "timeseries", None)
+        if obs.enabled and recorder is not None:
+            window = message.payload.get("window")
+            if window is not None:
+                recorder.configure_window(float(window))
+            at = message.payload.get("at")
+            if at is not None:
+                self.cluster.transport.publish_wire_gauges(obs.metrics)
+                recorder.sample(obs.metrics, at=float(at))
+            since = message.payload.get("since")
+            payload["series"] = recorder.snapshot(
+                since=int(since) if since is not None else None
+            )
+        await self._send(
+            message.sender,
+            Message(kind="telemetry-series", sender=self.node_id,
+                    payload=payload),
+        )
+
+    async def _on_health_probe(self, message: Message) -> None:
+        """Answer a structured health verdict built from live wire state."""
+        transport = self.cluster.transport
+        stats = transport.wire_stats()
+        depth = transport.mailbox_depth(self.node_id)
+        limit = transport.mailbox_capacity()
+        checks = {
+            "running": self._running,
+            "joined": self.joined.is_set(),
+            # A mailbox at >= 90% of its bound means backpressure is
+            # about to reach this node's peers; unbounded (limit 0)
+            # mailboxes skip the check.
+            "mailbox_headroom": limit == 0 or depth < 0.9 * limit,
+        }
+        await self._send(
+            message.sender,
+            Message(
+                kind="health-report",
+                sender=self.node_id,
+                payload={
+                    "request_id": message.payload.get("request_id"),
+                    "node": f"{self.node_id:032x}",
+                    "healthy": all(checks.values()),
+                    "checks": checks,
+                    "mailbox_depth": depth,
+                    "mailbox_limit": limit,
+                    "in_flight": stats["in_flight"],
+                    "resynced_bytes": stats["resynced_bytes"],
+                    "send_queue_depth": stats["send_queue_depth"],
+                    "pool": stats,
+                    "state": self._telemetry_state(),
+                },
+            ),
+        )
+
 
 class LiveCluster:
     """Builds and drives a live overlay."""
@@ -405,6 +528,10 @@ class LiveCluster:
             self.transport.ledger = self.obs.ledger
             for name, help_text in LIVE_METRIC_HELP.items():
                 self.obs.metrics.describe(name, help_text)
+            # Windowed series for the telemetry plane; samples are driven
+            # by whoever owns the clock (a TelemetryCollector's rounds).
+            if getattr(self.obs, "timeseries", None) is None:
+                self.obs.timeseries = TimeSeriesRecorder()
         self.nodes: Dict[int, LiveNode] = {}
         self._route_futures: Dict[int, asyncio.Future] = {}
         self._request_ids = itertools.count(1)

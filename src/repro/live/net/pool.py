@@ -67,6 +67,18 @@ class NodeEndpoint:
         self.closed = False
         #: Framing violations that killed an inbound connection.
         self.poisoned_connections = 0
+        # Live per-connection decoders plus bytes resynced on ones that
+        # already closed, so `resynced_bytes` never loses history.
+        self._decoders: Set[FrameDecoder] = set()
+        self._resynced_closed = 0
+
+    @property
+    def resynced_bytes(self) -> int:
+        """Garbage bytes skipped while hunting for frame magic, summed
+        over every inbound connection this endpoint ever served."""
+        return self._resynced_closed + sum(
+            decoder.resynced_bytes for decoder in self._decoders
+        )
 
     async def start(self) -> None:
         if self.closed:
@@ -87,6 +99,7 @@ class NodeEndpoint:
                                 writer: asyncio.StreamWriter) -> None:
         decoder = FrameDecoder(self._max_frame)
         self._connections.add(writer)
+        self._decoders.add(decoder)
         try:
             while True:
                 chunk = await reader.read(READ_CHUNK)
@@ -103,6 +116,8 @@ class NodeEndpoint:
             # has nothing to flush, and awaiting here raises noisily if
             # the loop is tearing the handler task down.
             self._connections.discard(writer)
+            self._decoders.discard(decoder)
+            self._resynced_closed += decoder.resynced_bytes
             writer.close()
 
     async def aclose(self) -> None:
@@ -231,6 +246,10 @@ class NodePool:
         self._endpoints: Dict[int, NodeEndpoint] = {}
         self._links: Dict[int, PeerLink] = {}
         self._starters: Set[asyncio.Task] = set()
+        # Wire-state history of retired endpoints, so pool totals are
+        # monotone across node departures.
+        self._resynced_retired = 0
+        self._poisoned_retired = 0
 
     def spawn(self, address: int, deliver: Deliver) -> NodeEndpoint:
         """Create and asynchronously start the endpoint for *address*.
@@ -277,9 +296,33 @@ class NodePool:
         endpoint = self._endpoints.pop(address, None)
         if endpoint is not None:
             await endpoint.aclose()
+            self._resynced_retired += endpoint.resynced_bytes
+            self._poisoned_retired += endpoint.poisoned_connections
 
     def links_idle(self) -> bool:
         return all(link.queue.empty() for link in self._links.values())
+
+    # ------------------------------------------------------------------ #
+    # wire observability (read by SocketTransport.wire_stats)
+    # ------------------------------------------------------------------ #
+
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def send_queue_depth(self) -> int:
+        """Frames queued on outbound links, waiting for writer tasks."""
+        return sum(link.queue.qsize() for link in self._links.values())
+
+    def poisoned_total(self) -> int:
+        return self._poisoned_retired + sum(
+            endpoint.poisoned_connections
+            for endpoint in self._endpoints.values()
+        )
+
+    def resynced_total(self) -> int:
+        return self._resynced_retired + sum(
+            endpoint.resynced_bytes for endpoint in self._endpoints.values()
+        )
 
     async def aclose(self) -> None:
         """Graceful shutdown: writers flush, listeners stop."""

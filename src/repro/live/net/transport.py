@@ -223,6 +223,30 @@ class SocketTransport(TransportBase):
             self._discard(frame)
 
     # ------------------------------------------------------------------ #
+    # wire observability
+    # ------------------------------------------------------------------ #
+
+    def mailbox_capacity(self) -> int:
+        return self._mailbox_limit
+
+    def wire_stats(self) -> dict:
+        stats = super().wire_stats()
+        stats.update(
+            links=self._pool.link_count(),
+            poisoned_connections=self._pool.poisoned_total(),
+            resynced_bytes=self._pool.resynced_total(),
+            send_queue_depth=self._pool.send_queue_depth(),
+            in_flight=self._in_flight,
+            sends_timed_out=self.sends_timed_out,
+            # Socket-only extras (absent from the gauge families, so the
+            # cross-transport parity contract is unaffected).
+            bytes_sent=self.bytes_sent,
+            frames_delivered=self.frames_delivered,
+            frames_discarded=self.frames_discarded,
+        )
+        return stats
+
+    # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 

@@ -212,6 +212,57 @@ class TransportBase:
         in-process baseline holds none; the socket transport overrides."""
 
     # ------------------------------------------------------------------ #
+    # wire observability
+    # ------------------------------------------------------------------ #
+
+    def mailbox_depth(self, address: int) -> int:
+        """Undelivered messages waiting in one node's mailbox."""
+        queue = self._mailboxes.get(address)
+        return queue.qsize() if queue is not None else 0
+
+    def mailbox_backlog(self) -> int:
+        """Undelivered messages across every mailbox."""
+        return sum(queue.qsize() for queue in self._mailboxes.values())
+
+    def mailbox_capacity(self) -> int:
+        """Per-mailbox bound; 0 means unbounded (the in-process default)."""
+        return 0
+
+    def wire_stats(self) -> dict:
+        """A flat, plain-JSON description of the transport's wire state.
+
+        The base transport has no physical wire, so its socket-specific
+        fields are structurally present but zero -- both transports
+        publish the *same* gauge families, which is what keeps the
+        cross-transport federated snapshots comparable.
+        """
+        return {
+            "transport": type(self).__name__,
+            "endpoints": len(self._mailboxes),
+            "links": 0,
+            "poisoned_connections": 0,
+            "resynced_bytes": 0,
+            "send_queue_depth": 0,
+            "in_flight": 0,
+            "sends_timed_out": 0,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+        }
+
+    def publish_wire_gauges(self, metrics) -> dict:
+        """Mirror the wire state into registry gauges (satellite of the
+        health probe: probes and scrapes read the same numbers through
+        the normal snapshot path instead of private attributes)."""
+        stats = self.wire_stats()
+        metrics.gauge("wire.resynced_bytes").set(float(stats["resynced_bytes"]))
+        metrics.gauge("wire.send_queue_depth").set(
+            float(stats["send_queue_depth"])
+        )
+        metrics.gauge("wire.in_flight").set(float(stats["in_flight"]))
+        metrics.gauge("wire.mailbox_backlog").set(float(self.mailbox_backlog()))
+        return stats
+
+    # ------------------------------------------------------------------ #
     # fault tracing
     # ------------------------------------------------------------------ #
 

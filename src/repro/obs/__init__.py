@@ -32,16 +32,37 @@ from repro.obs.events import (
     ReclaimCompleted,
     ReplicaDiverted,
     RouteCompleted,
+    SloBreached,
     validate_jsonl,
     validate_record,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.recorder import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.slo import (
+    CHAOS_SLO,
+    DEFAULT_LOAD_SLO,
+    SLOError,
+    evaluate_chaos_slo,
+    evaluate_load_slo,
+    evaluate_slo,
+    format_verdict,
+    parse_slo,
+)
 from repro.obs.spans import Span
+from repro.obs.telemetry import TelemetryCollector, TelemetryError, render_console
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    WindowedHistogram,
+    WindowedSeries,
+    extend_snapshot,
+    merge_snapshots,
+)
 
 __all__ = [
+    "CHAOS_SLO",
     "CacheHit",
     "Counter",
+    "DEFAULT_LOAD_SLO",
     "EventBus",
     "EventRecord",
     "Gauge",
@@ -59,7 +80,22 @@ __all__ = [
     "ReclaimCompleted",
     "ReplicaDiverted",
     "RouteCompleted",
+    "SLOError",
+    "SloBreached",
     "Span",
+    "TelemetryCollector",
+    "TelemetryError",
+    "TimeSeriesRecorder",
+    "WindowedHistogram",
+    "WindowedSeries",
+    "evaluate_chaos_slo",
+    "evaluate_load_slo",
+    "evaluate_slo",
+    "extend_snapshot",
+    "format_verdict",
+    "merge_snapshots",
+    "parse_slo",
+    "render_console",
     "validate_jsonl",
     "validate_record",
 ]

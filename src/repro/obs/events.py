@@ -183,6 +183,21 @@ class UnpricedKindCharged(Event):
     fallback_bytes: int
 
 
+@dataclass(frozen=True)
+class SloBreached(Event):
+    """One SLO target missed its objective in a gated run.
+
+    ``observed`` is -1.0 when the objective was never measured (which
+    also counts as a breach: you cannot claim an SLO you did not
+    observe).
+    """
+
+    kind: ClassVar[str] = "slo-breached"
+    name: str
+    objective: float
+    observed: float
+
+
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
     for cls in (
@@ -201,6 +216,7 @@ EVENT_TYPES: Dict[str, type] = {
         InvariantViolated,
         InvariantChecked,
         UnpricedKindCharged,
+        SloBreached,
     )
 }
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import re
 from collections import defaultdict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 LabelItems = Tuple[Tuple[str, str], ...]
 
@@ -308,6 +308,58 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+    # ------------------------------------------------------------------ #
+    # structured export / federation (telemetry plane)
+    # ------------------------------------------------------------------ #
+
+    def export(self) -> dict:
+        """A plain-JSON structural dump: names, label pairs, raw values
+        -- and for histograms the full sample lists, so a federating
+        reader recovers exact percentiles.  Unlike :meth:`snapshot`,
+        nothing is folded into display names: a remote scraper rebuilds
+        real instruments from this via :meth:`absorb`."""
+        return {
+            "counters": [
+                [counter.name, [list(item) for item in counter.labels],
+                 counter.value]
+                for _, counter in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [gauge.name, [list(item) for item in gauge.labels], gauge.value]
+                for _, gauge in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [histogram.name, [list(item) for item in histogram.labels],
+                 list(histogram.samples)]
+                for _, histogram in sorted(self._histograms.items())
+            ],
+            "help": dict(sorted(self._help.items())),
+        }
+
+    def absorb(self, export: dict,
+               extra_labels: Optional[Dict[str, str]] = None) -> None:
+        """Fold an :meth:`export` into this registry, optionally adding
+        labels (the telemetry collector adds ``node="<id>"`` so N nodes'
+        instruments coexist in one federated registry).  Counter values
+        add, gauge values overwrite, histogram samples append; HELP
+        texts install without displacing existing ones."""
+        extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+        for name, items, value in export.get("counters", []):
+            labels = {str(k): str(v) for k, v in items}
+            labels.update(extra)
+            self.counter(name, **labels).increment(value)
+        for name, items, value in export.get("gauges", []):
+            labels = {str(k): str(v) for k, v in items}
+            labels.update(extra)
+            self.gauge(name, **labels).set(value)
+        for name, items, samples in export.get("histograms", []):
+            labels = {str(k): str(v) for k, v in items}
+            labels.update(extra)
+            self.histogram(name, **labels).extend(samples)
+        for name, help_text in export.get("help", {}).items():
+            if name not in self._help:
+                self.describe(name, help_text)
 
     # ------------------------------------------------------------------ #
     # Prometheus text exposition (live nodes)

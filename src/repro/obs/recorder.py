@@ -57,6 +57,10 @@ class Observer:
         # Runtime twin of lint rule CONF001: an unpriced kind bumps a
         # visible counter on every charge and warns (as an event) once.
         self.ledger.on_unpriced = self._record_unpriced
+        # Optional TimeSeriesRecorder (obs/timeseries): drivers that
+        # sample metrics into windowed series install one here so the
+        # telemetry plane and SLO burn rates can find it.
+        self.timeseries = None
 
     def _record_unpriced(
         self, kind: str, category: str, fallback_bytes: int, first: bool
@@ -114,6 +118,7 @@ class NullObserver:
     clock = None
     traces = None
     ledger = None
+    timeseries = None
 
     def emit(self, event: Event) -> None:
         pass

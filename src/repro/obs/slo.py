@@ -1,0 +1,238 @@
+"""Service-level objectives: point verdicts and multi-window burn rates.
+
+An SLO *spec* is a flat dict of named objectives (``{"p99_ms": 50.0,
+"degraded_pct": 1.0}``); an *observation* dict carries what actually
+happened under the same names.  :func:`evaluate_slo` compares the two
+into a verdict block -- deterministic, plain-JSON, embeddable in any
+report -- and :func:`burn_windows` adds the temporal dimension from a
+:class:`~repro.obs.timeseries.TimeSeriesRecorder` snapshot: the classic
+multi-window burn-rate rule, where *burn* is the fraction of the error
+budget consumed per unit budget (burn 1.0 = exactly on budget; > 1
+means the objective will be violated if the window's rate persists).
+An alert requires **both** the short and the long horizon to burn hot,
+so a single bad window cannot page and a slow leak cannot hide.
+
+The load harness feeds the latency/degraded objectives
+(:func:`evaluate_load_slo`); the chaos driver feeds availability and
+loss (:func:`evaluate_chaos_slo`).  Both produce the same verdict
+shape, so CI gates and the ops console render them identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Objective names a spec may use, with direction "observed <= objective
+#: passes".  Everything is a "lower is better" budget by construction
+#: (latency ms, degraded percentage, counts of bad things).
+KNOWN_OBJECTIVES = (
+    "p95_ms",
+    "p99_ms",
+    "degraded_pct",
+    "files_lost",
+    "unpriced",
+)
+
+#: The default ``repro load`` objective: zero degraded operations --
+#: exactly the binary check the flag replaced.
+DEFAULT_LOAD_SLO: Dict[str, float] = {"degraded_pct": 0.0}
+
+#: The chaos driver's standing objectives: the seeded fault schedule is
+#: allowed to fail some lookups mid-chaos (budgeted), but must lose no
+#: files and charge no unpriced kinds.
+CHAOS_SLO: Dict[str, float] = {
+    "degraded_pct": 25.0,
+    "files_lost": 0.0,
+    "unpriced": 0.0,
+}
+
+#: Burn-rate horizons in windows: (short, long).
+BURN_HORIZONS: Tuple[int, int] = (1, 5)
+
+
+class SLOError(ValueError):
+    """A malformed SLO spec string."""
+
+
+def parse_slo(text: str) -> Dict[str, float]:
+    """Parse ``"p99_ms=50,degraded_pct=1"`` into a spec dict.
+
+    Unknown objective names and non-numeric values raise
+    :class:`SLOError` with the offending token, so a CLI typo fails the
+    run loudly instead of silently gating nothing.
+    """
+    spec: Dict[str, float] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, separator, raw = token.partition("=")
+        name = name.strip()
+        if not separator:
+            raise SLOError(f"objective {token!r} is not name=value")
+        if name not in KNOWN_OBJECTIVES:
+            raise SLOError(
+                f"unknown objective {name!r} (known: {', '.join(KNOWN_OBJECTIVES)})"
+            )
+        try:
+            spec[name] = float(raw.strip())
+        except ValueError as error:
+            raise SLOError(f"objective {name!r} value {raw!r} is not a number") \
+                from error
+    if not spec:
+        raise SLOError(f"empty SLO spec {text!r}")
+    return spec
+
+
+def evaluate_slo(spec: Dict[str, float],
+                 observations: Dict[str, Optional[float]]) -> dict:
+    """Compare observations against a spec into a verdict block.
+
+    A missing observation fails its objective (you cannot claim an SLO
+    you did not measure); extra observations are ignored.
+    """
+    targets: List[dict] = []
+    for name in sorted(spec):
+        objective = float(spec[name])
+        observed = observations.get(name)
+        ok = observed is not None and float(observed) <= objective
+        targets.append({
+            "name": name,
+            "objective": objective,
+            "observed": round(float(observed), 6) if observed is not None else None,
+            "ok": ok,
+        })
+    return {"ok": all(target["ok"] for target in targets), "targets": targets}
+
+
+def burn_windows(series_snapshot: dict, prefix: str, bad_marker: str,
+                 budget_fraction: float,
+                 horizons: Tuple[int, int] = BURN_HORIZONS) -> dict:
+    """Multi-window burn rates for one good/bad counter family.
+
+    *prefix* selects the counter family (``load.ops``,
+    ``churn.lookups``); any series whose display name contains
+    *bad_marker* (``'outcome="degraded"'``) counts as budget spend, every
+    series under the prefix counts toward the total.  *budget_fraction*
+    is the allowed bad fraction (``degraded_pct / 100``); a zero budget
+    cannot express a finite burn, so its ``burn_*`` values are None and
+    alerting degenerates to "any bad event in the horizon".
+    """
+    per_window: Dict[int, List[float]] = {}
+    for name, rows in series_snapshot.get("counters", {}).items():
+        if name != prefix and not name.startswith(prefix + "{"):
+            continue
+        bad = bad_marker in name
+        for index, value in rows:
+            bucket = per_window.setdefault(int(index), [0.0, 0.0])
+            bucket[1] += value
+            if bad:
+                bucket[0] += value
+    windows = [[index, per_window[index][0], per_window[index][1]]
+               for index in sorted(per_window)]
+
+    def burn_over(count: int) -> Optional[float]:
+        tail = windows[-count:]
+        bad = sum(row[1] for row in tail)
+        total = sum(row[2] for row in tail)
+        if total <= 0:
+            return 0.0
+        fraction = bad / total
+        if budget_fraction <= 0:
+            return None
+        return round(fraction / budget_fraction, 6)
+
+    short, long = horizons
+    burn_short = burn_over(short)
+    burn_long = burn_over(long)
+    if budget_fraction <= 0:
+        alerting = any(row[1] > 0 for row in windows[-long:])
+    else:
+        alerting = (burn_short is not None and burn_short > 1.0
+                    and burn_long is not None and burn_long > 1.0)
+    return {
+        "budget_fraction": round(budget_fraction, 6),
+        "windows": windows,
+        f"burn_{short}w": burn_short,
+        f"burn_{long}w": burn_long,
+        "alerting": alerting,
+    }
+
+
+def _worst_percentile(ops: Dict[str, dict], key: str) -> Optional[float]:
+    values = [stats[key] for stats in ops.values() if key in stats]
+    return max(values) if values else None
+
+
+def evaluate_load_slo(spec: Dict[str, float], report,
+                      unpriced_total: int = 0,
+                      series_snapshot: Optional[dict] = None) -> dict:
+    """The load harness's verdict: latency percentiles (worst op),
+    degraded-op ratio, unpriced-charge budget, plus degraded burn rates
+    when a windowed series snapshot is available."""
+    total = report.total_operations + sum(report.errors.values())
+    degraded = sum(report.errors.values())
+    observations: Dict[str, Optional[float]] = {
+        "p95_ms": _worst_percentile(report.ops, "p95_ms"),
+        "p99_ms": _worst_percentile(report.ops, "p99_ms"),
+        "degraded_pct": (100.0 * degraded / total) if total else 0.0,
+        "unpriced": float(unpriced_total),
+    }
+    verdict = evaluate_slo(spec, observations)
+    if series_snapshot is not None and "degraded_pct" in spec:
+        verdict["burn"] = {
+            "degraded": burn_windows(
+                series_snapshot, "load.ops", 'outcome="degraded"',
+                budget_fraction=spec["degraded_pct"] / 100.0,
+            )
+        }
+    return verdict
+
+
+def evaluate_chaos_slo(availability: float, files_lost: int,
+                       unpriced_total: int,
+                       series_snapshot: Optional[dict] = None,
+                       spec: Optional[Dict[str, float]] = None) -> dict:
+    """The chaos driver's verdict over its deterministic outcomes.
+
+    Everything here is schedule-determined (lookup outcomes, loss
+    census, ledger audit), so two same-seed runs embed byte-identical
+    verdicts -- the property the telemetry acceptance gate pins.
+    """
+    spec = dict(CHAOS_SLO if spec is None else spec)
+    observations: Dict[str, Optional[float]] = {
+        "degraded_pct": round(100.0 * (1.0 - availability), 6),
+        "files_lost": float(files_lost),
+        "unpriced": float(unpriced_total),
+    }
+    verdict = evaluate_slo(spec, observations)
+    if series_snapshot is not None and "degraded_pct" in spec:
+        verdict["burn"] = {
+            "degraded": burn_windows(
+                series_snapshot, "churn.lookups", 'outcome="failed"',
+                budget_fraction=spec["degraded_pct"] / 100.0,
+            )
+        }
+    return verdict
+
+
+def format_verdict(verdict: dict) -> List[str]:
+    """Human-readable verdict lines for text reports and the console."""
+    lines = [f"slo: {'PASS' if verdict['ok'] else 'FAIL'}"]
+    for target in verdict["targets"]:
+        status = "ok " if target["ok"] else "MISS"
+        observed = target["observed"]
+        shown = "unmeasured" if observed is None else f"{observed:g}"
+        lines.append(
+            f"  [{status}] {target['name']}: {shown} "
+            f"(objective <= {target['objective']:g})"
+        )
+    for name, burn in verdict.get("burn", {}).items():
+        keys = [key for key in burn if key.startswith("burn_")]
+        rates = ", ".join(
+            f"{key[5:]}={burn[key] if burn[key] is not None else 'n/a'}"
+            for key in sorted(keys)
+        )
+        flag = " ALERT" if burn.get("alerting") else ""
+        lines.append(f"  burn[{name}]: {rates}{flag}")
+    return lines

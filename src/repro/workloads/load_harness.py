@@ -94,6 +94,9 @@ class LoadReport:
     ops: Dict[str, dict] = field(default_factory=dict)
     errors: Dict[str, int] = field(default_factory=dict)
     outcomes: List[str] = field(default_factory=list)
+    #: SLO verdict block (obs/slo.evaluate_load_slo), attached by the
+    #: CLI when the run is gated.
+    slo: Optional[dict] = None
 
     @property
     def total_operations(self) -> int:
@@ -130,6 +133,8 @@ class LoadReport:
             "ops": self.ops,
             "errors": self.errors,
         }
+        if self.slo is not None:
+            body["slo"] = self.slo
         return json.dumps(body, indent=2, sort_keys=True)
 
     def format_text(self) -> str:
@@ -150,6 +155,10 @@ class LoadReport:
             )
         if self.errors:
             lines.append(f"  errors: {self.errors}")
+        if self.slo is not None:
+            from repro.obs.slo import format_verdict
+
+            lines.extend("  " + line for line in format_verdict(self.slo))
         return "\n".join(lines)
 
 
@@ -189,6 +198,14 @@ class LoadHarness:
         )
         return certificate, data
 
+    def _count_op(self, kind: str, outcome: str) -> None:
+        """Publish one op outcome as a live counter, so a per-window
+        scraper sees degradation *while it happens* (the SLO burn-rate
+        input), not just in the end-of-run report."""
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter("load.ops", op=kind, outcome=outcome).increment()
+
     async def _run_op(self, kind: str, rng: random.Random,
                       report: LoadReport,
                       histograms: Dict[str, list]) -> None:
@@ -210,10 +227,13 @@ class LoadHarness:
                 elapsed = clock() - start
                 ok = result.get("data") is not None
             histograms[kind].append(elapsed)
-            report.outcomes.append(f"{kind}:{'ok' if ok else 'miss'}")
+            outcome = "ok" if ok else "miss"
+            report.outcomes.append(f"{kind}:{outcome}")
+            self._count_op(kind, outcome)
         except DegradedError:
             report.errors[kind] = report.errors.get(kind, 0) + 1
             report.outcomes.append(f"{kind}:degraded")
+            self._count_op(kind, "degraded")
 
     def _op_sequence(self) -> List[str]:
         """The run's exact op multiset in seeded-shuffled order.

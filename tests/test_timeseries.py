@@ -1,0 +1,190 @@
+"""Unit coverage for the windowed time-series layer.
+
+The determinism contracts the telemetry plane leans on, pinned one by
+one: counter windows accumulate deltas, gauges keep levels, histogram
+windows keep exact samples, rings evict oldest-first, incremental
+snapshots replay idempotently, and cross-node merges are
+order-independent.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    WindowedHistogram,
+    WindowedSeries,
+    extend_snapshot,
+    merge_snapshots,
+)
+
+
+class TestWindowedSeries:
+    def test_counter_accumulates_within_a_window(self):
+        series = WindowedSeries("c", "counter")
+        series.observe(3, 2.0)
+        series.observe(3, 5.0)
+        assert series.windows() == [(3, 7.0)]
+        assert series.total() == 7.0
+
+    def test_gauge_keeps_the_last_level(self):
+        series = WindowedSeries("g", "gauge")
+        series.observe(3, 2.0)
+        series.observe(3, 5.0)
+        assert series.windows() == [(3, 5.0)]
+
+    def test_ring_evicts_the_oldest_window(self):
+        series = WindowedSeries("c", "counter", capacity=2)
+        for index in (1, 2, 3):
+            series.observe(index, 1.0)
+        assert series.windows() == [(2, 1.0), (3, 1.0)]
+        assert series.latest_index() == 3
+
+    def test_rejects_bad_kind_and_capacity(self):
+        with pytest.raises(ValueError):
+            WindowedSeries("x", "summary")
+        with pytest.raises(ValueError):
+            WindowedSeries("x", "counter", capacity=0)
+
+
+class TestWindowedHistogram:
+    def test_windows_keep_sorted_exact_samples(self):
+        histogram = WindowedHistogram("h")
+        histogram.extend(0, [5.0, 1.0])
+        histogram.extend(0, [3.0])
+        assert histogram.windows() == [(0, [1.0, 3.0, 5.0])]
+
+    def test_merge_concatenates_window_by_window(self):
+        left = WindowedHistogram("h")
+        left.extend(0, [1.0, 9.0])
+        left.extend(1, [2.0])
+        right = WindowedHistogram("h")
+        right.extend(0, [4.0])
+        merged = left.merge(right)
+        assert merged.windows() == [(0, [1.0, 4.0, 9.0]), (1, [2.0])]
+        # Order independence: merging the other way is identical.
+        assert right.merge(left).windows() == merged.windows()
+
+
+def _registry():
+    return MetricsRegistry()
+
+
+class TestTimeSeriesRecorder:
+    def test_counter_windows_hold_per_window_deltas(self):
+        metrics = _registry()
+        recorder = TimeSeriesRecorder(window=10.0)
+        metrics.counter("ops").increment(3)
+        recorder.sample(metrics, at=0.0)
+        metrics.counter("ops").increment(2)
+        recorder.sample(metrics, at=25.0)
+        assert recorder.counter_windows("ops") == [(0, 3.0), (2, 2.0)]
+
+    def test_resampling_one_window_accumulates_deltas(self):
+        metrics = _registry()
+        recorder = TimeSeriesRecorder(window=10.0)
+        metrics.counter("ops").increment(3)
+        recorder.sample(metrics, at=1.0)
+        metrics.counter("ops").increment(4)
+        recorder.sample(metrics, at=9.0)
+        assert recorder.counter_windows("ops") == [(0, 7.0)]
+
+    def test_gauges_record_levels_histograms_fresh_samples(self):
+        metrics = _registry()
+        recorder = TimeSeriesRecorder(window=10.0)
+        metrics.gauge("depth").set(4.0)
+        metrics.histogram("lat").add(5.0)
+        metrics.histogram("lat").add(1.0)
+        recorder.sample(metrics, at=0.0)
+        metrics.gauge("depth").set(2.0)
+        metrics.histogram("lat").add(3.0)
+        recorder.sample(metrics, at=10.0)
+        snapshot = recorder.snapshot()
+        assert snapshot["gauges"]["depth"] == [[0, 4.0], [1, 2.0]]
+        # Only the *fresh* sample lands in window 1.
+        assert snapshot["histograms"]["lat"] == [[0, [1.0, 5.0]], [1, [3.0]]]
+
+    def test_snapshot_since_is_strictly_greater(self):
+        metrics = _registry()
+        recorder = TimeSeriesRecorder(window=10.0)
+        metrics.counter("ops").increment()
+        recorder.sample(metrics, at=0.0)
+        metrics.counter("ops").increment()
+        recorder.sample(metrics, at=10.0)
+        assert recorder.snapshot(since=0)["counters"]["ops"] == [[1, 1.0]]
+        assert "ops" not in recorder.snapshot(since=1)["counters"]
+        assert recorder.snapshot(since=1)["latest_index"] == 1
+
+    def test_configure_window_only_before_first_sample(self):
+        recorder = TimeSeriesRecorder(window=10.0)
+        recorder.configure_window(0.5)
+        assert recorder.window == 0.5
+        recorder.sample(_registry(), at=0.0)
+        recorder.configure_window(99.0)
+        assert recorder.window == 0.5
+
+    def test_snapshot_bytes_are_deterministic(self):
+        def build():
+            metrics = _registry()
+            recorder = TimeSeriesRecorder(window=5.0)
+            for step in range(4):
+                metrics.counter("ops", op="store").increment(step)
+                metrics.histogram("lat").add(float(step))
+                recorder.sample(metrics, at=step * 5.0)
+            return json.dumps(recorder.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+
+class TestSnapshotFolding:
+    def test_extend_replaces_reshipped_windows(self):
+        existing = {
+            "window_seconds": 1.0, "capacity": 64, "latest_index": 1,
+            "counters": {"ops": [[0, 3.0], [1, 2.0]]},
+            "gauges": {}, "histograms": {},
+        }
+        incoming = {
+            "window_seconds": 1.0, "capacity": 64, "latest_index": 2,
+            "counters": {"ops": [[1, 5.0], [2, 1.0]]},
+            "gauges": {}, "histograms": {},
+        }
+        merged = extend_snapshot(existing, incoming)
+        # Window 1 was re-shipped after more deltas accumulated: its row
+        # is *replaced*, not summed -- the fold is idempotent.
+        assert merged["counters"]["ops"] == [[0, 3.0], [1, 5.0], [2, 1.0]]
+        assert merged["latest_index"] == 2
+        assert existing["counters"]["ops"] == [[0, 3.0], [1, 2.0]]  # unmutated
+        assert extend_snapshot(merged, incoming) == merged
+
+    def test_extend_from_nothing_copies(self):
+        incoming = {"window_seconds": 1.0, "capacity": 4, "latest_index": 0,
+                    "counters": {"ops": [[0, 1.0]]}, "gauges": {},
+                    "histograms": {}}
+        merged = extend_snapshot(None, incoming)
+        assert merged["counters"] == incoming["counters"]
+        merged["counters"]["other"] = []
+        assert "other" not in incoming["counters"]
+
+    def test_merge_sums_counters_and_concatenates_histograms(self):
+        node_a = {
+            "window_seconds": 1.0, "capacity": 64, "latest_index": 1,
+            "counters": {"ops": [[0, 3.0], [1, 1.0]]},
+            "gauges": {"depth": [[0, 2.0]]},
+            "histograms": {"lat": [[0, [1.0, 9.0]]]},
+        }
+        node_b = {
+            "window_seconds": 1.0, "capacity": 64, "latest_index": 2,
+            "counters": {"ops": [[1, 4.0], [2, 2.0]]},
+            "gauges": {"depth": [[0, 5.0]]},
+            "histograms": {"lat": [[0, [4.0]]]},
+        }
+        merged = merge_snapshots([node_a, node_b])
+        assert merged["counters"]["ops"] == [[0, 3.0], [1, 5.0], [2, 2.0]]
+        assert merged["gauges"]["depth"] == [[0, 7.0]]
+        assert merged["histograms"]["lat"] == [[0, [1.0, 4.0, 9.0]]]
+        assert merged["latest_index"] == 2
+        flipped = merge_snapshots([node_b, node_a])
+        assert json.dumps(flipped, sort_keys=True) == \
+            json.dumps(merged, sort_keys=True)
